@@ -1,0 +1,40 @@
+"""Benchmark harness for Table 4: per-area access frequency.
+
+Shape checks from §4.2: heap accesses (mostly instruction fetch) are
+the single largest share (~30-55%); WINDOW's heap share is boosted by
+heap-vector data; trail traffic is small everywhere; the stack mix is
+program dependent (structure-heavy programs push the global stack up,
+plain-variable programs the local stack).
+"""
+
+from repro.core.memory import Area
+from repro.eval import table4
+
+
+def test_table4(once):
+    rows = once(table4.generate)
+    print()
+    print(table4.render(rows))
+    by_name = {row.program: row for row in rows}
+
+    for row in rows:
+        # Heap is a major consumer for every program.
+        assert row.ratios[Area.HEAP] > 20.0, (row.program, row.ratios)
+        # Trail accesses are low (paper: at most 6.4%).
+        assert row.ratios[Area.TRAIL] < 12.0, (row.program, row.ratios)
+
+    # WINDOW: heap-vector data lifts the heap share to the top.
+    window = by_name["window-1"].ratios
+    assert window[Area.HEAP] == max(window.values())
+    assert window[Area.HEAP] > 35.0
+
+    # BUP processes many structured terms: global stack prominent.
+    bup = by_name["bup"].ratios
+    assert bup[Area.GLOBAL] > 15.0
+
+    # The search programs (8 PUZZLE, HARMONIZER) backtrack hardest:
+    # they hold the top trail shares of the set.
+    trail_ranked = sorted(rows, key=lambda r: -r.ratios[Area.TRAIL])
+    top_two = {row.program for row in trail_ranked[:2]}
+    assert "puzzle8" in top_two or "harmonizer" in top_two
+    assert by_name["puzzle8"].ratios[Area.TRAIL] > 3.0

@@ -1,0 +1,39 @@
+"""Benchmark harness for Table 7: branch operation frequencies.
+
+Shape checks from §4.4: roughly 80% of steps carry a branch operation;
+conditional branches are the biggest group (paper: 35-39% of steps);
+multi-way tag dispatches account for over a tenth of steps (paper:
+13-14%, "every eighth step"); indirect branching via JR is rare.
+"""
+
+from repro.core.micro import BranchOp
+from repro.eval import table7
+
+
+def test_table7(once):
+    result = once(table7.generate)
+    print()
+    print(table7.render(result))
+
+    for program in result.ratios:
+        rate = result.branch_rates[program]
+        assert 60.0 < rate < 95.0, (program, rate)
+
+        conditional = result.conditional_rate(program)
+        assert 20.0 < conditional < 55.0, (program, conditional)
+
+        multiway = result.multiway_rate(program)
+        assert 8.0 < multiway < 25.0, (program, multiway)
+
+        ratios = result.ratios[program]
+        # Indirect branches via JR are rare.
+        assert ratios[BranchOp.GOTO_JR1] < 4.0
+        assert ratios[BranchOp.GOTO_JR3] < 1.0
+        # gosub/return appear in matched, moderate amounts.
+        assert 1.0 < ratios[BranchOp.GOSUB] < 12.0
+        assert 1.0 < ratios[BranchOp.RETURN] < 12.0
+
+    # case(irn) (packed-operand dispatch) is livelier in the
+    # integer-packed 8 puzzle than in the atom-heavy BUP.
+    assert result.ratios["puzzle8"][BranchOp.CASE_IRN] >= \
+        result.ratios["bup"][BranchOp.CASE_IRN] - 0.5

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Cache design-space exploration, the way §4.2 of the paper did it.
+
+Collects a memory trace from a real workload with COLLECT, then replays
+it through the PMMS cache simulator across capacities, associativities
+and write policies — reproducing Figure 1's sweep and both ablations on
+a workload of your choice.
+"""
+
+from repro.memsys import CacheConfig, WritePolicy
+from repro.tools import collect
+from repro.tools.pmms import (
+    capacity_sweep,
+    compare_associativity,
+    compare_write_policy,
+    simulate,
+)
+from repro.workloads import get
+
+WORKLOAD = "qsort"
+
+
+def main() -> None:
+    workload = get(WORKLOAD)
+    print(f"collecting trace of {workload.title} ...")
+    run = collect(workload.source, workload.goal)
+    print(f"  {run.steps} steps, {len(run.trace)} memory accesses, "
+          f"{run.time_ms:.2f} ms at {run.lips / 1000:.1f} KLIPS\n")
+
+    print("capacity sweep (Figure 1 style):")
+    for point in capacity_sweep(run.trace, run.steps):
+        bar = "#" * int(point.improvement_percent / 4)
+        print(f"  {point.capacity_words:>5} words  hit {point.hit_ratio:5.1f}%  "
+              f"improvement {point.improvement_percent:6.1f}%  {bar}")
+
+    print("\nassociativity (one 4KW set vs two):")
+    assoc = compare_associativity(run.trace, run.steps)
+    print(f"  {assoc.label_a}: {assoc.improvement_a:.1f}%   "
+          f"{assoc.label_b}: {assoc.improvement_b:.1f}%   "
+          f"(loss {assoc.relative_loss_percent:.1f}%)")
+
+    print("\nwrite policy (store-in vs store-through):")
+    policy = compare_write_policy(run.trace, run.steps)
+    print(f"  {policy.label_a}: {policy.improvement_a:.1f}%   "
+          f"{policy.label_b}: {policy.improvement_b:.1f}%")
+
+    print("\nper-area hit ratios at the production configuration:")
+    stats = simulate(run.trace, CacheConfig())
+    for area, counts in stats.per_area.items():
+        if counts.accesses:
+            print(f"  {area.label:<14} {counts.hit_ratio:5.1f}%  "
+                  f"({counts.accesses} accesses)")
+
+    # A custom point in the design space.
+    tiny = simulate(run.trace, CacheConfig(
+        capacity_words=256, ways=1, policy=WritePolicy.STORE_THROUGH))
+    print(f"\n256-word direct-mapped store-through: {tiny.hit_ratio:.1f}% hits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""PSI vs DEC-10: the Table 1 experiment on your own program.
+
+Runs the same Prolog source on both execution models — the PSI's
+microprogrammed interpreter (microsteps x 200 ns + cache stalls) and
+the DEC-10-style compiled WAM (instruction cost model) — and reports
+who wins, the way §3.1 compares the two machines.
+
+The illustrative program has two phases: a deterministic list-crunching
+phase (compiled code's home turf: indexing removes all choice points)
+and a backtracking constraint-search phase (the interpreter's home
+turf: failure handling is all microcode).
+"""
+
+from repro.baseline import WAMMachine
+from repro.tools import collect
+
+PROGRAM = """
+% Phase 1: deterministic list processing.
+iota(0, []) :- !.
+iota(N, [N|T]) :- N1 is N - 1, iota(N1, T).
+sumlist([], 0).
+sumlist([H|T], S) :- sumlist(T, S1), S is S1 + H.
+
+% Phase 2: backtracking search (magic triples).
+pick(X, [X|_]).
+pick(X, [_|T]) :- pick(X, T).
+triple(L, X, Y, Z) :-
+    pick(X, L), pick(Y, L), pick(Z, L),
+    X < Y, Y < Z,
+    S is X + Y + Z, S mod 7 =:= 0,
+    P is X * Y * Z, P mod 4 =:= 2.
+
+deterministic(S) :- iota(150, L), sumlist(L, S).
+searchy(X, Y, Z) :- iota(18, L), triple(L, X, Y, Z).
+"""
+
+
+def run_both(goal: str) -> None:
+    psi = collect(PROGRAM, goal)
+    wam = WAMMachine()
+    wam.consult(PROGRAM)
+    assert wam.run(goal) is not None
+    psi_ms = psi.time_ms
+    dec_ms = wam.stats.time_ms
+    winner = "PSI" if dec_ms > psi_ms else "DEC"
+    print(f"{goal:<24} PSI {psi_ms:8.2f} ms   DEC {dec_ms:8.2f} ms   "
+          f"DEC/PSI {dec_ms / psi_ms:4.2f}  -> {winner} wins")
+
+
+def main() -> None:
+    print("goal                      PSI time      DEC time      ratio")
+    run_both("deterministic(S)")
+    run_both("searchy(X, Y, Z)")
+    print("\nCompiled code wins the deterministic phase (compile-time "
+          "optimisation);\nthe microcoded interpreter closes the gap when "
+          "runtime processing dominates,\nexactly the pattern of Table 1.")
+
+
+if __name__ == "__main__":
+    main()

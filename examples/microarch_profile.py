@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Microarchitecture profiling with MAP: Tables 2, 6 and 7 for any goal.
+
+Shows how the measurement stack composes: COLLECT gathers the
+microinstruction stream while a program runs; MAP projects it onto the
+interpreter modules, the work-file access-mode fields and the branch
+field — the analyses behind the paper's Tables 2, 6 and 7.
+"""
+
+from repro.tools import branch_analysis, collect, module_analysis, routine_histogram, wf_analysis
+from repro.workloads import get
+
+WORKLOAD = "bup-2"
+
+
+def main() -> None:
+    workload = get(WORKLOAD)
+    run = collect(workload.source, workload.goal, record_trace=False)
+    stats = run.stats
+
+    print(f"== {workload.title}: {run.steps} microsteps, "
+          f"{stats.inferences} inferences ==\n")
+
+    print("interpreter modules (Table 2):")
+    for module, percent in module_analysis(stats).items():
+        print(f"  {module.value:<8} {percent:5.1f}%  {'#' * int(percent / 2)}")
+
+    print("\nwork file fields (Table 6):")
+    for row in wf_analysis(stats):
+        cells = []
+        for label, value in (("s1", row.source1), ("s2", row.source2),
+                             ("dst", row.dest)):
+            if value:
+                cells.append(f"{label} {value[0]:5.1f}%/{value[1]:5.2f}%")
+        if cells:
+            print(f"  {row.mode.value:<10} {'  '.join(cells)}")
+
+    print("\nbranch field (Table 7):")
+    for row in branch_analysis(stats):
+        if row.percent >= 0.05:
+            print(f"  T{row.branch_type} {row.op.value:<22} {row.percent:5.1f}%")
+    print(f"  => {stats.branch_operation_rate():.0f}% of steps hold a branch op")
+
+    print("\nhottest microroutines:")
+    for module, name, steps in routine_histogram(stats, top=8):
+        print(f"  {module:<8} {name:<24} {steps:>8} steps")
+
+
+if __name__ == "__main__":
+    main()

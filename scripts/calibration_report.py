@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Print every reproduced table/figure next to the paper's values.
+
+Development tool used while calibrating microroutine weights and the
+DEC cost table; the same output is available per-artifact through
+``psi-eval``.  The committed snapshot lives in results/eval_report.txt.
+"""
+
+from repro.eval import (
+    ablations,
+    figure1,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+def main() -> None:
+    sections = [
+        ("table1", lambda: table1.render(table1.generate())),
+        ("table2", lambda: table2.render(table2.generate())),
+        ("table3", lambda: table3.render(table3.generate())),
+        ("table4", lambda: table4.render(table4.generate())),
+        ("table5", lambda: table5.render(table5.generate())),
+        ("table6", lambda: table6.render(table6.generate())),
+        ("table7", lambda: table7.render(table7.generate())),
+        ("figure1", lambda: figure1.render(figure1.generate())),
+        ("ablations", lambda: ablations.render(ablations.generate())),
+    ]
+    for name, render in sections:
+        print(f"== {name} ==", flush=True)
+        print(render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Performance and Architectural Evaluation of
+the PSI Machine" (Taki, Nakajima, Nakashima, Ikeda; ASPLOS 1987).
+
+Public API tour:
+
+* :class:`repro.core.PSIMachine` — the PSI model: a microprogram-level
+  KL0 (extended Prolog) interpreter with full microinstruction-stream
+  accounting and real memory traffic.
+* :class:`repro.baseline.WAMMachine` — the DEC-10 Prolog baseline: a
+  WAM compiler/emulator with a DEC-2060 cost model.
+* :mod:`repro.memsys` — the PMMS cache simulator and timing model.
+* :mod:`repro.tools` — COLLECT / MAP / PMMS measurement tools.
+* :mod:`repro.workloads` — every benchmark of the paper.
+* :mod:`repro.eval` — regenerate each table and figure.
+
+Quick start::
+
+    from repro import PSIMachine
+    machine = PSIMachine()
+    machine.consult("append([], L, L). append([H|T], L, [H|R]) :- append(T, L, R).")
+    print(machine.run("append([1,2], [3], X)"))
+"""
+
+from repro.baseline import WAMMachine
+from repro.core import PSIMachine, StatsCollector
+from repro.errors import ReproError
+from repro.memsys import Cache, CacheConfig
+from repro.tools import collect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PSIMachine", "WAMMachine", "StatsCollector",
+    "Cache", "CacheConfig", "collect",
+    "ReproError", "__version__",
+]

@@ -1,0 +1,522 @@
+"""Clause compiler for the WAM baseline (the DEC-10 Prolog compiler model).
+
+Implements the classic compilation scheme:
+
+* head arguments compile to ``get_*`` instructions, with nested
+  compound terms flattened breadth-first into ``unify_*`` sequences and
+  deferred ``get_structure``/``get_list`` on temporaries;
+* body goals compile to ``put_*`` argument setup plus ``call``/
+  ``execute`` (last-call optimisation) or inline ``builtin``;
+* variables occurring in more than one chunk become permanent (Y)
+  variables in an environment (``allocate``/``deallocate``), with
+  ``put_unsafe_value``/``unify_local_value`` guarding against dangling
+  references into deallocated environments;
+* procedures whose clauses all have a non-variable first head argument
+  get **first-argument indexing**: ``switch_on_term`` +
+  ``switch_on_constant``/``switch_on_structure`` dispatch with
+  try/retry/trust chains only where buckets still hold several clauses.
+  This is the "close indexing method" of the paper's §3.1 — it is what
+  lets DEC run NREVERSE-style deterministic code without choice points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.isa import COSTS_NS, Instr, Op, X, Y
+from repro.errors import PrologSyntaxError
+from repro.prolog.terms import Atom, Struct, Term, Var, is_cons, is_nil
+from repro.prolog.transform import FlatClause
+
+#: Builtins compiled to fast-code arithmetic: expression arguments are
+#: evaluated inline (DEC-10 "fast-code" with mode declarations) instead
+#: of being built as heap terms and re-traversed.
+ARITH_FASTCODE = {("is", 2), ("=:=", 2), ("=\\=", 2),
+                  ("<", 2), (">", 2), ("=<", 2), (">=", 2)}
+
+# Indexing key kinds
+KIND_CONST = "const"
+KIND_LIST = "list"
+KIND_STRUCT = "struct"
+KIND_VAR = "var"
+
+
+@dataclass
+class CompiledClause:
+    code: list[Instr]
+    n_permanents: int
+    first_arg_kind: str
+    first_arg_key: object  # constant value or (name, arity)
+
+
+@dataclass
+class CompiledProcedure:
+    functor: str
+    arity: int
+    clauses: list[CompiledClause] = field(default_factory=list)
+    code: list[Instr] = field(default_factory=list)   # entry + clause bodies
+    entry: int = 0
+    dirty: bool = True
+
+    @property
+    def indicator(self):
+        return (self.functor, self.arity)
+
+
+def first_arg_descriptor(head: Term) -> tuple[str, object]:
+    if not isinstance(head, Struct):
+        return KIND_VAR, None
+    arg = head.args[0]
+    if isinstance(arg, Var):
+        return KIND_VAR, None
+    if isinstance(arg, int):
+        return KIND_CONST, arg
+    if isinstance(arg, Atom):
+        return KIND_CONST, arg.name
+    if is_cons(arg):
+        return KIND_LIST, None
+    assert isinstance(arg, Struct)
+    return KIND_STRUCT, (arg.functor, arg.arity)
+
+
+# ---------------------------------------------------------------------------
+# Single clause compilation
+# ---------------------------------------------------------------------------
+
+
+class ClauseCompiler:
+    """Compiles one flat clause to WAM code."""
+
+    def __init__(self, clause: FlatClause, builtin_table: dict):
+        self.clause = clause
+        self.builtin_table = builtin_table
+        self.code: list[Instr] = []
+        self.perms: dict[str, int] = {}
+        self.temps: dict[str, int] = {}
+        self.seen: set[str] = set()
+        self.cut_level_slot: int | None = None
+        self._xfree = 0
+
+    # -- public -----------------------------------------------------------
+
+    def compile(self) -> CompiledClause:
+        head_args = self.clause.head_args
+        body = self.clause.body
+        calls = [i for i, g in enumerate(body) if self._goal_kind(g) == "call"]
+        # Meta-calls (call/1 and variable goals) transfer control like
+        # user calls: they end register lifetimes and require an
+        # environment when non-final, so the continuation register can
+        # be restored by deallocate.
+        boundaries = [i for i, g in enumerate(body)
+                      if self._goal_kind(g) == "call" or self._is_meta(g)]
+        needs_env = self._classify_variables(head_args, body, boundaries)
+        deep_cut = any(self._goal_kind(g) == "cut" for i, g in enumerate(body)
+                       if i > 0)
+        if deep_cut and self.cut_level_slot is None:
+            self.cut_level_slot = len(self.perms)
+            self.perms["$cutlevel"] = self.cut_level_slot
+            needs_env = True
+
+        self._xfree = max([len(head_args)]
+                          + [self._goal_arity(g) for g in body]) \
+            if (head_args or body) else 0
+
+        if needs_env:
+            self.code.append(Instr(Op.ALLOCATE, len(self.perms)))
+            if self.cut_level_slot is not None:
+                self.code.append(Instr(Op.GET_LEVEL, (Y, self.cut_level_slot)))
+
+        for i, arg in enumerate(head_args):
+            self._compile_get(arg, i)
+
+        last_call = calls[-1] if calls else None
+        for i, goal in enumerate(body):
+            kind = self._goal_kind(goal)
+            if kind == "cut":
+                if i == 0 and not needs_env:
+                    self.code.append(Instr(Op.NECK_CUT))
+                elif self.cut_level_slot is not None:
+                    self.code.append(Instr(Op.CUT, (Y, self.cut_level_slot)))
+                else:
+                    self.code.append(Instr(Op.NECK_CUT))
+            elif kind == "builtin":
+                self._compile_builtin(goal)
+            else:
+                is_final = (i == last_call and i == len(body) - 1)
+                self._compile_call(goal, needs_env, tail=is_final)
+                if is_final:
+                    return self._finish(needs_env, tail_done=True)
+        return self._finish(needs_env, tail_done=False)
+
+    def _finish(self, needs_env: bool, tail_done: bool) -> CompiledClause:
+        if not tail_done:
+            if needs_env:
+                self.code.append(Instr(Op.DEALLOCATE))
+            self.code.append(Instr(Op.PROCEED))
+        kind, key = first_arg_descriptor(self.clause.head)
+        return CompiledClause(self.code, len(self.perms), kind, key)
+
+    # -- classification ------------------------------------------------------
+
+    def _is_meta(self, goal: Term) -> bool:
+        if isinstance(goal, Var):
+            return True
+        return isinstance(goal, Struct) and goal.indicator == ("call", 1)
+
+    def _goal_kind(self, goal: Term) -> str:
+        if isinstance(goal, Atom):
+            if goal.name == "!":
+                return "cut"
+            return "builtin" if (goal.name, 0) in self.builtin_table else "call"
+        if isinstance(goal, Var):
+            return "builtin"  # meta-call
+        assert isinstance(goal, Struct)
+        if goal.indicator in self.builtin_table:
+            return "builtin"
+        return "call"
+
+    def _goal_arity(self, goal: Term) -> int:
+        return goal.arity if isinstance(goal, Struct) else (1 if isinstance(goal, Var) else 0)
+
+    def _classify_variables(self, head_args, body, calls) -> bool:
+        """Assign permanent (Y) slots; return whether an env is needed."""
+        # Chunks: head+goals up to and including the first call, then one
+        # chunk per subsequent inter-call segment.
+        chunk_of: dict[str, set[int]] = {}
+        chunk = 0
+        def note(term: Term, chunk_id: int) -> None:
+            stack = [term]
+            while stack:
+                current = stack.pop()
+                if isinstance(current, Var):
+                    chunk_of.setdefault(current.name, set()).add(chunk_id)
+                elif isinstance(current, Struct):
+                    stack.extend(current.args)
+        for arg in head_args:
+            note(arg, 0)
+        for i, goal in enumerate(body):
+            note(goal, chunk)
+            if self._goal_kind(goal) == "call" or self._is_meta(goal):
+                chunk += 1
+        for name, chunks in chunk_of.items():
+            if len(chunks) > 1:
+                self.perms[name] = len(self.perms)
+        needs_env = bool(self.perms) or len(calls) > 1 or (
+            len(calls) == 1 and calls[0] != len(body) - 1)
+        return needs_env
+
+    # -- register handling ------------------------------------------------------
+
+    def _fresh_x(self) -> int:
+        index = self._xfree
+        self._xfree += 1
+        return index
+
+    def _var_slot(self, name: str) -> tuple[str, int]:
+        if name in self.perms:
+            return (Y, self.perms[name])
+        if name not in self.temps:
+            self.temps[name] = self._fresh_x()
+        return (X, self.temps[name])
+
+    # -- head compilation ----------------------------------------------------------
+
+    def _compile_get(self, arg: Term, areg: int) -> None:
+        if isinstance(arg, Var):
+            slot = self._var_slot(arg.name)
+            if arg.name in self.seen:
+                self.code.append(Instr(Op.GET_VALUE, slot, areg))
+            else:
+                self.seen.add(arg.name)
+                self.code.append(Instr(Op.GET_VARIABLE, slot, areg))
+            return
+        if isinstance(arg, int):
+            self.code.append(Instr(Op.GET_CONSTANT, arg, areg))
+            return
+        if isinstance(arg, Atom):
+            if is_nil(arg):
+                self.code.append(Instr(Op.GET_NIL, areg))
+            else:
+                self.code.append(Instr(Op.GET_CONSTANT, arg.name, areg))
+            return
+        assert isinstance(arg, Struct)
+        queue: list[tuple[Term, tuple[str, int] | int]] = [(arg, areg)]
+        while queue:
+            term, where = queue.pop(0)
+            if is_cons(term):
+                self.code.append(Instr(Op.GET_LIST, where))
+                self._unify_args([term.args[0], term.args[1]], queue)
+            else:
+                self.code.append(Instr(
+                    Op.GET_STRUCTURE, (term.functor, term.arity), where))
+                self._unify_args(list(term.args), queue)
+
+    def _unify_args(self, args: list[Term], queue: list) -> None:
+        for sub in args:
+            if isinstance(sub, Var):
+                slot = self._var_slot(sub.name)
+                if sub.name in self.seen:
+                    if slot[0] == Y:
+                        self.code.append(Instr(Op.UNIFY_LOCAL_VALUE, slot))
+                    else:
+                        self.code.append(Instr(Op.UNIFY_VALUE, slot))
+                else:
+                    self.seen.add(sub.name)
+                    self.code.append(Instr(Op.UNIFY_VARIABLE, slot))
+            elif isinstance(sub, int):
+                self.code.append(Instr(Op.UNIFY_CONSTANT, sub))
+            elif isinstance(sub, Atom):
+                if is_nil(sub):
+                    self.code.append(Instr(Op.UNIFY_NIL))
+                else:
+                    self.code.append(Instr(Op.UNIFY_CONSTANT, sub.name))
+            else:
+                temp = (X, self._fresh_x())
+                self.code.append(Instr(Op.UNIFY_VARIABLE, temp))
+                queue.append((sub, temp))
+
+    # -- body compilation --------------------------------------------------------------
+
+    def _compile_call(self, goal: Term, needs_env: bool, tail: bool) -> None:
+        name, args = _goal_parts(goal)
+        for i, arg in enumerate(args):
+            self._compile_put(arg, i, tail)
+        if tail:
+            if needs_env:
+                self.code.append(Instr(Op.DEALLOCATE))
+            self.code.append(Instr(Op.EXECUTE, (name, len(args))))
+        else:
+            self.code.append(Instr(Op.CALL, (name, len(args))))
+            # A call ends the lifetime of every temporary register.
+            self.temps.clear()
+
+    def _compile_builtin(self, goal: Term) -> None:
+        if isinstance(goal, Var):
+            descriptor = self.builtin_table[("call", 1)]
+            slot = self._var_slot(goal.name)
+            self.code.append(Instr(Op.PUT_VALUE, slot, 0))
+            self.code.append(Instr(Op.BUILTIN, descriptor, 1))
+            return
+        name, args = _goal_parts(goal)
+        descriptor = self.builtin_table[(name, len(args))]
+        if self._is_meta(goal):
+            for i, arg in enumerate(args):
+                self._compile_put(arg, i, tail=False)
+            self.code.append(Instr(Op.BUILTIN, descriptor, len(args)))
+            self.temps.clear()   # control transfer ends temp lifetimes
+            return
+        if (name, len(args)) in ARITH_FASTCODE:
+            specs = list(args)
+            if name == "is" and isinstance(args[0], Var) \
+                    and args[0].name not in self.seen:
+                # Fresh result variable: unconditional assignment (safe
+                # across re-execution after backtracking).
+                slot = self._var_slot(args[0].name)
+                self.seen.add(args[0].name)
+                target_spec = ("fv", slot)
+                rhs = self._expression_spec(args[1])
+                if rhs is not None:
+                    self.code.append(Instr(Op.BUILTIN_ARITH, descriptor,
+                                           (target_spec, rhs)))
+                    return
+            else:
+                compiled = tuple(self._expression_spec(arg) for arg in args)
+                if all(spec is not None for spec in compiled):
+                    self.code.append(Instr(Op.BUILTIN_ARITH, descriptor,
+                                           compiled))
+                    return
+        for i, arg in enumerate(args):
+            self._compile_put(arg, i, tail=False)
+        self.code.append(Instr(Op.BUILTIN, descriptor, len(args)))
+
+    def _expression_spec(self, term: Term):
+        """Compile an arithmetic argument to an inline expression tree:
+        ints stay ints, variables become ("v", slot) (marking them seen,
+        creating fresh slots for result variables), operators become
+        ("op", name, subspecs).  Returns None for non-arithmetic shapes
+        (atoms, lists), falling back to the generic builtin path."""
+        if isinstance(term, int):
+            return term
+        if isinstance(term, Var):
+            slot = self._var_slot(term.name)
+            self.seen.add(term.name)
+            return ("v", slot)
+        if isinstance(term, Struct) and not is_cons(term):
+            subs = tuple(self._expression_spec(a) for a in term.args)
+            if any(s is None for s in subs):
+                return None
+            return ("op", term.functor, subs)
+        return None
+
+    def _compile_put(self, arg: Term, areg: int, tail: bool) -> None:
+        if isinstance(arg, Var):
+            slot = self._var_slot(arg.name)
+            if arg.name not in self.seen:
+                self.seen.add(arg.name)
+                self.code.append(Instr(Op.PUT_VARIABLE, slot, areg))
+            elif tail and slot[0] == Y:
+                self.code.append(Instr(Op.PUT_UNSAFE_VALUE, slot, areg))
+            else:
+                self.code.append(Instr(Op.PUT_VALUE, slot, areg))
+            return
+        if isinstance(arg, int):
+            self.code.append(Instr(Op.PUT_CONSTANT, arg, areg))
+            return
+        if isinstance(arg, Atom):
+            if is_nil(arg):
+                self.code.append(Instr(Op.PUT_NIL, areg))
+            else:
+                self.code.append(Instr(Op.PUT_CONSTANT, arg.name, areg))
+            return
+        assert isinstance(arg, Struct)
+        self._put_compound(arg, areg)
+
+    def _put_compound(self, term: Struct, where: tuple[str, int] | int) -> None:
+        """Build a compound bottom-up: nested compounds into fresh temps."""
+        prepared: list[object] = []
+        for sub in term.args:
+            if isinstance(sub, Struct):
+                temp = (X, self._fresh_x())
+                self._put_compound(sub, temp)
+                prepared.append(("temp", temp))
+            else:
+                prepared.append(("plain", sub))
+        if is_cons(term):
+            self.code.append(Instr(Op.PUT_LIST, where))
+        else:
+            self.code.append(Instr(Op.PUT_STRUCTURE, (term.functor, term.arity), where))
+        for kind, value in prepared:
+            if kind == "temp":
+                self.code.append(Instr(Op.UNIFY_VALUE, value))
+                continue
+            sub = value
+            if isinstance(sub, Var):
+                slot = self._var_slot(sub.name)
+                if sub.name in self.seen:
+                    if slot[0] == Y:
+                        self.code.append(Instr(Op.UNIFY_LOCAL_VALUE, slot))
+                    else:
+                        self.code.append(Instr(Op.UNIFY_VALUE, slot))
+                else:
+                    self.seen.add(sub.name)
+                    self.code.append(Instr(Op.UNIFY_VARIABLE, slot))
+            elif isinstance(sub, int):
+                self.code.append(Instr(Op.UNIFY_CONSTANT, sub))
+            elif is_nil(sub):
+                self.code.append(Instr(Op.UNIFY_NIL))
+            else:
+                assert isinstance(sub, Atom)
+                self.code.append(Instr(Op.UNIFY_CONSTANT, sub.name))
+
+
+def _goal_parts(goal: Term) -> tuple[str, tuple[Term, ...]]:
+    if isinstance(goal, Atom):
+        return goal.name, ()
+    if isinstance(goal, Struct):
+        return goal.functor, goal.args
+    raise PrologSyntaxError(f"invalid goal {goal!r}")
+
+
+# ---------------------------------------------------------------------------
+# Procedure assembly with first-argument indexing
+# ---------------------------------------------------------------------------
+
+
+def assemble_procedure(proc: CompiledProcedure) -> None:
+    """(Re)build a procedure's entry code with indexing.
+
+    Layout: [entry dispatch][chains][clause code...].  All branch
+    targets are absolute indices into ``proc.code``.
+    """
+    clauses = proc.clauses
+    code: list[Instr] = []
+
+    def emit_chain(targets: list[int]) -> int:
+        """Emit a try/retry/trust chain over clause body addresses."""
+        if len(targets) == 1:
+            return targets[0]
+        at = len(code)
+        code.append(Instr(Op.TRY, targets[0]))
+        for target in targets[1:-1]:
+            code.append(Instr(Op.RETRY, target))
+        code.append(Instr(Op.TRUST, targets[-1]))
+        return at
+
+    # First pass: lay out clause bodies after a reserved dispatch region.
+    # We build dispatch lazily by emitting clause code first into a side
+    # list, then the dispatch, then fixing offsets.
+    bodies: list[list[Instr]] = [c.code for c in clauses]
+
+    indexable = (proc.arity >= 1
+                 and len(clauses) > 1
+                 and all(c.first_arg_kind != KIND_VAR for c in clauses))
+
+    # Compute dispatch size by generating with placeholder targets, then
+    # regenerate once real offsets are known.  Simpler: emit bodies first
+    # at the *end*, entry at the start, using a two-phase approach.
+    dispatch: list[Instr] = []
+    body_offsets: list[int] = []
+
+    def layout(dispatch_length: int) -> None:
+        body_offsets.clear()
+        cursor = dispatch_length
+        for body in bodies:
+            body_offsets.append(cursor)
+            cursor += len(body)
+
+    # Build dispatch given body_offsets; returns instruction list.
+    def generate() -> list[Instr]:
+        nonlocal code
+        code = []
+        if not indexable:
+            if len(clauses) > 1:
+                emit_chain(body_offsets)
+        else:
+            # Buckets
+            const_buckets: dict[object, list[int]] = {}
+            list_targets: list[int] = []
+            struct_buckets: dict[object, list[int]] = {}
+            for i, clause in enumerate(clauses):
+                if clause.first_arg_kind == KIND_CONST:
+                    const_buckets.setdefault(clause.first_arg_key, []).append(body_offsets[i])
+                elif clause.first_arg_kind == KIND_LIST:
+                    list_targets.append(body_offsets[i])
+                else:
+                    struct_buckets.setdefault(clause.first_arg_key, []).append(body_offsets[i])
+            # Reserve slot 0 for switch_on_term; chains follow.
+            code.append(Instr(Op.NOOP))  # placeholder, patched below
+            var_at = emit_chain(body_offsets)
+            const_table = {}
+            for key, targets in const_buckets.items():
+                const_table[key] = emit_chain(targets)
+            struct_table = {}
+            for key, targets in struct_buckets.items():
+                struct_table[key] = emit_chain(targets)
+            list_at = emit_chain(list_targets) if list_targets else -1
+            const_at = -1
+            if const_table:
+                const_at = len(code)
+                code.append(Instr(Op.SWITCH_ON_CONSTANT, const_table))
+            struct_at = -1
+            if struct_table:
+                struct_at = len(code)
+                code.append(Instr(Op.SWITCH_ON_STRUCTURE, struct_table))
+            code[0] = Instr(Op.SWITCH_ON_TERM, var_at, const_at, list_at, struct_at)
+        return code
+
+    # Iterate to a fixed point on dispatch length (it converges in two
+    # rounds because chain shapes depend only on clause counts).
+    layout(0)
+    dispatch = generate()
+    previous_length = -1
+    while len(dispatch) != previous_length:
+        previous_length = len(dispatch)
+        layout(previous_length)
+        dispatch = generate()
+
+    final_code = list(dispatch)
+    for body in bodies:
+        final_code.extend(body)
+    proc.code = final_code
+    proc.entry = 0
+    proc.dirty = False

@@ -1,0 +1,77 @@
+"""Disassembler for compiled WAM procedures.
+
+Renders the instruction stream the compiler produced — dispatch tables,
+try/retry/trust chains, clause bodies — with resolved jump targets, the
+way DEC-10 Prolog's ``listing``-with-code tools did.  Used for
+debugging compilations and by the compiler tests.
+"""
+
+from __future__ import annotations
+
+from repro.baseline.compiler import CompiledProcedure
+from repro.baseline.isa import Instr, Op
+
+_JUMPS = {Op.TRY, Op.RETRY, Op.TRUST}
+
+
+def _operand(value) -> str:
+    if isinstance(value, tuple) and len(value) == 2 \
+            and value[0] in ("x", "y"):
+        return f"{value[0].upper()}{value[1]}"
+    if isinstance(value, tuple) and len(value) == 2 \
+            and isinstance(value[0], str):
+        return f"{value[0]}/{value[1]}"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{_operand(k)}->L{v}" for k, v in value.items())
+        return "{" + inner + "}"
+    if hasattr(value, "indicator"):   # builtin descriptor
+        name, arity = value.indicator
+        return f"<{name}/{arity}>"
+    return repr(value)
+
+
+def disassemble_instr(instr: Instr, index: int | None = None) -> str:
+    """One instruction as text; jump targets rendered as L<n>."""
+    op = instr[0]
+    parts = []
+    for position, value in enumerate(instr[1:], start=1):
+        if op in _JUMPS and position == 1:
+            parts.append(f"L{value}")
+        elif op is Op.SWITCH_ON_TERM:
+            parts.append(f"L{value}" if isinstance(value, int) and value >= 0
+                         else "fail")
+        else:
+            parts.append(_operand(value))
+    text = op.name.lower() + (" " + ", ".join(parts) if parts else "")
+    if index is not None:
+        return f"L{index:<4} {text}"
+    return text
+
+
+def disassemble(proc: CompiledProcedure) -> str:
+    """Full listing of a procedure's code with label column."""
+    header = (f"% {proc.functor}/{proc.arity}: "
+              f"{len(proc.clauses)} clause(s), {len(proc.code)} instructions")
+    lines = [header]
+    targets = set()
+    for instr in proc.code:
+        if instr[0] in _JUMPS:
+            targets.add(instr[1])
+        elif instr[0] is Op.SWITCH_ON_TERM:
+            targets.update(v for v in instr[1:] if isinstance(v, int) and v >= 0)
+        elif instr[0] in (Op.SWITCH_ON_CONSTANT, Op.SWITCH_ON_STRUCTURE):
+            targets.update(instr[1].values())
+    for index, instr in enumerate(proc.code):
+        marker = ">" if index in targets else " "
+        lines.append(f"{marker} {disassemble_instr(instr, index)}")
+    return "\n".join(lines)
+
+
+def disassemble_machine(machine) -> str:
+    """Listing of every user procedure in a machine, sorted by name."""
+    sections = []
+    for key in sorted(machine.procedures):
+        if key[0].startswith("$"):
+            continue
+        sections.append(disassemble(machine.procedures[key]))
+    return "\n\n".join(sections)

@@ -1,0 +1,165 @@
+"""WAM-style instruction set and the DEC-2060 cost model.
+
+The paper's baseline is "DEC-10 Prolog compiled code on the DEC-2060"
+with mode and fast-code declarations.  DEC-10 Prolog's compiled
+execution model is the direct ancestor of Warren's Abstract Machine, so
+the baseline engine is a WAM: compiled head unification (get/unify
+instructions), argument setup (put instructions), environment
+allocation with last-call optimisation, and — crucially for Table 1 —
+**first-argument clause indexing** (``switch_on_term`` etc.), the
+"close indexing method" the paper credits for DEC's wins on
+deterministic list code like NREVERSE.
+
+Costs are nanoseconds per instruction on the modelled DEC-2060,
+calibrated once so that NREVERSE(30) lands near the paper's 9.48 ms
+(≈ 52 KLIPS) and then frozen; see EXPERIMENTS.md.  ``unify_*`` costs in
+write mode and general unification are charged by the emulator through
+the ``dynamic`` entries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class Op(Enum):
+    # head (get) instructions
+    GET_VARIABLE = auto()     # Vn, Ai
+    GET_VALUE = auto()        # Vn, Ai
+    GET_CONSTANT = auto()     # const, Ai
+    GET_NIL = auto()          # Ai
+    GET_LIST = auto()         # Ai
+    GET_STRUCTURE = auto()    # (name, arity), Ai
+    # unify instructions (head structure args / write mode)
+    UNIFY_VARIABLE = auto()   # Vn
+    UNIFY_VALUE = auto()      # Vn
+    UNIFY_LOCAL_VALUE = auto()
+    UNIFY_CONSTANT = auto()   # const
+    UNIFY_NIL = auto()
+    UNIFY_VOID = auto()       # n
+    # body (put) instructions
+    PUT_VARIABLE = auto()     # Vn, Ai   (fresh; Y variant allocates heap cell)
+    PUT_VALUE = auto()        # Vn, Ai
+    PUT_UNSAFE_VALUE = auto()  # Yn, Ai
+    PUT_CONSTANT = auto()     # const, Ai
+    PUT_NIL = auto()          # Ai
+    PUT_LIST = auto()         # Ai
+    PUT_STRUCTURE = auto()    # (name, arity), Ai
+    # control
+    ALLOCATE = auto()         # n permanent variables
+    DEALLOCATE = auto()
+    CALL = auto()             # (name, arity)
+    EXECUTE = auto()          # (name, arity)
+    PROCEED = auto()
+    # choice
+    TRY_ME_ELSE = auto()      # label
+    RETRY_ME_ELSE = auto()    # label
+    TRUST_ME = auto()
+    TRY = auto()              # label
+    RETRY = auto()            # label
+    TRUST = auto()            # label
+    # indexing
+    SWITCH_ON_TERM = auto()   # (var_l, const_l, list_l, struct_l)
+    SWITCH_ON_CONSTANT = auto()  # {const: label}, default
+    SWITCH_ON_STRUCTURE = auto()  # {(name,arity): label}, default
+    # cut
+    NECK_CUT = auto()
+    GET_LEVEL = auto()        # Yn
+    CUT = auto()              # Yn
+    # builtins / misc
+    BUILTIN = auto()          # descriptor, nargs
+    BUILTIN_ARITH = auto()    # descriptor, arg_specs (fast-code arithmetic)
+    FAIL = auto()
+    NOOP = auto()             # label placeholder
+
+
+#: Registers: ("x", n) temporaries / argument registers, ("y", n) permanents.
+X = "x"
+Y = "y"
+
+
+class Instr(tuple):
+    """One instruction: (Op, operands...).  Tuple subclass: cheap, hashable."""
+
+    __slots__ = ()
+
+    def __new__(cls, op: Op, *operands):
+        return super().__new__(cls, (op, *operands))
+
+    @property
+    def op(self) -> Op:
+        return self[0]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(repr(x) for x in self[1:])
+        return f"{self[0].name.lower()}({parts})"
+
+
+# ---------------------------------------------------------------------------
+# DEC-2060 cost model (nanoseconds per instruction execution).
+#
+# The values below are the frozen result of the calibration fit in
+# scripts/fit_dec_costs.py against the paper's Table 1 ratios (see
+# EXPERIMENTS.md).  Their structure: register moves and indexed control
+# transfer are cheap; structure unification (get_structure, get_value,
+# unify_local_value, the general unifier) is expensive — this is the
+# term the paper's "performance of the structure unification falls
+# down" remark lives in — while fast-code arithmetic is cheap, which is
+# why DEC wins arithmetic-and-list programs but loses the
+# structure-and-backtracking applications.
+# ---------------------------------------------------------------------------
+
+COSTS_NS: dict[Op, int] = {
+    Op.GET_VARIABLE: 756,
+    Op.GET_VALUE: 9384,
+    Op.GET_CONSTANT: 1620,
+    Op.GET_NIL: 1512,
+    Op.GET_LIST: 1944,
+    Op.GET_STRUCTURE: 13247,
+    Op.UNIFY_VARIABLE: 1188,
+    Op.UNIFY_VALUE: 2280,
+    Op.UNIFY_LOCAL_VALUE: 11592,
+    Op.UNIFY_CONSTANT: 1620,
+    Op.UNIFY_NIL: 1512,
+    Op.UNIFY_VOID: 1080,
+    Op.PUT_VARIABLE: 1092,
+    Op.PUT_VALUE: 756,
+    Op.PUT_UNSAFE_VALUE: 1596,
+    Op.PUT_CONSTANT: 1080,
+    Op.PUT_NIL: 1080,
+    Op.PUT_LIST: 1512,
+    Op.PUT_STRUCTURE: 11040,
+    Op.ALLOCATE: 1847,
+    Op.DEALLOCATE: 1428,
+    Op.CALL: 2688,
+    Op.EXECUTE: 2184,
+    Op.PROCEED: 1260,
+    Op.TRY_ME_ELSE: 4320,
+    Op.RETRY_ME_ELSE: 3600,
+    Op.TRUST_ME: 3120,
+    Op.TRY: 4320,
+    Op.RETRY: 3600,
+    Op.TRUST: 3120,
+    Op.SWITCH_ON_TERM: 1092,
+    Op.SWITCH_ON_CONSTANT: 1344,
+    Op.SWITCH_ON_STRUCTURE: 8832,
+    Op.NECK_CUT: 1440,
+    Op.GET_LEVEL: 960,
+    Op.CUT: 2160,
+    Op.BUILTIN: 4320,
+    Op.BUILTIN_ARITH: 2520,
+    Op.FAIL: 1440,
+    Op.NOOP: 0,
+}
+
+#: Extra dynamic costs the emulator charges per event (ns).
+DYNAMIC_COSTS_NS = {
+    "general_unify_node": 14351,       # per node pair handled by the general unifier
+    "deref_step": 600,         # per reference chased
+    "trail_entry": 840,         # per conditional trail push
+    "untrail_entry": 960,         # per binding undone on backtracking
+    "backtrack": 3360,        # per failure handled
+    "heap_cell": 648,         # per heap cell written in write mode
+    "builtin_step": 2700,        # per unit of builtin internal work
+    "arith_node": 2340,        # per arithmetic expression node
+}

@@ -1,0 +1,16 @@
+"""The PSI machine model: tagged words, memory areas, microinstruction
+accounting, work file, KL0 code, builtins and the interpreter itself."""
+
+from repro.core.machine import MachineConfig, PSIMachine, Solution, Solver
+from repro.core.memory import Area, MemorySystem, TraceRecorder, decode_address, encode_address
+from repro.core.micro import BranchOp, CacheCmd, Module, WFMode
+from repro.core.stats import NullStats, StatsCollector
+from repro.core.words import SymbolTable, Tag
+
+__all__ = [
+    "PSIMachine", "MachineConfig", "Solution", "Solver",
+    "Area", "MemorySystem", "TraceRecorder", "encode_address", "decode_address",
+    "Module", "CacheCmd", "WFMode", "BranchOp",
+    "StatsCollector", "NullStats",
+    "SymbolTable", "Tag",
+]

@@ -1,0 +1,520 @@
+"""KL0 instruction code: compiled clause representation and loader.
+
+The PSI keeps "machine-resident expressions of KL0 programs
+(instruction code)" in the heap area; the microprogrammed interpreter
+walks that code.  This module compiles source clauses (term ASTs from
+:mod:`repro.prolog`) into
+
+* :class:`CTerm` trees — one node per code word, each carrying the heap
+  address the node was serialised to, so the interpreter's walk
+  produces genuine heap-area instruction fetches (the dominant heap
+  traffic in the paper's Table 4);
+* :class:`Clause`/:class:`Procedure` objects with the variable
+  classification the execution model needs (local vs global vs void,
+  first occurrences, unsafe variables globalised).
+
+Control constructs (``;``, ``->``, ``\\+``) are expanded into auxiliary
+predicates at load time, so the engine core only ever sees plain
+conjunctions, cut, user calls and builtins.  A cut inside a
+disjunction is local to the construct (as in ISO ``\\+``), which every
+bundled workload respects.
+
+Argument packing: the paper notes "up to four 8-bit arguments are
+packed into one word in order to reduce memory consumption".  The
+serialiser packs runs of small integer constants (0..255) four to a
+word; the interpreter decodes them with the ``case (irn)`` multi-way
+branch, which is how those branches show up in Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.terms import Atom, Struct, Term, Var
+from repro.prolog.transform import ControlExpander, FlatClause, TransformResult
+from repro.core.memory import Area, encode_address
+from repro.core.words import NIL_WORD, SymbolTable, Tag, Word
+
+# ---------------------------------------------------------------------------
+# Code term nodes
+# ---------------------------------------------------------------------------
+
+
+class CTerm:
+    """Base class for instruction-code term nodes."""
+
+    __slots__ = ("addr", "packed")
+
+    def __init__(self) -> None:
+        self.addr = -1       # heap offset, assigned by the serialiser
+        self.packed = False  # True when sharing a packed-argument word
+
+
+class CConst(CTerm):
+    """A constant: atom, integer or nil, as a ready-made word."""
+
+    __slots__ = ("word",)
+
+    def __init__(self, word: Word):
+        super().__init__()
+        self.word = word
+
+    def __repr__(self) -> str:
+        return f"CConst({self.word})"
+
+
+class CVar(CTerm):
+    """A clause variable occurrence."""
+
+    __slots__ = ("name", "slot", "is_global", "is_first")
+
+    def __init__(self, name: str, slot: int, is_global: bool, is_first: bool):
+        super().__init__()
+        self.name = name
+        self.slot = slot
+        self.is_global = is_global
+        self.is_first = is_first
+
+    def __repr__(self) -> str:
+        kind = "G" if self.is_global else "L"
+        first = "'" if self.is_first else ""
+        return f"CVar({self.name}:{kind}{self.slot}{first})"
+
+
+class CVoid(CTerm):
+    """A variable occurring exactly once in its clause."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "CVoid()"
+
+
+class CList(CTerm):
+    """A list cell in code: ``[Head|Tail]``."""
+
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head: CTerm, tail: CTerm):
+        super().__init__()
+        self.head = head
+        self.tail = tail
+
+    def __repr__(self) -> str:
+        return f"CList({self.head!r}, {self.tail!r})"
+
+
+class CStruct(CTerm):
+    """A compound term in code."""
+
+    __slots__ = ("functor_id", "name", "args")
+
+    def __init__(self, functor_id: int, name: str, args: tuple[CTerm, ...]):
+        super().__init__()
+        self.functor_id = functor_id
+        self.name = name
+        self.args = args
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return f"CStruct({self.name}/{len(self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Goals
+# ---------------------------------------------------------------------------
+
+
+class Goal:
+    """Base class for compiled body goals."""
+
+    __slots__ = ("args", "addr", "is_last")
+
+    def __init__(self, args: tuple[CTerm, ...]):
+        self.args = args
+        self.addr = -1
+        self.is_last = False
+
+
+class CallGoal(Goal):
+    """A call to a user-defined predicate."""
+
+    __slots__ = ("functor", "arity", "proc")
+
+    def __init__(self, functor: str, arity: int, args: tuple[CTerm, ...]):
+        super().__init__(args)
+        self.functor = functor
+        self.arity = arity
+        self.proc: Procedure | None = None  # resolved lazily at first call
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return (self.functor, self.arity)
+
+    def __repr__(self) -> str:
+        return f"CallGoal({self.functor}/{self.arity})"
+
+
+class BuiltinGoal(Goal):
+    """A call to a builtin (microcoded) predicate."""
+
+    __slots__ = ("name", "builtin")
+
+    def __init__(self, name: str, arity: int, args: tuple[CTerm, ...], builtin):
+        super().__init__(args)
+        self.name = name
+        self.builtin = builtin
+
+    def __repr__(self) -> str:
+        return f"BuiltinGoal({self.name}/{len(self.args)})"
+
+
+class CutGoal(Goal):
+    """The cut operator."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+    def __repr__(self) -> str:
+        return "CutGoal()"
+
+
+# ---------------------------------------------------------------------------
+# Clauses and procedures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Clause:
+    functor: str
+    arity: int
+    head_args: tuple[CTerm, ...]
+    body: tuple[Goal, ...]
+    nlocals: int
+    nglobals: int
+    local_names: tuple[str, ...]
+    global_names: tuple[str, ...]
+    heap_base: int = -1
+    heap_size: int = 0
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return (self.functor, self.arity)
+
+    def __repr__(self) -> str:
+        return f"Clause({self.functor}/{self.arity}, {len(self.body)} goals)"
+
+
+@dataclass
+class Procedure:
+    functor: str
+    arity: int
+    clauses: list[Clause] = field(default_factory=list)
+    descriptor_base: int = -1  # heap address of the clause-address table
+    is_auxiliary: bool = False
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return (self.functor, self.arity)
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.functor}/{self.arity}, {len(self.clauses)} clauses)"
+
+
+# ---------------------------------------------------------------------------
+# Variable classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _VarInfo:
+    occurrences: int = 0
+    nested: bool = False          # occurs inside a compound term
+    last_goal_top: bool = False   # occurs at top level of the last user-call goal
+    slot: int = -1
+    is_global: bool = False
+    seen: bool = False            # for first-occurrence marking during build
+
+
+def _scan_term(term: Term, info: dict[str, _VarInfo], nested: bool) -> None:
+    if isinstance(term, Var):
+        entry = info.setdefault(term.name, _VarInfo())
+        entry.occurrences += 1
+        entry.nested = entry.nested or nested
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _scan_term(arg, info, True)
+
+
+# ---------------------------------------------------------------------------
+# Program: compiler + loader
+# ---------------------------------------------------------------------------
+
+_CONTROL_FUNCTORS = {(";", 2), ("->", 2), ("\\+", 1), ("not", 1), (",", 2)}
+
+
+class Program:
+    """A loaded KL0 program: procedures plus heap-resident code.
+
+    ``builtin_table`` maps ``(name, arity)`` to builtin descriptors; it
+    is supplied by the machine (see :mod:`repro.core.builtins`) so this
+    module stays independent of the builtin implementations.
+    """
+
+    def __init__(self, symbols: SymbolTable, builtin_table: dict):
+        self.symbols = symbols
+        self.builtin_table = builtin_table
+        self.procedures: dict[tuple[str, int], Procedure] = {}
+        self._expander = ControlExpander()
+
+    # -- public API ----------------------------------------------------------
+
+    def add_clause(self, term: Term) -> Clause:
+        """Compile one source clause term and register it (plus any
+        auxiliary predicates its control constructs expand into)."""
+        result = TransformResult()
+        main = self._expander.expand_clause(term, result)
+        compiled = None
+        for flat in result.clauses:
+            clause = self._compile_flat(flat)
+            if flat is main:
+                compiled = clause
+        for indicator in result.auxiliary:
+            self.procedures[indicator].is_auxiliary = True
+        assert compiled is not None
+        return compiled
+
+    def add_program(self, terms) -> list[Clause]:
+        return [self.add_clause(term) for term in terms]
+
+    def _compile_flat(self, flat: FlatClause) -> Clause:
+        functor, _arity = flat.indicator
+        return self._compile_clause(functor, flat.head_args, list(flat.body))
+
+    def procedure(self, functor: str, arity: int) -> Procedure | None:
+        return self.procedures.get((functor, arity))
+
+    # -- clause compilation ------------------------------------------------------
+
+    def _compile_clause(self, functor: str, head_args: tuple[Term, ...],
+                        body_goals: list[Term]) -> Clause:
+        # Pass 1: classify variables.  Variables nested inside compound
+        # terms are global (their cells live on the global stack); plain
+        # top-level variables are local frame slots.  Unsafe locals
+        # passed at a TRO'd last call are globalised *at runtime* by the
+        # machine (the DEC-10 method), not here.
+        info: dict[str, _VarInfo] = {}
+        for arg in head_args:
+            _scan_term(arg, info, False)
+        goal_args: list[tuple[Term, ...]] = []
+        goal_kinds: list[str] = []
+        for goal in body_goals:
+            kind, args = self._goal_shape(goal)
+            goal_kinds.append(kind)
+            goal_args.append(args)
+            for arg in args:
+                _scan_term(arg, info, False)
+
+        locals_: list[str] = []
+        globals_: list[str] = []
+        for name, entry in info.items():
+            if entry.occurrences == 1 and not entry.nested:
+                entry.slot = -2  # void
+            elif entry.nested:
+                entry.is_global = True
+                entry.slot = len(globals_)
+                globals_.append(name)
+            else:
+                entry.slot = len(locals_)
+                locals_.append(name)
+
+        # Pass 2: build code terms with first-occurrence flags.
+        compiled_head = tuple(self._build(arg, info) for arg in head_args)
+        compiled_body: list[Goal] = []
+        for goal, kind, args in zip(body_goals, goal_kinds, goal_args):
+            compiled_body.append(self._build_goal(goal, kind, args, info))
+        if compiled_body:
+            compiled_body[-1].is_last = True
+
+        clause = Clause(
+            functor=functor,
+            arity=len(head_args),
+            head_args=compiled_head,
+            body=tuple(compiled_body),
+            nlocals=len(locals_),
+            nglobals=len(globals_),
+            local_names=tuple(locals_),
+            global_names=tuple(globals_),
+        )
+        proc = self.procedures.setdefault(
+            (functor, len(head_args)), Procedure(functor, len(head_args)))
+        proc.clauses.append(clause)
+        return clause
+
+    def _goal_shape(self, goal: Term) -> tuple[str, tuple[Term, ...]]:
+        """Classify a (control-expanded) body goal and expose its arguments."""
+        if isinstance(goal, Atom):
+            name, args = goal.name, ()
+        elif isinstance(goal, Struct):
+            name, args = goal.functor, goal.args
+        elif isinstance(goal, Var):
+            # A variable goal is a meta-call: call(G).
+            return "builtin", (goal,)
+        else:
+            raise PrologSyntaxError(f"invalid goal: {goal!r}")
+        if name == "!" and not args:
+            return "cut", ()
+        if (name, len(args)) in self.builtin_table:
+            return "builtin", tuple(args)
+        return "call", tuple(args)
+
+    def _build_goal(self, goal: Term, kind: str, args: tuple[Term, ...],
+                    info: dict[str, _VarInfo]) -> Goal:
+        compiled = tuple(self._build(arg, info) for arg in args)
+        if kind == "cut":
+            return CutGoal()
+        if isinstance(goal, Var):
+            builtin = self.builtin_table[("call", 1)]
+            return BuiltinGoal("call", 1, compiled, builtin)
+        name = goal.name if isinstance(goal, Atom) else goal.functor
+        if kind == "builtin":
+            return BuiltinGoal(name, len(args), compiled,
+                               self.builtin_table[(name, len(args))])
+        return CallGoal(name, len(args), compiled)
+
+    def _build(self, term: Term, info: dict[str, _VarInfo]) -> CTerm:
+        if isinstance(term, int):
+            return CConst((Tag.INT, term))
+        if isinstance(term, Atom):
+            if term.name == "[]":
+                return CConst(NIL_WORD)
+            return CConst((Tag.ATOM, self.symbols.atom(term.name)))
+        if isinstance(term, Var):
+            entry = info[term.name]
+            if entry.slot == -2:
+                return CVoid()
+            is_first = not entry.seen
+            entry.seen = True
+            return CVar(term.name, entry.slot, entry.is_global, is_first)
+        assert isinstance(term, Struct)
+        if term.functor == "." and term.arity == 2:
+            return CList(self._build(term.args[0], info),
+                         self._build(term.args[1], info))
+        functor_id = self.symbols.functor(term.functor, term.arity)
+        args = tuple(self._build(arg, info) for arg in term.args)
+        return CStruct(functor_id, term.functor, args)
+
+
+# ---------------------------------------------------------------------------
+# Heap serialisation
+# ---------------------------------------------------------------------------
+
+
+class CodeSerializer:
+    """Lays program code out in the heap area, assigning node addresses.
+
+    One word per code node, in pre-order (the interpreter's walk order,
+    so instruction fetch is mostly sequential).  Runs of small integer
+    constants in argument position share packed words (up to four per
+    word).  Loading itself is not billed as machine traffic — it models
+    the machine's program loader, not the interpreter.
+    """
+
+    PACK_LIMIT = 4
+
+    def __init__(self, mem):
+        self.mem = mem
+
+    def load_procedure(self, proc: Procedure) -> None:
+        """Serialise every not-yet-loaded clause of ``proc`` and (re)build
+        its descriptor table (1 header word + 1 word per clause)."""
+        for clause in proc.clauses:
+            if clause.heap_base < 0:
+                self._load_clause(clause)
+        base = self.mem.grow(Area.HEAP, len(proc.clauses) + 1)
+        self.mem.poke(Area.HEAP, base, (Tag.INT, len(proc.clauses)))
+        for i, clause in enumerate(proc.clauses):
+            self.mem.poke(Area.HEAP, base + 1 + i,
+                          (Tag.REF, encode_address(Area.HEAP, clause.heap_base)))
+        proc.descriptor_base = base
+
+    def _load_clause(self, clause: Clause) -> None:
+        nodes: list[tuple[CTerm | Goal, Word]] = []
+        self._collect_clause(clause, nodes)
+        base = self.mem.grow(Area.HEAP, 0)
+        cursor = base
+        # Packing state: the current packed word's address and how many
+        # 8-bit operands it holds.  Interior nodes (list cells, structure
+        # headers, goal headers) do not interrupt a packing run — the
+        # loader compacts small operands across them; any other leaf
+        # (variable, atom, large integer) ends the run.
+        pack_addr = -1
+        pack_fill = 0
+        for node, word in nodes:
+            # 8-bit packable operands: small integer constants and
+            # variable slot numbers (all slots fit in 8 bits).
+            packable = ((word[0] == Tag.INT and 0 <= word[1] <= 255
+                         and isinstance(node, CConst))
+                        or isinstance(node, (CVar, CVoid)))
+            if packable:
+                if 0 < pack_fill < self.PACK_LIMIT:
+                    node.addr = pack_addr
+                    node.packed = True
+                    pack_fill += 1
+                    continue
+                pack_addr = cursor
+                pack_fill = 1
+            elif not isinstance(node, (CList, CStruct, Goal, _HeaderNode)):
+                pack_fill = 0
+            node.addr = cursor
+            self.mem.grow(Area.HEAP, 1)
+            self.mem.poke(Area.HEAP, cursor, word)
+            cursor += 1
+        clause.heap_base = base
+        clause.heap_size = cursor - base
+
+    def _collect_clause(self, clause: Clause, out: list) -> None:
+        # Clause header: its functor descriptor.
+        header = _HeaderNode()
+        out.append((header, (Tag.FUNC, 0)))
+        for arg in clause.head_args:
+            self._collect_term(arg, out)
+        for goal in clause.body:
+            self._collect_goal(goal, out)
+
+    def _collect_goal(self, goal: Goal, out: list) -> None:
+        out.append((goal, (Tag.FUNC, 0)))
+        for arg in goal.args:
+            self._collect_term(arg, out)
+
+    def _collect_term(self, term: CTerm, out: list) -> None:
+        if isinstance(term, CConst):
+            out.append((term, term.word))
+        elif isinstance(term, (CVar, CVoid)):
+            out.append((term, (Tag.UNDEF, 0)))
+        elif isinstance(term, CList):
+            out.append((term, (Tag.LIST, 0)))
+            self._collect_term(term.head, out)
+            self._collect_term(term.tail, out)
+        elif isinstance(term, CStruct):
+            out.append((term, (Tag.STRUCT, term.functor_id)))
+            for arg in term.args:
+                self._collect_term(arg, out)
+        else:
+            raise TypeError(f"unexpected code node {term!r}")
+
+
+class _HeaderNode:
+    """Placeholder owner for clause/goal header words."""
+
+    __slots__ = ("addr", "packed")
+
+    def __init__(self) -> None:
+        self.addr = -1
+        self.packed = False

@@ -1,0 +1,1138 @@
+"""The PSI machine: a microprogram-level model of the KL0 interpreter.
+
+This is the paper's subject.  The execution method follows the DEC-10
+Prolog interpreter lineage the PSI used (§2.1): four stacks (local,
+global, control, trail) plus a heap holding instruction code; 10-word
+control frames for environments and choice points; tail recursion
+optimisation via a pair of 64-word frame buffers in the work file; no
+clause indexing (the paper credits the *DEC compiler* with indexing,
+one reason DEC wins on deterministic list code).
+
+Every primitive action emits its declared microroutine
+(:mod:`repro.core.micro`) into the stats collector under the active
+interpreter module, and every word of term data physically lives in the
+memory areas, so microstep counts, module ratios, cache commands,
+per-area traffic, work-file modes and branch operations are all
+emergent, measurable properties of real program executions.
+
+Deliberate deviations from the historical machine (documented in
+DESIGN.md): structure copying instead of DEC-10 structure sharing, and
+compile-time globalisation of unsafe variables instead of runtime
+globalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import micro
+from repro.core.builtins import BUILTIN_TABLE, Builtin
+from repro.core.code import (
+    BuiltinGoal,
+    CallGoal,
+    Clause,
+    CodeSerializer,
+    CConst,
+    CList,
+    CStruct,
+    CTerm,
+    CutGoal,
+    CVar,
+    CVoid,
+    Goal,
+    Procedure,
+    Program,
+)
+from repro.core.memory import AREA_SHIFT, Area, MemorySystem, OFFSET_MASK, encode_address
+from repro.core.micro import Module
+from repro.core.stats import StatsCollector
+from repro.core.words import SymbolTable, Tag
+from repro.core.workfile import WorkFile
+from repro.errors import ExistenceError, MachineError, ResourceLimitExceeded
+from repro.prolog.reader import parse_program, parse_term
+from repro.prolog.terms import Atom, Struct, Term, Var, term_variables
+
+_REF = Tag.REF
+_UNDEF = Tag.UNDEF
+_LOCAL = int(Area.LOCAL)
+_NO_CELLS: list[int] = []
+
+
+class Frame:
+    """A clause activation's local-variable frame.
+
+    Global-variable cells are allocated lazily on first occurrence
+    (``gcells`` holds -1 until then), so a failing head match does not
+    litter the global stack.
+    """
+
+    __slots__ = ("base", "nlocals", "gcells", "buffer_id")
+
+    def __init__(self, base: int, nlocals: int, nglobals: int):
+        self.base = base
+        self.nlocals = nlocals
+        self.gcells = [-1] * nglobals if nglobals else _NO_CELLS
+        self.buffer_id: int | None = None
+
+    @property
+    def buffered(self) -> bool:
+        return self.buffer_id is not None
+
+
+class Env:
+    """A clause activation record.
+
+    The resume position inside the *parent's* body is fixed at creation
+    (``parent_index``), exactly like the saved CP register in a WAM
+    environment frame; the machine's current position is the register
+    pair ``(cur_env, cur_index)``.  This keeps activations immutable so
+    choice points capture continuations by reference safely.
+    """
+
+    __slots__ = ("goals", "frame", "parent", "parent_index", "cut_barrier",
+                 "control_base")
+
+    def __init__(self, goals: tuple[Goal, ...], frame: Frame,
+                 parent: "Env | None", parent_index: int, cut_barrier: int):
+        self.goals = goals
+        self.frame = frame
+        self.parent = parent
+        self.parent_index = parent_index
+        self.cut_barrier = cut_barrier
+        self.control_base = -1  # control-stack frame position once saved
+
+
+class ChoicePoint:
+    """Backtracking state: a 10-word control frame plus shadow state."""
+
+    __slots__ = ("proc", "next_clause", "args", "parent_env", "parent_index",
+                 "trail_top", "global_top", "local_top", "control_base")
+
+    def __init__(self, proc: Procedure, next_clause: int, args: tuple,
+                 parent_env: Env | None, parent_index: int, trail_top: int,
+                 global_top: int, local_top: int, control_base: int):
+        self.proc = proc
+        self.next_clause = next_clause
+        self.args = args
+        self.parent_env = parent_env
+        self.parent_index = parent_index
+        self.trail_top = trail_top
+        self.global_top = global_top
+        self.local_top = local_top
+        self.control_base = control_base
+
+    @property
+    def control_top(self) -> int:
+        return self.control_base + CONTROL_FRAME_WORDS
+
+
+#: "The control stack contains 10-word control frames" (§2.1).
+CONTROL_FRAME_WORDS = 10
+#: Words re-read from a control frame when resuming / restoring.
+CONTROL_RESUME_READS = 4
+
+
+@dataclass
+class MachineConfig:
+    """Tunable limits and model parameters of a machine instance."""
+
+    max_calls: int = 50_000_000
+    word_limit: int = 1 << 22
+    #: extra interpreter bookkeeping steps charged per user-predicate call
+    #: (dispatch tables, event checks); a calibration lever for LIPS.
+    call_overhead_steps: int = 2
+
+
+class PSIMachine:
+    """A complete PSI: program store, interpreter state and accounting."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 stats: StatsCollector | None = None):
+        self.config = config or MachineConfig()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.symbols = SymbolTable()
+        self.mem = MemorySystem(self.stats, self.config.word_limit)
+        self.wf = WorkFile(self.stats)
+        self.program = Program(self.symbols, BUILTIN_TABLE)
+        self._serializer = CodeSerializer(self.mem)
+        # Interpreter state
+        self.cur_env: Env | None = None
+        self.cur_index = 0
+        self.cp_stack: list[ChoicePoint] = []
+        self.trail: list[int] = []
+        self.call_count = 0
+        # Builtin support state
+        self.output: list[str] = []
+        self.counters: dict[str, int] = {}
+        self.flags: dict[str, object] = {}
+        self._process_save_base = -1
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+
+    def consult(self, text: str) -> None:
+        """Parse and load a program (source text)."""
+        self.program.add_program(parse_program(text))
+        self._load_pending()
+
+    def add_clause_term(self, term: Term) -> None:
+        self.program.add_clause(term)
+        self._load_pending()
+
+    def _load_pending(self) -> None:
+        for proc in self.program.procedures.values():
+            if any(clause.heap_base < 0 for clause in proc.clauses) or \
+                    proc.descriptor_base < 0:
+                self._serializer.load_procedure(proc)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def solve(self, goal: str | Term) -> "Solver":
+        """Compile ``goal`` as a query and return a resumable solver."""
+        term = parse_term(goal) if isinstance(goal, str) else goal
+        variables = term_variables(term)
+        named = [v for v in variables if not v.is_anonymous]
+        self._query_counter += 1
+        name = f"$query_{self._query_counter}"
+        head: Term = Struct(name, tuple(named)) if named else Atom(name)
+        self.program.add_clause(Struct(":-", (head, term)))
+        self._load_pending()
+        return Solver(self, name, [v.name for v in named])
+
+    def run(self, goal: str | Term) -> "Solution | None":
+        """Convenience: first solution of ``goal`` (or None)."""
+        return self.solve(goal).next()
+
+    # ------------------------------------------------------------------
+    # Main interpreter loop
+    # ------------------------------------------------------------------
+
+    def _start(self, functor: str, arity: int, args: tuple) -> bool:
+        """Begin executing ``functor/arity`` with pre-built argument words."""
+        proc = self.program.procedure(functor, arity)
+        if proc is None:
+            raise ExistenceError(functor, arity)
+        self.cur_env = None
+        self.cp_stack.clear()
+        self.trail.clear()
+        self.wf.reset()
+        if not self._call_procedure(proc, args, parent_env=None, parent_index=0):
+            return self._backtrack_and_run()
+        return self._run()
+
+    def _run(self) -> bool:
+        """Drive execution until success (continuation empty) or failure."""
+        stats = self.stats
+        while True:
+            env = self.cur_env
+            if env is None:
+                return True
+            if self.cur_index >= len(env.goals):
+                self._proceed(env)
+                continue
+            goal = env.goals[self.cur_index]
+            self.cur_index += 1
+            stats.module = Module.CONTROL
+            stats.emit(micro.R_GOAL_FETCH)
+            self.mem.read(Area.HEAP, goal.addr)
+            kind = goal.__class__
+            if kind is CallGoal:
+                if not self._dispatch_call(goal, env):
+                    if not self._backtrack_and_run_step():
+                        return False
+            elif kind is BuiltinGoal:
+                if not self._dispatch_builtin(goal, env):
+                    if not self._backtrack_and_run_step():
+                        return False
+            elif kind is CutGoal:
+                self._cut(env)
+            else:  # pragma: no cover - compiler emits only the above
+                raise MachineError(f"unknown goal kind {goal!r}")
+
+    def _backtrack_and_run_step(self) -> bool:
+        """Backtrack once (retrying until an activation sticks)."""
+        return self._backtrack()
+
+    def _backtrack_and_run(self) -> bool:
+        if not self._backtrack():
+            return False
+        return self._run()
+
+    # -- user predicate calls ------------------------------------------------
+
+    def _dispatch_call(self, goal: CallGoal, env: Env) -> bool:
+        stats = self.stats
+        stats.emit(micro.R_CALL_SETUP)
+        stats.emit(micro.R_BUILTIN_STEP, self.config.call_overhead_steps // 2 or 1)
+        stats.inferences += 1
+        proc = goal.proc
+        if proc is None:
+            proc = self.program.procedure(goal.functor, goal.arity)
+            if proc is None:
+                raise ExistenceError(goal.functor, goal.arity)
+            goal.proc = proc
+        stats.emit(micro.R_PROC_LOOKUP)
+        self.mem.read(Area.HEAP, proc.descriptor_base)
+        # Evaluate arguments into registers (call machinery: control).
+        args = tuple(self._put_arg(node, env.frame, Module.CONTROL)
+                     for node in goal.args)
+        stats.module = Module.CONTROL
+        if goal.is_last:
+            parent = env.parent
+            parent_index = env.parent_index
+            args = self._reclaim_for_tro(env, args)
+        else:
+            parent = env
+            parent_index = self.cur_index
+            self._save_env(env)
+        return self._call_procedure(proc, args, parent, parent_index)
+
+    def _call_procedure(self, proc: Procedure, args: tuple,
+                        parent_env: Env | None, parent_index: int) -> bool:
+        if not proc.clauses:
+            return False
+        if len(proc.clauses) > 1:
+            self._push_choice_point(proc, args, parent_env, parent_index)
+        barrier = len(self.cp_stack) - (1 if len(proc.clauses) > 1 else 0)
+        return self._activate(proc.clauses[0], args, parent_env, parent_index,
+                              barrier)
+
+    def _push_choice_point(self, proc: Procedure, args: tuple,
+                           parent_env: Env | None, parent_index: int) -> None:
+        stats = self.stats
+        stats.emit(micro.R_CP_PUSH)
+        stats.emit(micro.R_WF_GENERAL)
+        control_base = self.mem.top(Area.CONTROL)
+        cp = ChoicePoint(
+            proc, 1, args, parent_env, parent_index,
+            trail_top=len(self.trail),
+            global_top=self.mem.top(Area.GLOBAL),
+            local_top=self.mem.top(Area.LOCAL),
+            control_base=control_base,
+        )
+        for i in range(CONTROL_FRAME_WORDS):
+            self.mem.write_stack(Area.CONTROL, (Tag.INT, i))
+        self.cp_stack.append(cp)
+
+    def _activate(self, clause: Clause, args: tuple, parent_env: Env | None,
+                  parent_index: int, cut_barrier: int) -> bool:
+        """Try one clause: allocate its frame, unify the head.
+
+        On head failure returns False with partial bindings left for
+        the trail/choice-point machinery to undo.
+        """
+        stats = self.stats
+        stats.module = Module.CONTROL
+        stats.emit(micro.R_CLAUSE_TRY)
+        self.call_count += 1
+        if self.call_count > self.config.max_calls:
+            raise ResourceLimitExceeded(f"activation limit exceeded ({self.call_count})")
+        self.mem.read(Area.HEAP, clause.heap_base)
+        frame = self._allocate_frame(clause)
+        env = Env(clause.body, frame, parent_env, parent_index, cut_barrier)
+        stats.module = Module.UNIFY
+        for node, arg in zip(clause.head_args, args):
+            if not self._match(node, arg, frame):
+                return False
+        self.cur_env = env
+        self.cur_index = 0
+        return True
+
+    def _allocate_frame(self, clause: Clause) -> Frame:
+        stats = self.stats
+        mem = self.mem
+        nlocals = clause.nlocals
+        base = mem.top(Area.LOCAL)
+        frame = Frame(base, nlocals, clause.nglobals)
+        if nlocals:
+            stats.emit(micro.R_FRAME_ALLOC)
+            buffer_id = self.wf.acquire(frame)
+            frame.buffer_id = buffer_id
+            if buffer_id is not None:
+                # Slots live in the WF buffer: init is register traffic only.
+                mem.grow(Area.LOCAL, 0)
+                for i in range(nlocals):
+                    off = mem.grow(Area.LOCAL, 1)
+                    mem.poke(Area.LOCAL, off, (_UNDEF, (_LOCAL << AREA_SHIFT) | off))
+                    stats.emit(micro.R_FRAME_INIT_SLOT)
+            else:
+                for _ in range(nlocals):
+                    off = mem.top(Area.LOCAL)
+                    mem.write_stack(Area.LOCAL,
+                                    (_UNDEF, (_LOCAL << AREA_SHIFT) | off))
+        return frame
+
+    def _global_cell(self, frame: Frame, slot: int) -> int:
+        """Address of a clause global variable's cell, allocating lazily.
+
+        If a choice point exists, the allocation is recorded on the
+        trail so backtracking (which truncates the global stack, and
+        may hand the same offset to another frame) resets the cache.
+        """
+        cell = frame.gcells[slot]
+        if cell < 0:
+            off = self.mem.top(Area.GLOBAL)
+            cell = encode_address(Area.GLOBAL, off)
+            self.mem.write_stack(Area.GLOBAL, (_UNDEF, cell))
+            self.stats.emit(micro.R_BUILD_VAR)
+            frame.gcells[slot] = cell
+            if self.cp_stack:
+                self.stats.emit_in(Module.TRAIL, micro.R_TRAIL_PUSH)
+                self.mem.write_stack(Area.TRAIL, (Tag.INT, slot))
+                self.trail.append((frame, slot))
+                if len(self.trail) % 8 == 0:
+                    self.stats.emit_in(Module.TRAIL, micro.R_TRAIL_BUF)
+        return cell
+
+    def _save_env(self, env: Env) -> None:
+        """Persist ``env`` before a non-last call: flush the frame to the
+        local stack and write a 10-word environment frame if new."""
+        stats = self.stats
+        stats.emit(micro.R_ENV_PUSH)
+        frame = env.frame
+        if frame.buffered:
+            for i in range(frame.nlocals):
+                self.mem.write_stack_at(Area.LOCAL, frame.base + i,
+                                        self.mem.peek(Area.LOCAL, frame.base + i))
+            self.wf.release(frame)
+        if env.control_base < 0:
+            env.control_base = self.mem.top(Area.CONTROL)
+            for i in range(CONTROL_FRAME_WORDS):
+                self.mem.write_stack(Area.CONTROL, (Tag.INT, i))
+
+    def _reclaim_for_tro(self, env: Env, args: tuple) -> tuple:
+        """Last-call optimisation: discard the env, reclaim its stacks.
+
+        Argument registers that still reference unbound variables in the
+        dying frame are *globalised* (fresh global cells), the DEC-10
+        runtime method for unsafe variables.  If a choice point protects
+        the frame it cannot be reclaimed; it is flushed to the local
+        stack instead (it may be read again after backtracking).
+        """
+        stats = self.stats
+        stats.emit(micro.R_TRO)
+        frame = env.frame
+        protect = self.cp_stack[-1].local_top if self.cp_stack else 0
+        reclaimable = (frame.base >= protect
+                       and frame.base <= self.mem.top(Area.LOCAL))
+        if reclaimable:
+            if frame.nlocals:
+                args = self._globalize_unsafe(frame, args)
+            self.wf.release(frame)
+            self.mem.settop(Area.LOCAL, frame.base)
+        else:
+            if frame.buffered:
+                for i in range(frame.nlocals):
+                    self.mem.write_stack_at(Area.LOCAL, frame.base + i,
+                                            self.mem.peek(Area.LOCAL, frame.base + i))
+            self.wf.release(frame)
+        if env.control_base >= 0:
+            cprotect = self.cp_stack[-1].control_top if self.cp_stack else 0
+            if env.control_base >= cprotect:
+                self.mem.settop(Area.CONTROL, env.control_base)
+        return args
+
+    def _globalize_unsafe(self, frame: Frame, args: tuple) -> tuple:
+        """Move unbound locals of a dying frame into fresh global cells."""
+        stats = self.stats
+        lo = (_LOCAL << AREA_SHIFT) | frame.base
+        hi = lo + frame.nlocals
+        moved: dict[int, tuple] | None = None
+        new_args = None
+        for i, word in enumerate(args):
+            if word[0] != _REF:
+                continue
+            target = self.deref(word)
+            if target[0] != _UNDEF or not lo <= target[1] < hi:
+                continue
+            if moved is None:
+                moved = {}
+                new_args = list(args)
+            cell = moved.get(target[1])
+            if cell is None:
+                off = self.mem.top(Area.GLOBAL)
+                cell = (_REF, encode_address(Area.GLOBAL, off))
+                self.mem.write_stack(Area.GLOBAL,
+                                     (_UNDEF, encode_address(Area.GLOBAL, off)))
+                stats.emit(micro.R_BUILD_VAR)
+                # Any aliases chase the local cell into the new global.
+                self._write_cell(target[1], cell)
+                moved[target[1]] = cell
+            new_args[i] = cell
+        if new_args is not None:
+            return tuple(new_args)
+        return args
+
+    def _proceed(self, env: Env) -> None:
+        """Clause body complete: return to the parent continuation."""
+        stats = self.stats
+        stats.module = Module.CONTROL
+        parent = env.parent
+        if parent is None:
+            stats.emit(micro.R_PROCEED)
+            self.cur_env = None
+            return
+        stats.emit(micro.R_ENV_POP)
+        if parent.control_base >= 0:
+            for i in range(CONTROL_RESUME_READS):
+                self.mem.read(Area.CONTROL, parent.control_base + i)
+        frame = env.frame
+        self.wf.release(frame)
+        protect = self.cp_stack[-1].local_top if self.cp_stack else 0
+        if frame.base >= protect and frame.base <= self.mem.top(Area.LOCAL):
+            self.mem.settop(Area.LOCAL, frame.base)
+        if env.control_base >= 0:
+            cprotect = self.cp_stack[-1].control_top if self.cp_stack else 0
+            if env.control_base >= cprotect:
+                self.mem.settop(Area.CONTROL, env.control_base)
+        self.cur_env = parent
+        self.cur_index = env.parent_index
+
+    # -- backtracking ---------------------------------------------------------
+
+    def _backtrack(self) -> bool:
+        """Restore to the latest choice point and retry; loops until an
+        activation succeeds or the choice point stack is exhausted."""
+        stats = self.stats
+        while self.cp_stack:
+            stats.module = Module.CONTROL
+            stats.emit(micro.R_BACKTRACK)
+            stats.emit(micro.R_FAIL_DISPATCH)
+            cp = self.cp_stack[-1]
+            self._untrail_to(cp.trail_top)
+            stats.module = Module.CONTROL
+            self.mem.settop(Area.GLOBAL, cp.global_top)
+            self.mem.settop(Area.LOCAL, cp.local_top)
+            self.mem.settop(Area.TRAIL, cp.trail_top)
+            self.wf.reset()
+            stats.emit(micro.R_CP_RESTORE)
+            for i in range(CONTROL_RESUME_READS):
+                self.mem.read(Area.CONTROL, cp.control_base + i)
+            clause = cp.proc.clauses[cp.next_clause]
+            cp.next_clause += 1
+            if cp.next_clause >= len(cp.proc.clauses):
+                self.cp_stack.pop()
+                self.mem.settop(Area.CONTROL, cp.control_base)
+                barrier = len(self.cp_stack)
+            else:
+                self.mem.settop(Area.CONTROL, cp.control_top)
+                barrier = len(self.cp_stack) - 1
+            if self._activate(clause, cp.args, cp.parent_env, cp.parent_index,
+                              barrier):
+                return True
+        return False
+
+    def _untrail_to(self, mark: int) -> None:
+        stats = self.stats
+        stats.module = Module.TRAIL
+        trail = self.trail
+        while len(trail) > mark:
+            entry = trail.pop()
+            stats.emit(micro.R_UNTRAIL_ENTRY)
+            self.mem.read(Area.TRAIL, len(trail))
+            if type(entry) is int:
+                self._write_cell(entry, (_UNDEF, entry))
+            else:
+                # Lazy global-cell allocation record: reset the cache.
+                frame, slot = entry
+                frame.gcells[slot] = -1
+
+    def _cut(self, env: Env) -> None:
+        stats = self.stats
+        stats.module = Module.CUT
+        stats.emit(micro.R_CUT)
+        barrier = env.cut_barrier
+        if len(self.cp_stack) <= barrier:
+            return
+        # Only choice points are discarded: environment frames of live
+        # activations may sit above a popped choice point's control
+        # frame, so the control stack is reclaimed at proceed/backtrack
+        # time, never here.
+        lowest_mark = len(self.trail)
+        while len(self.cp_stack) > barrier:
+            cp = self.cp_stack.pop()
+            lowest_mark = cp.trail_top
+            stats.emit(micro.R_CUT_POP_CP)
+        self._tidy_trail(lowest_mark)
+
+    def _tidy_trail(self, mark: int) -> None:
+        """Cut's trail tidying (as in DEC-10 Prolog).
+
+        Entries above the discarded choice points' trail mark that
+        reference cells *younger* than the surviving choice point are
+        dead: a future backtrack would reclaim those cells wholesale,
+        and untrailing them would write into truncated stack space.
+        Bindings of older cells (and lazy global-cell allocation
+        records) must survive the cut.
+        """
+        stats = self.stats
+        trail = self.trail
+        if len(trail) <= mark:
+            return
+        survivor = self.cp_stack[-1] if self.cp_stack else None
+        kept = []
+        for entry in trail[mark:]:
+            stats.emit(micro.R_CUT_POP_CP)  # tidy scan step
+            if survivor is None:
+                continue
+            if type(entry) is int:
+                area = entry >> AREA_SHIFT
+                off = entry & OFFSET_MASK
+                needed = ((area == Area.GLOBAL and off < survivor.global_top)
+                          or (area == _LOCAL and off < survivor.local_top))
+                if needed:
+                    kept.append(entry)
+            else:
+                # Lazy global-cell allocation records always survive: the
+                # surviving choice point's global top is below the cell.
+                kept.append(entry)
+        del trail[mark:]
+        self.mem.settop(Area.TRAIL, mark)
+        for entry in kept:
+            trail.append(entry)
+            word = (_REF, entry) if type(entry) is int else (Tag.INT, 0)
+            self.mem.write_stack(Area.TRAIL, word)
+
+    # ------------------------------------------------------------------
+    # Cell access, dereference, bind, trail
+    # ------------------------------------------------------------------
+
+    def _read_cell(self, addr: int):
+        area = addr >> AREA_SHIFT
+        off = addr & OFFSET_MASK
+        if area == _LOCAL:
+            frame = self.wf.owner_of_local(off)
+            if frame is not None:
+                self.wf.read_slot(off - frame.base)
+                return self.mem.peek(Area.LOCAL, off)
+        return self.mem.read(Area(area), off)
+
+    def _write_cell(self, addr: int, word) -> None:
+        area = addr >> AREA_SHIFT
+        off = addr & OFFSET_MASK
+        if area == _LOCAL:
+            frame = self.wf.owner_of_local(off)
+            if frame is not None:
+                self.wf.write_slot(off - frame.base)
+                self.mem.poke(Area.LOCAL, off, word)
+                return
+        self.mem.write(Area(area), off, word)
+
+    def deref(self, word):
+        """Follow REF chains to a value word or an UNDEF (unbound) word."""
+        stats = self.stats
+        while word[0] == _REF:
+            stats.emit(micro.R_DEREF_STEP)
+            word = self._read_cell(word[1])
+        return word
+
+    def bind(self, addr: int, word) -> None:
+        """Bind the unbound cell at ``addr`` to ``word`` (a value or REF),
+        trailing the binding when an older choice point requires it."""
+        stats = self.stats
+        stats.emit(micro.R_BIND)
+        self._write_cell(addr, word)
+        if self.cp_stack:
+            cp = self.cp_stack[-1]
+            area = addr >> AREA_SHIFT
+            off = addr & OFFSET_MASK
+            needs_trail = ((area == Area.GLOBAL and off < cp.global_top)
+                           or (area == _LOCAL and off < cp.local_top))
+        else:
+            needs_trail = False
+        if needs_trail:
+            previous = stats.module
+            stats.module = Module.TRAIL
+            stats.emit(micro.R_TRAIL_PUSH)
+            self.mem.write_stack(Area.TRAIL, (_REF, addr))
+            self.trail.append(addr)
+            if len(self.trail) % 8 == 0:
+                # Trail-buffer spill through @WFAR2 (blockwise).
+                stats.emit(micro.R_TRAIL_BUF)
+            stats.module = previous
+        else:
+            stats.emit(micro.R_TRAIL_SKIP)
+
+    def _bind_vars(self, a_addr: int, b_addr: int) -> None:
+        """Bind two unbound variables, younger cell pointing at older.
+
+        Global cells outrank local cells (locals die sooner); within an
+        area, the lower offset is older.
+        """
+        if a_addr == b_addr:
+            return
+        a_rank = ((a_addr >> AREA_SHIFT) != Area.GLOBAL, a_addr & OFFSET_MASK)
+        b_rank = ((b_addr >> AREA_SHIFT) != Area.GLOBAL, b_addr & OFFSET_MASK)
+        if a_rank > b_rank:
+            self.bind(a_addr, (_REF, b_addr))
+        else:
+            self.bind(b_addr, (_REF, a_addr))
+
+    # ------------------------------------------------------------------
+    # Unification
+    # ------------------------------------------------------------------
+
+    def unify(self, w1, w2) -> bool:
+        """General unification of two runtime words (no occur check)."""
+        stats = self.stats
+        stack = [(w1, w2)]
+        while stack:
+            a, b = stack.pop()
+            a = self.deref(a)
+            b = self.deref(b)
+            stats.emit(micro.R_UNIFY_DISPATCH)
+            ta = a[0]
+            tb = b[0]
+            if ta == _UNDEF:
+                if tb == _UNDEF:
+                    if a[1] != b[1]:
+                        self._bind_vars(a[1], b[1])
+                else:
+                    self.bind(a[1], b)
+                continue
+            if tb == _UNDEF:
+                self.bind(b[1], a)
+                continue
+            if ta != tb:
+                return False
+            if ta == Tag.INT or ta == Tag.ATOM:
+                stats.emit(micro.R_UNIFY_CONST)
+                if a[1] != b[1]:
+                    return False
+            elif ta == Tag.NIL:
+                stats.emit(micro.R_UNIFY_CONST)
+            elif ta == Tag.LIST:
+                stats.emit(micro.R_UNIFY_LIST)
+                if a[1] != b[1]:
+                    stack.append((self._read_cell(a[1] + 1), self._read_cell(b[1] + 1)))
+                    stack.append((self._read_cell(a[1]), self._read_cell(b[1])))
+            elif ta == Tag.STRUCT:
+                stats.emit(micro.R_UNIFY_STRUCT)
+                if a[1] == b[1]:
+                    continue
+                fa = self._read_cell(a[1])
+                fb = self._read_cell(b[1])
+                if fa[1] != fb[1]:
+                    return False
+                _, arity = self.symbols.functor_name(fa[1])
+                for i in range(arity, 0, -1):
+                    stack.append((self._read_cell(a[1] + i), self._read_cell(b[1] + i)))
+            elif ta == Tag.VECT:
+                if a[1] != b[1]:
+                    return False
+            else:
+                return False
+        stats.emit(micro.R_UNIFY_RETURN)
+        return True
+
+    # ------------------------------------------------------------------
+    # Head unification against instruction code (read/write mode)
+    # ------------------------------------------------------------------
+
+    def _fetch(self, node, packed_ok: bool = True) -> None:
+        """Instruction fetch + decode of one code node.
+
+        Structure nodes cost an extra heap read: the functor descriptor
+        word follows the STRUCT code word.
+        """
+        stats = self.stats
+        self.mem.read(Area.HEAP, node.addr)
+        if node.packed and packed_ok:
+            stats.emit(micro.R_DECODE_PACKED)
+        else:
+            stats.emit(micro.R_DECODE)
+        if node.__class__ is CStruct:
+            self.mem.read(Area.HEAP, node.addr)
+            stats.emit(micro.R_DECODE_OPCODE)
+
+    def _match(self, node: CTerm, word, frame: Frame) -> bool:
+        """Unify one head-argument code term with a runtime word."""
+        stats = self.stats
+        cls = node.__class__
+        self._fetch(node)
+        if cls is CConst:
+            value = self.deref(word)
+            if value[0] == _UNDEF:
+                self.bind(value[1], node.word)
+                return True
+            stats.emit(micro.R_UNIFY_CONST)
+            return value == node.word
+        if cls is CVar:
+            if node.is_global:
+                cell = self._global_cell(frame, node.slot)
+                if node.is_first:
+                    # Fresh cell: store the argument directly (bind handles
+                    # the unbound/value distinction and trailing).
+                    value = self.deref(word)
+                    if value[0] == _UNDEF:
+                        self._bind_vars(cell, value[1])
+                    else:
+                        self.bind(cell, value)
+                    return True
+                return self.unify((_REF, cell), word)
+            slot_addr = encode_address(Area.LOCAL, frame.base + node.slot)
+            if node.is_first:
+                stats.emit(micro.R_BUILD_VAR)
+                value = word if word[0] != _UNDEF else (_REF, word[1])
+                if frame.buffered:
+                    self.wf.write_slot(node.slot, base_relative=True)
+                    self.mem.poke(Area.LOCAL, frame.base + node.slot, value)
+                else:
+                    self.mem.write(Area.LOCAL, frame.base + node.slot, value)
+                return True
+            return self.unify((_REF, slot_addr), word)
+        if cls is CVoid:
+            return True
+        if cls is CList:
+            value = self.deref(word)
+            if value[0] == _UNDEF:
+                built = self._build(node, frame, prefetched=True)
+                self.bind(value[1], built)
+                return True
+            if value[0] != Tag.LIST:
+                return False
+            stats.emit(micro.R_UNIFY_LIST)
+            head_word = self._read_cell(value[1])
+            if not self._match(node.head, head_word, frame):
+                return False
+            tail_word = self._read_cell(value[1] + 1)
+            return self._match(node.tail, tail_word, frame)
+        if cls is CStruct:
+            value = self.deref(word)
+            if value[0] == _UNDEF:
+                built = self._build(node, frame, prefetched=True)
+                self.bind(value[1], built)
+                return True
+            if value[0] != Tag.STRUCT:
+                return False
+            stats.emit(micro.R_UNIFY_STRUCT)
+            functor_word = self._read_cell(value[1])
+            if functor_word[1] != node.functor_id:
+                return False
+            for i, arg in enumerate(node.args):
+                arg_word = self._read_cell(value[1] + 1 + i)
+                if not self._match(arg, arg_word, frame):
+                    return False
+            return True
+        raise MachineError(f"unexpected code node {node!r}")  # pragma: no cover
+
+    def _build(self, node: CTerm, frame: Frame, prefetched: bool = False):
+        """Write mode: construct ``node`` on the global stack, return its word."""
+        stats = self.stats
+        if not prefetched:
+            self._fetch(node)
+        cls = node.__class__
+        if cls is CConst:
+            return node.word
+        if cls is CVar:
+            stats.emit(micro.R_BUILD_VAR)
+            if node.is_global:
+                return (_REF, self._global_cell(frame, node.slot))
+            # Locals never occur nested (classification globalises them);
+            # a local can only be built at top level of put_arg.
+            return (_REF, encode_address(Area.LOCAL, frame.base + node.slot))
+        if cls is CVoid:
+            off = self.mem.top(Area.GLOBAL)
+            self.mem.write_stack(Area.GLOBAL,
+                                 (_UNDEF, encode_address(Area.GLOBAL, off)))
+            stats.emit(micro.R_BUILD_VAR)
+            return (_REF, encode_address(Area.GLOBAL, off))
+        if cls is CList:
+            head_word = self._build(node.head, frame)
+            tail_word = self._build(node.tail, frame)
+            stats.emit(micro.R_BUILD_CELL)
+            base = self.mem.top(Area.GLOBAL)
+            self.mem.write_stack(Area.GLOBAL, head_word)
+            self.mem.write_stack(Area.GLOBAL, tail_word)
+            return (Tag.LIST, encode_address(Area.GLOBAL, base))
+        if cls is CStruct:
+            arg_words = [self._build(arg, frame) for arg in node.args]
+            stats.emit(micro.R_BUILD_CELL)
+            base = self.mem.top(Area.GLOBAL)
+            self.mem.write_stack(Area.GLOBAL, (Tag.FUNC, node.functor_id))
+            for word in arg_words:
+                self.mem.write_stack(Area.GLOBAL, word)
+            return (Tag.STRUCT, encode_address(Area.GLOBAL, base))
+        raise MachineError(f"unexpected code node {node!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Body argument evaluation (get_arg)
+    # ------------------------------------------------------------------
+
+    def _put_arg(self, node: CTerm, frame: Frame,
+                 module: Module = Module.GET_ARG):
+        """Evaluate one goal-argument code term into a register word.
+
+        Argument setup for user-predicate calls belongs to the call
+        machinery (``control``); the paper's ``get_arg`` module is the
+        argument fetch for *builtin* predicates (§3.2).
+        """
+        stats = self.stats
+        stats.module = module
+        self.mem.read(Area.HEAP, node.addr)
+        cls = node.__class__
+        if cls is CConst:
+            if node.packed:
+                stats.emit(micro.R_GET_ARG_PACKED)
+            else:
+                stats.emit(micro.R_GET_ARG)
+            return node.word
+        if cls is CVar:
+            if node.packed:
+                stats.emit(micro.R_GET_ARG_PACKED)
+            else:
+                stats.emit(micro.R_GET_ARG)
+            if node.is_global:
+                stats.emit(micro.R_GET_ARG_VAR_MEM)
+                return (_REF, self._global_cell(frame, node.slot))
+            off = frame.base + node.slot
+            if frame.buffered:
+                if node.slot < 32 and node.slot % 8 == 0:
+                    stats.emit(micro.R_GET_ARG_VAR_BUF_BASE)
+                else:
+                    stats.emit(micro.R_GET_ARG_VAR_BUF)
+                value = self.mem.peek(Area.LOCAL, off)
+            else:
+                stats.emit(micro.R_GET_ARG_VAR_MEM)
+                value = self.mem.read(Area.LOCAL, off)
+            if value[0] == _UNDEF:
+                return (_REF, value[1])
+            return value
+        if cls is CVoid:
+            stats.emit(micro.R_GET_ARG)
+            off = self.mem.top(Area.GLOBAL)
+            self.mem.write_stack(Area.GLOBAL,
+                                 (_UNDEF, encode_address(Area.GLOBAL, off)))
+            return (_REF, encode_address(Area.GLOBAL, off))
+        # Compound argument: construct it (structure copying).
+        stats.emit(micro.R_GET_ARG)
+        stats.module = Module.UNIFY
+        word = self._build(node, frame)
+        stats.module = module
+        stats.emit(micro.R_PUT_ARG)
+        return word
+
+    # ------------------------------------------------------------------
+    # Builtin execution
+    # ------------------------------------------------------------------
+
+    def _dispatch_builtin(self, goal: BuiltinGoal, env: Env) -> bool:
+        stats = self.stats
+        stats.builtin_calls += 1
+        args = [self._put_arg(node, env.frame) for node in goal.args]
+        stats.module = Module.BUILT
+        stats.emit(micro.R_BUILTIN_ENTRY)
+        builtin: Builtin = goal.builtin
+        if builtin.weight:
+            stats.emit(micro.R_BUILTIN_STEP, builtin.weight)
+        result = builtin.fn(self, args)
+        if result is True or result is False:
+            stats.module = Module.BUILT
+            stats.emit(micro.R_BUILTIN_EXIT)
+            return result
+        # Meta-call request: ("call", functor, arity, arg_words)
+        _, functor, arity, call_args = result
+        stats.emit(micro.R_BUILTIN_EXIT)
+        stats.module = Module.CONTROL
+        stats.inferences += 1
+        proc = self.program.procedure(functor, arity)
+        if proc is None:
+            raise ExistenceError(functor, arity)
+        stats.emit(micro.R_PROC_LOOKUP)
+        self.mem.read(Area.HEAP, proc.descriptor_base)
+        self._save_env(env)
+        return self._call_procedure(proc, tuple(call_args), env, self.cur_index)
+
+    # ------------------------------------------------------------------
+    # Term decoding (for solutions / builtins; unbilled debug reads)
+    # ------------------------------------------------------------------
+
+    def decode_word(self, word, depth: int = 0) -> Term:
+        """Convert a runtime word into a source-level term (no billing)."""
+        word = self._peek_deref(word)
+        tag = word[0]
+        if tag == _UNDEF:
+            return Var(f"_A{word[1]}")
+        if tag == Tag.INT:
+            return word[1]
+        if tag == Tag.ATOM:
+            return Atom(self.symbols.atom_name(word[1]))
+        if tag == Tag.NIL:
+            return Atom("[]")
+        if tag == Tag.LIST:
+            items = []
+            current = word
+            guard = 0
+            while current[0] == Tag.LIST:
+                items.append(self.decode_word(self._peek_addr(current[1]), depth + 1))
+                current = self._peek_deref(self._peek_addr(current[1] + 1))
+                guard += 1
+                if guard > 1_000_000:
+                    raise MachineError("runaway list while decoding")
+            tail = self.decode_word(current, depth + 1)
+            result: Term = tail
+            for item in reversed(items):
+                result = Struct(".", (item, result))
+            return result
+        if tag == Tag.STRUCT:
+            functor_word = self._peek_addr(word[1])
+            name, arity = self.symbols.functor_name(functor_word[1])
+            args = tuple(self.decode_word(self._peek_addr(word[1] + 1 + i), depth + 1)
+                         for i in range(arity))
+            return Struct(name, args)
+        if tag == Tag.VECT:
+            header = self._peek_addr(word[1])
+            return Struct("$vector", (word[1], header[1]))
+        raise MachineError(f"cannot decode word {word!r}")
+
+    def _peek_addr(self, addr: int):
+        return self.mem.peek(Area(addr >> AREA_SHIFT), addr & OFFSET_MASK)
+
+    def _peek_deref(self, word):
+        while word[0] == _REF:
+            word = self._peek_addr(word[1])
+        return word
+
+    # ------------------------------------------------------------------
+    # Machine-level helpers used by builtins
+    # ------------------------------------------------------------------
+
+    def assert_clause(self, term: Term) -> None:
+        """Runtime clause addition (assert/assertz)."""
+        clause = self.program.add_clause(term)
+        self._load_pending()
+        # Bill the code words written into the heap.
+        for i in range(clause.heap_size):
+            offset = clause.heap_base + i
+            self.mem.write_stack_at(Area.HEAP, offset,
+                                    self.mem.peek(Area.HEAP, offset))
+
+    def retract_fact(self, word) -> bool:
+        """Remove the first fact whose head unifies with ``word``."""
+        from repro.errors import TypeError_
+        value = self.deref(word)
+        if value[0] == Tag.ATOM:
+            functor, arity = self.symbols.atom_name(value[1]), 0
+            arg_words: list = []
+        elif value[0] == Tag.STRUCT:
+            functor_word = self._read_cell(value[1])
+            functor, arity = self.symbols.functor_name(functor_word[1])
+            arg_words = [self._read_cell(value[1] + 1 + i) for i in range(arity)]
+            arg_words = [(_REF, w[1]) if w[0] == _UNDEF else w for w in arg_words]
+        else:
+            raise TypeError_("callable term", value)
+        proc = self.program.procedure(functor, arity)
+        if proc is None:
+            return False
+        for index, clause in enumerate(proc.clauses):
+            if clause.body:
+                continue
+            mark = len(self.trail)
+            frame = self._allocate_frame(clause)
+            matched = all(self._match(node, arg, frame)
+                          for node, arg in zip(clause.head_args, arg_words))
+            if matched:
+                proc.clauses.pop(index)
+                self._serializer.load_procedure(proc)
+                return True
+            self._untrail_to(mark)
+            self.stats.module = Module.BUILT
+        return False
+
+    def fresh_global_cell(self) -> int:
+        off = self.mem.top(Area.GLOBAL)
+        self.mem.write_stack(Area.GLOBAL, (_UNDEF, encode_address(Area.GLOBAL, off)))
+        return encode_address(Area.GLOBAL, off)
+
+    def build_term(self, term: Term):
+        """Construct a source-level term on the global stack (for builtins
+        like =../2 and functor/3 that synthesise terms at runtime)."""
+        if isinstance(term, int):
+            return (Tag.INT, term)
+        if isinstance(term, Atom):
+            if term.name == "[]":
+                return (Tag.NIL, 0)
+            return (Tag.ATOM, self.symbols.atom(term.name))
+        if isinstance(term, Var):
+            return (_REF, self.fresh_global_cell())
+        assert isinstance(term, Struct)
+        if term.functor == "." and term.arity == 2:
+            head = self.build_term(term.args[0])
+            tail = self.build_term(term.args[1])
+            base = self.mem.top(Area.GLOBAL)
+            self.mem.write_stack(Area.GLOBAL, head)
+            self.mem.write_stack(Area.GLOBAL, tail)
+            return (Tag.LIST, encode_address(Area.GLOBAL, base))
+        functor_id = self.symbols.functor(term.functor, term.arity)
+        arg_words = [self.build_term(arg) for arg in term.args]
+        base = self.mem.top(Area.GLOBAL)
+        self.mem.write_stack(Area.GLOBAL, (Tag.FUNC, functor_id))
+        for word in arg_words:
+            self.mem.write_stack(Area.GLOBAL, word)
+        return (Tag.STRUCT, encode_address(Area.GLOBAL, base))
+
+
+class Solution:
+    """One answer: variable bindings decoded to source-level terms."""
+
+    def __init__(self, bindings: dict[str, Term]):
+        self.bindings = bindings
+
+    def __getitem__(self, name: str) -> Term:
+        return self.bindings[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.bindings.items())
+        return f"Solution({inner})"
+
+
+class Solver:
+    """Resumable query execution: call :meth:`next` for each solution."""
+
+    def __init__(self, machine: PSIMachine, query_name: str, var_names: list[str]):
+        self.machine = machine
+        self.query_name = query_name
+        self.var_names = var_names
+        self._cells: list[int] = []
+        self._started = False
+        self._exhausted = False
+
+    def next(self) -> Solution | None:
+        """Return the next solution, or None when exhausted."""
+        if self._exhausted:
+            return None
+        m = self.machine
+        if not self._started:
+            self._started = True
+            self._cells = [m.fresh_global_cell() for _ in self.var_names]
+            args = tuple((Tag.REF, cell) for cell in self._cells)
+            ok = m._start(self.query_name, len(self.var_names), args)
+        else:
+            ok = m._backtrack() and m._run()
+        if not ok:
+            self._exhausted = True
+            return None
+        bindings = {
+            name: m.decode_word(m._peek_addr(cell))
+            for name, cell in zip(self.var_names, self._cells)
+        }
+        return Solution(bindings)
+
+    def all(self, limit: int = 1_000_000) -> list[Solution]:
+        solutions = []
+        while len(solutions) < limit:
+            solution = self.next()
+            if solution is None:
+                break
+            solutions.append(solution)
+        return solutions
+
+    def count(self, limit: int = 1_000_000) -> int:
+        return len(self.all(limit))

@@ -1,0 +1,205 @@
+"""Memory areas and the memory interface of the PSI model.
+
+The PSI allocates the heap and the four execution stacks to independent
+logical address spaces (the paper calls each one an *area*).  We encode
+a full logical address as ``area_index << 24 | offset`` so traces carry
+flat addresses the cache simulator can consume while per-area
+statistics (Tables 4 and 5) remain recoverable.
+
+All term data of the running machine physically lives in the per-area
+word lists held here; every access goes through :class:`MemorySystem`,
+which
+
+* performs the actual word read/write,
+* bills one microinstruction carrying the cache command to the stats
+  collector (this is what makes "about one in every five
+  microinstruction steps is a request for memory access" a measurable
+  outcome rather than an assumption), and
+* forwards ``(command, address)`` to any attached listeners — the
+  online cache model and/or a trace recorder for the PMMS simulator.
+"""
+
+from __future__ import annotations
+
+from array import array
+from enum import IntEnum
+from typing import Protocol
+
+from repro.core.micro import CacheCmd
+from repro.errors import MachineError
+
+AREA_SHIFT = 24
+OFFSET_MASK = (1 << AREA_SHIFT) - 1
+
+
+class Area(IntEnum):
+    """The five independent logical address spaces of the PSI."""
+
+    HEAP = 0
+    GLOBAL = 1
+    LOCAL = 2
+    CONTROL = 3
+    TRAIL = 4
+
+    @property
+    def label(self) -> str:
+        return _AREA_LABELS[self]
+
+
+_AREA_LABELS = {
+    Area.HEAP: "heap",
+    Area.GLOBAL: "global stack",
+    Area.LOCAL: "local stack",
+    Area.CONTROL: "control stack",
+    Area.TRAIL: "trail stack",
+}
+
+
+def encode_address(area: Area, offset: int) -> int:
+    """Pack (area, offset) into one flat logical address."""
+    return (area << AREA_SHIFT) | offset
+
+
+def decode_address(address: int) -> tuple[Area, int]:
+    """Unpack a flat logical address into (area, offset)."""
+    return Area(address >> AREA_SHIFT), address & OFFSET_MASK
+
+
+class MemoryListener(Protocol):
+    """Receives every memory access as (command, flat address)."""
+
+    def access(self, cmd: CacheCmd, address: int) -> None: ...
+
+
+#: Encoding of cache commands into 2 bits for compact trace recording.
+CMD_CODE = {CacheCmd.READ: 0, CacheCmd.WRITE: 1, CacheCmd.WRITE_STACK: 2}
+CODE_CMD = {code: cmd for cmd, code in CMD_CODE.items()}
+
+
+class TraceRecorder:
+    """Memory listener that records the access stream compactly.
+
+    Each entry is ``address << 2 | command_code`` in a C ``int64``
+    array; :meth:`entries` decodes back to ``(CacheCmd, address)``.
+    This is the COLLECT → PMMS hand-off format.
+    """
+
+    def __init__(self) -> None:
+        self.data = array("q")
+
+    def access(self, cmd: CacheCmd, address: int) -> None:
+        self.data.append((address << 2) | CMD_CODE[cmd])
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def entries(self):
+        for packed in self.data:
+            yield CODE_CMD[packed & 3], packed >> 2
+
+    def clear(self) -> None:
+        del self.data[:]
+
+
+class MemorySystem:
+    """The five word areas plus access accounting.
+
+    Words are stored as ``(tag, data)`` tuples.  Stack areas support
+    push (``write_stack``), truncation on backtracking, and top
+    queries.  ``stats`` is the machine's stats collector (may be a
+    no-op stub in unit tests); listeners receive raw accesses.
+    """
+
+    def __init__(self, stats, word_limit: int = 1 << 22):
+        self.stats = stats
+        self.word_limit = word_limit
+        self.areas: dict[Area, list] = {area: [] for area in Area}
+        self.listeners: list[MemoryListener] = []
+
+    # -- listener management -------------------------------------------------
+
+    def attach(self, listener: MemoryListener) -> None:
+        self.listeners.append(listener)
+
+    def detach(self, listener: MemoryListener) -> None:
+        self.listeners.remove(listener)
+
+    # -- raw accessors (no accounting; loader/debug use) ----------------------
+
+    def peek(self, area: Area, offset: int):
+        return self.areas[area][offset]
+
+    def poke(self, area: Area, offset: int, word) -> None:
+        self.areas[area][offset] = word
+
+    def top(self, area: Area) -> int:
+        """Current top offset (next free slot) of an area."""
+        return len(self.areas[area])
+
+    def settop(self, area: Area, offset: int) -> None:
+        """Truncate a stack area down to ``offset`` (backtracking reclaim)."""
+        words = self.areas[area]
+        if offset > len(words):
+            raise MachineError(f"settop beyond top of {area.label}")
+        del words[offset:]
+
+    def grow(self, area: Area, count: int, fill=None) -> int:
+        """Reserve ``count`` words (uninitialised) without access billing.
+
+        Returns the base offset.  Used by the loader for code and by
+        allocation fast paths whose per-word traffic is billed
+        separately (e.g. frame slots that live in the work file).
+        """
+        words = self.areas[area]
+        base = len(words)
+        if base + count > self.word_limit:
+            raise MachineError(f"{area.label} overflow ({base + count} words)")
+        words.extend([fill] * count)
+        return base
+
+    # -- accounted accessors ---------------------------------------------------
+
+    def read(self, area: Area, offset: int):
+        """Read one word, billing a READ cache command."""
+        self._touch(CacheCmd.READ, area, offset)
+        return self.areas[area][offset]
+
+    def write(self, area: Area, offset: int, word) -> None:
+        """Overwrite one word in place, billing a WRITE cache command."""
+        self._touch(CacheCmd.WRITE, area, offset)
+        self.areas[area][offset] = word
+
+    def write_stack(self, area: Area, word) -> int:
+        """Push one word on an area top with the specialised Write-stack
+        command (no block read-in on miss).  Returns the offset written."""
+        words = self.areas[area]
+        offset = len(words)
+        if offset >= self.word_limit:
+            raise MachineError(f"{area.label} overflow ({offset} words)")
+        self._touch(CacheCmd.WRITE_STACK, area, offset)
+        words.append(word)
+        return offset
+
+    def write_stack_at(self, area: Area, offset: int, word) -> None:
+        """Write-stack into an already-reserved slot (frame flush path)."""
+        self._touch(CacheCmd.WRITE_STACK, area, offset)
+        self.areas[area][offset] = word
+
+    # -- address-based accessors (for dereferencing through REF words) ---------
+
+    def read_addr(self, address: int):
+        area, offset = decode_address(address)
+        return self.read(area, offset)
+
+    def write_addr(self, address: int, word) -> None:
+        area, offset = decode_address(address)
+        self.write(area, offset, word)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _touch(self, cmd: CacheCmd, area: Area, offset: int) -> None:
+        self.stats.mem_access(cmd, area)
+        if self.listeners:
+            address = (area << AREA_SHIFT) | offset
+            for listener in self.listeners:
+                listener.access(cmd, address)

@@ -1,0 +1,203 @@
+"""Execution statistics collector — the model of the COLLECT tool.
+
+The collector counts *routine emissions* keyed by the interpreter
+module that was active when they were emitted.  Because each
+:class:`~repro.core.micro.MicroRoutine` precomputes the per-field
+histograms of its steps, every statistic in the paper's Tables 2, 3, 6
+and 7 is reconstructed exactly from the emission counters at reporting
+time; nothing is sampled.
+
+Memory accesses arrive through :meth:`mem_access` (called by
+:class:`~repro.core.memory.MemorySystem`): they bill one
+microinstruction carrying the cache command and are additionally
+tallied per (command, area) for Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.micro import (
+    NO_OPERATION_OPS,
+    BranchOp,
+    CacheCmd,
+    MicroRoutine,
+    Module,
+    WFMode,
+    MEM_ROUTINES,
+)
+
+
+class StatsCollector:
+    """Accumulates microinstruction-stream statistics for one run."""
+
+    def __init__(self) -> None:
+        self.module: Module = Module.CONTROL
+        self.routine_counts: Counter = Counter()       # (Module, MicroRoutine) -> n
+        self.mem_counts: Counter = Counter()           # (CacheCmd, Area) -> n
+        self.inferences = 0                            # user-predicate calls (LIPS)
+        self.builtin_calls = 0
+        self.enabled = True
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, routine: MicroRoutine, times: int = 1) -> None:
+        """Record ``times`` executions of ``routine`` in the current module."""
+        self.routine_counts[(self.module, routine)] += times
+
+    def emit_in(self, module: Module, routine: MicroRoutine, times: int = 1) -> None:
+        self.routine_counts[(module, routine)] += times
+
+    def mem_access(self, cmd: CacheCmd, area) -> None:
+        self.mem_counts[(cmd, area)] += 1
+        self.routine_counts[(self.module, MEM_ROUTINES[cmd])] += 1
+
+    # -- derived statistics -----------------------------------------------------
+
+    @property
+    def total_steps(self) -> int:
+        return sum(routine.n_steps * n
+                   for (_, routine), n in self.routine_counts.items())
+
+    def module_steps(self) -> dict[Module, int]:
+        """Microinstruction steps per interpreter module (Table 2 numerators)."""
+        steps: Counter = Counter()
+        for (module, routine), n in self.routine_counts.items():
+            steps[module] += routine.n_steps * n
+        return dict(steps)
+
+    def module_ratios(self) -> dict[Module, float]:
+        total = self.total_steps
+        if total == 0:
+            return {module: 0.0 for module in Module}
+        steps = self.module_steps()
+        return {module: 100.0 * steps.get(module, 0) / total for module in Module}
+
+    def cache_command_counts(self) -> dict[CacheCmd, int]:
+        """Total accesses per cache command (Table 3 numerators)."""
+        counts: Counter = Counter()
+        for (cmd, _area), n in self.mem_counts.items():
+            counts[cmd] += n
+        return {cmd: counts.get(cmd, 0) for cmd in CacheCmd}
+
+    def cache_command_ratios(self) -> dict[CacheCmd, float]:
+        """Table 3: cache command steps as % of all microinstruction steps."""
+        total = self.total_steps
+        if total == 0:
+            return {cmd: 0.0 for cmd in CacheCmd}
+        counts = self.cache_command_counts()
+        return {cmd: 100.0 * counts[cmd] / total for cmd in CacheCmd}
+
+    def area_access_counts(self) -> Counter:
+        """Accesses per memory area (Table 4 numerators)."""
+        counts: Counter = Counter()
+        for (_cmd, area), n in self.mem_counts.items():
+            counts[area] += n
+        return counts
+
+    def area_access_ratios(self) -> dict:
+        """Table 4: % of all memory accesses going to each area."""
+        counts = self.area_access_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {area: 100.0 * n / total for area, n in counts.items()}
+
+    @property
+    def total_mem_accesses(self) -> int:
+        return sum(self.mem_counts.values())
+
+    # -- work file (Table 6) -------------------------------------------------------
+
+    def wf_field_counts(self) -> dict[str, Counter]:
+        """Access-mode histograms for the three WF-controlling fields."""
+        fields = {"source1": Counter(), "source2": Counter(), "dest": Counter()}
+        for (_, routine), n in self.routine_counts.items():
+            for mode, c in routine.wf1_counts.items():
+                fields["source1"][mode] += c * n
+            for mode, c in routine.wf2_counts.items():
+                fields["source2"][mode] += c * n
+            for mode, c in routine.dest_counts.items():
+                fields["dest"][mode] += c * n
+        return fields
+
+    def wf_table(self) -> dict[str, dict[WFMode, tuple[float, float]]]:
+        """Table 6: per field, per mode, (% of WF accesses in that field,
+        % of total microinstruction steps)."""
+        fields = self.wf_field_counts()
+        total_steps = self.total_steps or 1
+        table: dict[str, dict[WFMode, tuple[float, float]]] = {}
+        for field, counts in fields.items():
+            field_total = sum(counts.values()) or 1
+            table[field] = {
+                mode: (100.0 * counts[mode] / field_total,
+                       100.0 * counts[mode] / total_steps)
+                for mode in WFMode
+            }
+        return table
+
+    def wf_field_totals(self) -> dict[str, float]:
+        """Per-field WF access rate as % of total steps (Table 6 'total' row)."""
+        fields = self.wf_field_counts()
+        total_steps = self.total_steps or 1
+        return {field: 100.0 * sum(counts.values()) / total_steps
+                for field, counts in fields.items()}
+
+    def wfar_auto_increment_ratio(self) -> float:
+        """Fraction of WFAR indirect accesses using auto increment/decrement."""
+        accesses = 0
+        auto = 0
+        for (_, routine), n in self.routine_counts.items():
+            accesses += routine.wfar_accesses * n
+            auto += routine.wfar_auto_inc * n
+        return auto / accesses if accesses else 0.0
+
+    # -- branches (Table 7) ----------------------------------------------------------
+
+    def branch_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for (_, routine), n in self.routine_counts.items():
+            for op, c in routine.branch_counts.items():
+                counts[op] += c * n
+        return counts
+
+    def branch_ratios(self) -> dict[BranchOp, float]:
+        """Table 7: % of steps whose branch field holds each operation."""
+        counts = self.branch_counts()
+        total = sum(counts.values()) or 1
+        return {op: 100.0 * counts.get(op, 0) / total for op in BranchOp}
+
+    def branch_operation_rate(self) -> float:
+        """% of steps containing a real branch operation (non-No-Operation)."""
+        counts = self.branch_counts()
+        total = sum(counts.values()) or 1
+        noop = sum(counts.get(op, 0) for op in NO_OPERATION_OPS)
+        return 100.0 * (total - noop) / total
+
+    # -- misc ------------------------------------------------------------------------
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold another collector's counts into this one."""
+        self.routine_counts.update(other.routine_counts)
+        self.mem_counts.update(other.mem_counts)
+        self.inferences += other.inferences
+        self.builtin_calls += other.builtin_calls
+
+
+@dataclass
+class NullStats:
+    """Stats stub that ignores everything (for semantics-only test runs)."""
+
+    module: Module = Module.CONTROL
+    inferences: int = 0
+    builtin_calls: int = 0
+
+    def emit(self, routine, times: int = 1) -> None:
+        pass
+
+    def emit_in(self, module, routine, times: int = 1) -> None:
+        pass
+
+    def mem_access(self, cmd, area) -> None:
+        pass

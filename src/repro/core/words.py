@@ -1,0 +1,111 @@
+"""Tagged machine words.
+
+A PSI word is an 8-bit tag plus 32-bit data.  We represent a word as a
+plain ``(tag, data)`` tuple — the hottest data structure in the
+machine, so it stays primitive.  ``data`` is
+
+* the value itself for ``INT``,
+* a symbol-table id for ``ATOM`` and ``FUNC``,
+* a flat logical address (see :mod:`repro.core.memory`) for ``REF``,
+  ``LIST``, ``STRUCT`` and ``VECT``,
+* the word's own address for ``UNDEF`` (an unbound variable cell).
+
+``LIST`` points at a two-word cell (car, cdr); ``STRUCT`` points at a
+functor word followed by the argument words; ``VECT`` points at a heap
+vector header whose data is the element count (the KL0 rewritable
+"heap vector" type the WINDOW program uses).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Tag(IntEnum):
+    UNDEF = 0      # unbound variable; data = own address
+    REF = 1        # bound reference; data = address of referenced cell
+    INT = 2        # integer; data = value
+    ATOM = 3       # atom; data = symbol id
+    NIL = 4        # the empty list; data = 0
+    LIST = 5       # cons cell pointer
+    STRUCT = 6     # structure pointer (to functor word)
+    FUNC = 7       # functor descriptor; data = functor id
+    VECT = 8       # heap vector pointer
+    VECTHDR = 9    # heap vector header; data = element count
+    PACK = 10      # packed small arguments (instruction code only)
+
+
+Word = tuple  # (Tag, int) — alias for documentation purposes
+
+NIL_WORD: Word = (Tag.NIL, 0)
+
+
+def mk_int(value: int) -> Word:
+    return (Tag.INT, value)
+
+
+def mk_atom(atom_id: int) -> Word:
+    return (Tag.ATOM, atom_id)
+
+
+def mk_ref(address: int) -> Word:
+    return (Tag.REF, address)
+
+
+def mk_unbound(address: int) -> Word:
+    return (Tag.UNDEF, address)
+
+
+def is_var_word(word: Word) -> bool:
+    return word[0] == Tag.UNDEF
+
+
+def is_atomic_word(word: Word) -> bool:
+    return word[0] in (Tag.INT, Tag.ATOM, Tag.NIL)
+
+
+def is_compound_word(word: Word) -> bool:
+    return word[0] in (Tag.LIST, Tag.STRUCT, Tag.VECT)
+
+
+class SymbolTable:
+    """Interns atom names and (name, arity) functors to small ids."""
+
+    def __init__(self) -> None:
+        self._atom_ids: dict[str, int] = {}
+        self._atom_names: list[str] = []
+        self._functor_ids: dict[tuple[str, int], int] = {}
+        self._functors: list[tuple[str, int]] = []
+
+    def atom(self, name: str) -> int:
+        """Intern ``name`` and return its atom id."""
+        atom_id = self._atom_ids.get(name)
+        if atom_id is None:
+            atom_id = len(self._atom_names)
+            self._atom_ids[name] = atom_id
+            self._atom_names.append(name)
+        return atom_id
+
+    def atom_name(self, atom_id: int) -> str:
+        return self._atom_names[atom_id]
+
+    def functor(self, name: str, arity: int) -> int:
+        """Intern the functor ``name/arity`` and return its id."""
+        key = (name, arity)
+        functor_id = self._functor_ids.get(key)
+        if functor_id is None:
+            functor_id = len(self._functors)
+            self._functor_ids[key] = functor_id
+            self._functors.append(key)
+        return functor_id
+
+    def functor_name(self, functor_id: int) -> tuple[str, int]:
+        return self._functors[functor_id]
+
+    @property
+    def atom_count(self) -> int:
+        return len(self._atom_names)
+
+    @property
+    def functor_count(self) -> int:
+        return len(self._functors)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the PSI reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single handler while
+still distinguishing front-end syntax problems from machine faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PrologSyntaxError(ReproError):
+    """Raised by the reader when Prolog source text cannot be parsed.
+
+    Carries the line and column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ExistenceError(ReproError):
+    """Raised when a goal calls a predicate that is not defined."""
+
+    def __init__(self, functor: str, arity: int):
+        super().__init__(f"undefined predicate: {functor}/{arity}")
+        self.functor = functor
+        self.arity = arity
+
+
+class InstantiationError(ReproError):
+    """Raised when a builtin requires a bound argument but finds a variable."""
+
+
+class TypeError_(ReproError):
+    """Raised when a builtin receives an argument of the wrong type.
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+    def __init__(self, expected: str, culprit: object):
+        super().__init__(f"type error: expected {expected}, got {culprit!r}")
+        self.expected = expected
+        self.culprit = culprit
+
+
+class EvaluationError(ReproError):
+    """Raised when arithmetic evaluation fails (e.g. division by zero)."""
+
+
+class MachineError(ReproError):
+    """Raised on internal machine faults (stack overflow, bad code words)."""
+
+
+class ResourceLimitExceeded(MachineError):
+    """Raised when a configured step or memory limit is exceeded."""

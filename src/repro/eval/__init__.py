@@ -1,0 +1,21 @@
+"""Evaluation harness: one module per table/figure of the paper."""
+
+from repro.eval import (  # noqa: F401
+    ablations,
+    figure1,
+    paper_data,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.eval.runner import clear_cache, run_baseline, run_psi
+
+__all__ = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "figure1", "ablations", "paper_data",
+    "run_psi", "run_baseline", "clear_cache",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    psi-eval table1            # or table2..table7, figure1, ablations
+    psi-eval all
+    psi-eval table1 --programs nreverse qsort
+    psi-eval run bup-2         # one workload, full machine report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval import (
+    ablations,
+    figure1,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+def _run_workload(args) -> str:
+    from repro.core.micro import CacheCmd
+    from repro.eval.runner import run_psi
+    from repro.tools.map import module_analysis, routine_histogram
+    if not args.programs:
+        raise SystemExit("psi-eval run needs a workload name (--programs)")
+    lines = []
+    for name in args.programs:
+        run = run_psi(name)
+        stats = run.stats
+        lines.append(f"== {name} ==")
+        lines.append(f"steps {run.steps}, inferences {stats.inferences}, "
+                     f"time {run.time_ms:.2f} ms, "
+                     f"{run.lips / 1000:.1f} KLIPS")
+        lines.append("modules: " + ", ".join(
+            f"{m.value} {v:.1f}%" for m, v in module_analysis(stats).items()))
+        commands = stats.cache_command_ratios()
+        lines.append("cache commands: " + ", ".join(
+            f"{c.value} {commands[c]:.1f}%" for c in CacheCmd))
+        lines.append(f"cache hit ratio: {run.cache.stats.hit_ratio:.2f}%")
+        lines.append("hot routines: " + ", ".join(
+            f"{name_}({steps})" for _, name_, steps in
+            routine_histogram(stats, top=5)))
+    return "\n".join(lines)
+
+
+_TARGETS = {
+    "table1": lambda args: table1.render(table1.generate(args.programs or None)),
+    "table2": lambda args: table2.render(table2.generate()),
+    "table3": lambda args: table3.render(table3.generate()),
+    "table4": lambda args: table4.render(table4.generate()),
+    "table5": lambda args: table5.render(table5.generate()),
+    "table6": lambda args: table6.render(table6.generate()),
+    "table7": lambda args: table7.render(table7.generate()),
+    "figure1": lambda args: figure1.render(figure1.generate()),
+    "ablations": lambda args: ablations.render(ablations.generate()),
+    "run": _run_workload,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psi-eval",
+        description="Regenerate the tables and figures of the PSI paper.")
+    parser.add_argument("target", choices=[*_TARGETS, "all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("programs", nargs="*", default=None, metavar="workload",
+                        help="workload names (for 'run' and 'table1')")
+    args = parser.parse_args(argv)
+    if args.target == "all":
+        targets = [t for t in _TARGETS if t != "run"]
+    else:
+        targets = [args.target]
+    for name in targets:
+        print(_TARGETS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Every table and figure of the evaluation section, as printed.  These
+feed the report generators (paper-vs-measured columns) and the shape
+checks in the benchmark harnesses.  OCR damage in the source scan was
+repaired against in-text statements (e.g. Table 5's window rows; the
+text says most ratios exceed 96% except the WINDOWs).
+"""
+
+from __future__ import annotations
+
+# -- Table 1: execution time (ms) on PSI and DEC-2060, and DEC/PSI ratio ----
+
+TABLE1 = {
+    # name: (psi_ms, dec_ms, dec_over_psi)
+    "nreverse": (13.6, 9.48, 0.70),
+    "qsort": (15.2, 14.6, 0.96),
+    "tree": (51.7, 61.1, 1.18),
+    "lisp-tarai": (4024.0, 4360.0, 1.08),
+    "lisp-fib": (369.0, 402.0, 1.09),
+    "lisp-nreverse": (173.0, 194.0, 1.12),
+    "queens-one": (96.9, 97.5, 1.01),
+    "queens-all": (1570.0, 1580.0, 1.01),
+    "reverse-function": (38.2, 41.7, 1.09),
+    "slow-reverse": (99.4, 89.0, 0.90),
+    "bup-1": (43.0, 52.0, 1.21),
+    "bup-2": (139.0, 194.0, 1.40),
+    "bup-3": (309.0, 424.0, 1.37),
+    "harmonizer-1": (657.0, 1040.0, 1.58),
+    "harmonizer-2": (1879.0, 2670.0, 1.42),
+    "harmonizer-3": (24119.0, 31390.0, 1.30),
+    "lcp-1": (379.0, 295.0, 0.78),
+    "lcp-2": (1387.0, 1071.0, 0.77),
+    "lcp-3": (2130.0, 1656.0, 0.78),
+}
+
+# -- Table 2: interpreter module step ratios (%) ------------------------------
+
+TABLE2 = {
+    # program: {module: percent}
+    "window": {"control": 31.1, "unify": 17.1, "trail": 2.0,
+               "get_arg": 13.6, "cut": 10.0, "built": 26.2},
+    "puzzle8": {"control": 27.5, "unify": 11.0, "trail": 7.5,
+                "get_arg": 22.7, "cut": 0.0, "built": 31.3},
+    "bup": {"control": 22.3, "unify": 43.0, "trail": 4.7,
+            "get_arg": 5.2, "cut": 5.6, "built": 19.2},
+    "harmonizer": {"control": 25.5, "unify": 46.4, "trail": 5.4,
+                   "get_arg": 7.3, "cut": 4.0, "built": 11.0},
+}
+
+# -- Table 3: cache command rates (% of all microinstruction steps) -----------
+
+TABLE3 = {
+    # program: (read, write_stack, write, write_total, total)
+    "window-1": (15.2, 3.5, 1.2, 4.7, 19.9),
+    "window-2": (15.2, 3.0, 1.1, 4.1, 19.7),
+    "window-3": (17.6, 3.9, 1.4, 5.3, 22.8),
+    "puzzle8": (9.9, 3.2, 2.8, 6.1, 16.0),
+    "bup": (15.6, 3.5, 2.2, 5.7, 21.3),
+    "harmonizer": (15.3, 4.6, 2.2, 6.8, 22.1),
+    "lcp": (17.0, 3.9, 2.2, 6.1, 23.1),
+}
+
+# -- Table 4: access frequency per memory area (%) ------------------------------
+
+TABLE4 = {
+    # program: (heap, global, local, control, trail)
+    "window-1": (49.6, 4.6, 16.5, 26.7, 2.6),
+    "window-2": (56.6, 4.4, 12.7, 26.3, 0.1),
+    "window-3": (52.7, 6.2, 12.1, 28.2, 0.8),
+    "puzzle8": (31.3, 14.3, 33.9, 14.1, 6.4),
+    "bup": (39.0, 29.9, 17.3, 12.0, 1.8),
+    "harmonizer": (35.2, 17.7, 30.3, 12.8, 3.8),
+    "lcp": (44.7, 22.3, 14.1, 17.4, 1.4),
+}
+
+# -- Table 5: cache hit ratios per memory area (%) --------------------------------
+
+TABLE5 = {
+    # program: (heap, global, local, control, trail, total)
+    "window-1": (96.0, 92.8, 98.9, 99.4, 99.6, 96.4),
+    "window-2": (87.2, 90.0, 98.5, 99.3, 95.2, 91.9),
+    "window-3": (84.5, 92.8, 97.4, 98.6, 98.7, 90.7),
+    "puzzle8": (99.2, 99.4, 99.6, 99.2, 97.7, 99.3),
+    "bup": (98.2, 96.8, 99.0, 93.2, 99.7, 98.0),
+    "harmonizer": (98.4, 98.4, 99.4, 98.2, 97.9, 98.4),
+    "lcp": (96.2, 93.8, 99.2, 99.1, 98.6, 96.2),
+}
+
+# -- Figure 1 and §4.2 statements -------------------------------------------------
+
+#: The improvement ratio "saturates near the capacity of 512 words".
+FIGURE1_SATURATION_WORDS = 512
+#: One 4KW set was only ~3% lower than two 4KW sets.
+ONE_SET_LOSS_PERCENT = 3.0
+#: Store-in was ~8% higher than store-through.
+STORE_IN_GAIN_PERCENT = 8.0
+#: Read:Write command ratio is approximately 3:1.
+READ_WRITE_RATIO = 3.0
+#: Write-stack accounts for 50-75% of all write commands.
+WRITE_STACK_SHARE = (50.0, 75.0)
+#: About one in five steps is a memory access.
+MEM_ACCESS_SHARE = (16.0, 23.1)
+
+# -- Table 6: WF access-mode frequencies for BUP ------------------------------------
+# mode: (source1 % of WF accesses, source1 % of steps,
+#        source2 % of WF accesses, source2 % of steps,
+#        dest % of WF accesses, dest % of steps)   None = not applicable
+
+TABLE6 = {
+    "WF00-0F": (12.2, 6.9, 100.0, 29.1, 33.0, 12.1),
+    "WF10-3F": (58.5, 33.0, None, None, 63.6, 23.3),
+    "Constant": (23.0, 13.0, None, None, None, None),
+    "@PDR/CDR": (1.3, 0.8, None, None, 0.3, 0.1),
+    "@WFAR1": (4.6, 2.6, None, None, 2.8, 1.0),
+    "@WFAR2": (0.07, 0.04, None, None, 0.3, 0.1),
+    "@WFCBR": (0.3, 0.2, None, None, 0.0, 0.0),
+}
+
+#: Table 6 'total' row: field access rates as % of all steps.
+TABLE6_TOTALS = {"source1": 56.4, "source2": 29.1, "dest": 36.6}
+
+#: §4.3: >=90% of WFAR indirect accesses use auto increment.
+WFAR_AUTO_INCREMENT_MIN = 0.90
+
+# -- Table 7: branch operation frequencies (%) ----------------------------------------
+
+TABLE7 = {
+    # op label: {program: percent}
+    "no operation (1)": {"bup": 7.2, "window": 6.7, "puzzle8": 4.8},
+    "if (cond) then": {"bup": 16.0, "window": 16.5, "puzzle8": 12.1},
+    "if (not(cond)) then": {"bup": 19.2, "window": 17.0, "puzzle8": 20.3},
+    "if tag(src2) then": {"bup": 2.7, "window": 5.2, "puzzle8": 3.1},
+    "case (tag(n,P/CDR))": {"bup": 10.9, "window": 8.6, "puzzle8": 9.1},
+    "case (irn)": {"bup": 2.8, "window": 4.6, "puzzle8": 4.9},
+    "case (ir-opcode)": {"bup": 0.5, "window": 1.4, "puzzle8": 1.5},
+    "goto (1)": {"bup": 3.7, "window": 1.4, "puzzle8": 2.7},
+    "gosub": {"bup": 4.0, "window": 5.7, "puzzle8": 6.5},
+    "return": {"bup": 3.8, "window": 5.4, "puzzle8": 6.5},
+    "load-jr": {"bup": 0.8, "window": 0.4, "puzzle8": 0.7},
+    "goto @jr (1)": {"bup": 1.4, "window": 0.6, "puzzle8": 0.7},
+    "no operation (2)": {"bup": 9.6, "window": 7.8, "puzzle8": 7.7},
+    "goto (2)": {"bup": 10.9, "window": 11.7, "puzzle8": 15.2},
+    "no operation (3)": {"bup": 6.5, "window": 7.0, "puzzle8": 4.2},
+    "goto @jr (3)": {"bup": 0.0, "window": 0.04, "puzzle8": 0.05},
+}
+
+#: §4.4: 77-83% of steps contain a branch operation.
+BRANCH_RATE_RANGE = (77.0, 83.0)
+#: Conditional branches account for 35-39% of steps.
+CONDITIONAL_RATE_RANGE = (35.0, 39.0)
+#: Multi-way (case) branches: 13-14% of steps.
+MULTIWAY_RATE_RANGE = (13.0, 14.0)
+
+#: §3.2: builtin call rate among all predicate calls.
+BUILTIN_CALL_RATE = {"window": 82.0, "bup": 65.0}

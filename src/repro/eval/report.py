@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) if _is_numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0.0"
+        if abs(value) < 0.1:
+            return f"{value:.2f}"
+        return f"{value:.1f}" if abs(value) < 1000 else f"{value:.0f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.lstrip("-")
+    return bool(stripped) and all(c.isdigit() or c == "." for c in stripped)
+
+
+def fmt_ms(value_ms: float) -> str:
+    return f"{value_ms:.2f}" if value_ms < 100 else f"{value_ms:.0f}"

@@ -1,0 +1,57 @@
+"""Shared run orchestration for the evaluation harness.
+
+Collected runs are cached per process so that e.g. Table 3, Table 4 and
+Table 5 (which analyse the same seven programs) execute each program
+once.  ``clear_cache`` exists for tests that need isolation.
+"""
+
+from __future__ import annotations
+
+from repro.baseline import BaselineStats, WAMMachine
+from repro.tools.collect import CollectedRun, collect
+from repro.workloads import get
+
+_PSI_CACHE: dict[str, CollectedRun] = {}
+_BASELINE_CACHE: dict[str, BaselineStats] = {}
+
+
+def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
+    """Run a workload on the PSI model (cached per process)."""
+    cached = _PSI_CACHE.get(name)
+    if cached is not None and (cached.trace is not None or not record_trace):
+        return cached
+    workload = get(name)
+    run = collect(workload.source, workload.goal,
+                  all_solutions=workload.all_solutions,
+                  record_trace=record_trace,
+                  setup_goals=workload.setup_goals)
+    if not run.succeeded:
+        raise RuntimeError(f"workload {name} failed on the PSI model")
+    _PSI_CACHE[name] = run
+    return run
+
+
+def run_baseline(name: str) -> BaselineStats:
+    """Run a workload on the DEC baseline (cached per process)."""
+    cached = _BASELINE_CACHE.get(name)
+    if cached is not None:
+        return cached
+    workload = get(name)
+    if workload.psi_only:
+        raise ValueError(f"workload {name} uses KL0-only builtins")
+    machine = WAMMachine()
+    machine.consult(workload.source)
+    solver = machine.solve(workload.goal)
+    if workload.all_solutions:
+        succeeded = solver.count() > 0
+    else:
+        succeeded = solver.next() is not None
+    if not succeeded:
+        raise RuntimeError(f"workload {name} failed on the baseline")
+    _BASELINE_CACHE[name] = machine.stats
+    return machine.stats
+
+
+def clear_cache() -> None:
+    _PSI_CACHE.clear()
+    _BASELINE_CACHE.clear()

@@ -1,0 +1,82 @@
+"""Table 3: execution rate of each cache command (% of all steps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.micro import CacheCmd
+from repro.eval import paper_data
+from repro.eval.report import format_table
+from repro.eval.runner import run_psi
+
+#: Paper's Table 3/4/5 programs -> our workload names, in paper order.
+HARDWARE_PROGRAMS = {
+    "window-1": "window-1",
+    "window-2": "window-2",
+    "window-3": "window-3",
+    "puzzle8": "puzzle8",
+    "bup": "bup-eval",
+    "harmonizer": "harmonizer-2",
+    "lcp": "lcp-eval",
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    program: str
+    read: float
+    write_stack: float
+    write: float
+    paper: tuple | None
+
+    @property
+    def write_total(self) -> float:
+        return self.write_stack + self.write
+
+    @property
+    def total(self) -> float:
+        return self.read + self.write_total
+
+    @property
+    def read_write_ratio(self) -> float:
+        return self.read / self.write_total if self.write_total else 0.0
+
+    @property
+    def write_stack_share(self) -> float:
+        """Write-stack as % of all write commands."""
+        return 100.0 * self.write_stack / self.write_total if self.write_total else 0.0
+
+
+def generate(programs: dict[str, str] | None = None) -> list[Table3Row]:
+    rows = []
+    for paper_name, workload_name in (programs or HARDWARE_PROGRAMS).items():
+        run = run_psi(workload_name, record_trace=False)
+        ratios = run.stats.cache_command_ratios()
+        rows.append(Table3Row(
+            program=paper_name,
+            read=ratios[CacheCmd.READ],
+            write_stack=ratios[CacheCmd.WRITE_STACK],
+            write=ratios[CacheCmd.WRITE],
+            paper=paper_data.TABLE3.get(paper_name),
+        ))
+    return rows
+
+
+def render(rows: list[Table3Row]) -> str:
+    body = []
+    for row in rows:
+        body.append([row.program, round(row.read, 1), round(row.write_stack, 1),
+                     round(row.write, 1), round(row.write_total, 1),
+                     round(row.total, 1)])
+        if row.paper:
+            body.append(["  (paper)"] + list(row.paper))
+    table = format_table(
+        ["program", "read", "write-stack", "write", "write-total", "total"],
+        body,
+        title="Table 3: execution rate of each cache command in total steps (%)")
+    ratios = [row.read_write_ratio for row in rows]
+    shares = [row.write_stack_share for row in rows]
+    summary = (f"read:write ratio {min(ratios):.1f}-{max(ratios):.1f} "
+               f"(paper: ~3), write-stack share of writes "
+               f"{min(shares):.0f}-{max(shares):.0f}% (paper: 50-75%)")
+    return f"{table}\n{summary}"

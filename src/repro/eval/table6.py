@@ -1,0 +1,83 @@
+"""Table 6: dynamic frequency of work file access modes (program BUP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.micro import WFMode
+from repro.eval import paper_data
+from repro.eval.report import format_table
+from repro.eval.runner import run_psi
+from repro.tools.map import wf_analysis
+
+WORKLOAD = "bup-eval"
+
+MODE_ORDER = [WFMode.WF00_0F, WFMode.WF10_3F, WFMode.CONSTANT,
+              WFMode.PDR_CDR, WFMode.WFAR1, WFMode.WFAR2, WFMode.WFCBR]
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    table: dict                    # field -> {mode: (field %, steps %)}
+    totals: dict[str, float]       # field -> % of steps
+    auto_increment_ratio: float
+    direct_share: float            # % of WF accesses using direct modes
+
+
+def generate(workload: str = WORKLOAD) -> Table6Result:
+    run = run_psi(workload, record_trace=False)
+    stats = run.stats
+    table = stats.wf_table()
+    counts = stats.wf_field_counts()
+    all_accesses = sum(sum(c.values()) for c in counts.values())
+    direct = sum(counts[field].get(mode, 0)
+                 for field in counts
+                 for mode in (WFMode.WF00_0F, WFMode.WF10_3F, WFMode.CONSTANT))
+    return Table6Result(
+        table=table,
+        totals=stats.wf_field_totals(),
+        auto_increment_ratio=stats.wfar_auto_increment_ratio(),
+        direct_share=100.0 * direct / all_accesses if all_accesses else 0.0,
+    )
+
+
+def render(result: Table6Result) -> str:
+    body = []
+    for mode in MODE_ORDER:
+        s1 = result.table["source1"][mode]
+        s2 = result.table["source2"][mode]
+        d = result.table["dest"][mode]
+        paper = paper_data.TABLE6[mode.value]
+        body.append([
+            mode.value,
+            f"{s1[0]:.1f}/{s1[1]:.1f}",
+            f"{s2[0]:.1f}/{s2[1]:.1f}" if mode is WFMode.WF00_0F else "-",
+            f"{d[0]:.1f}/{d[1]:.1f}" if mode is not WFMode.CONSTANT else "-",
+            _paper_cell(paper[0], paper[1]),
+            _paper_cell(paper[2], paper[3]),
+            _paper_cell(paper[4], paper[5]),
+        ])
+    totals = result.totals
+    body.append(["total",
+                 f"100/{totals['source1']:.1f}",
+                 f"100/{totals['source2']:.1f}",
+                 f"100/{totals['dest']:.1f}",
+                 f"100/{paper_data.TABLE6_TOTALS['source1']}",
+                 f"100/{paper_data.TABLE6_TOTALS['source2']}",
+                 f"100/{paper_data.TABLE6_TOTALS['dest']}"])
+    table = format_table(
+        ["access mode", "source1", "source2", "dest",
+         "paper s1", "paper s2", "paper dest"],
+        body,
+        title="Table 6: work file access modes for BUP "
+              "(% of field's WF accesses / % of all steps)")
+    return (f"{table}\n"
+            f"direct addressing share: {result.direct_share:.1f}% "
+            f"(paper: >=90%), WFAR auto-increment: "
+            f"{100 * result.auto_increment_ratio:.0f}% (paper: >=90%)")
+
+
+def _paper_cell(a, b) -> str:
+    if a is None:
+        return "-"
+    return f"{a}/{b}"

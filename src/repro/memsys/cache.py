@@ -1,0 +1,195 @@
+"""Set-associative cache model — the reproduction of PMMS.
+
+The PSI cache (§2.2): 8K words, two-way set associative, store-in
+(write-back), 4-word blocks, 200 ns hit / 800 ns miss, 800 ns 4-word
+block transfer, and a specialised *Write-stack* command that skips
+block read-in on a write miss (used for pushes to stack tops).
+
+The model is trace-driven: feed it ``(command, address)`` pairs either
+online (attach it to a running machine as a memory listener) or offline
+from a :class:`~repro.core.memory.TraceRecorder` via
+:mod:`repro.tools.pmms`.  It keeps per-area hit/miss counts so Table 5
+falls straight out, and event counts the timing model converts to
+stall time for Figure 1 and the store-in/store-through ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memory import AREA_SHIFT, Area
+from repro.core.micro import CacheCmd
+
+
+class WritePolicy:
+    """Write policies: the paper's store-in vs store-through comparison."""
+
+    STORE_IN = "store-in"          # write-back, write-allocate
+    STORE_THROUGH = "store-through"  # write-through, no write-allocate
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one simulated cache."""
+
+    capacity_words: int = 8192
+    ways: int = 2
+    block_words: int = 4
+    policy: str = WritePolicy.STORE_IN
+    #: the specialised Write-stack command allocates without block read-in
+    write_stack_no_fetch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_words % (self.ways * self.block_words):
+            raise ValueError("capacity must be a multiple of ways * block size")
+        if self.capacity_words < self.ways * self.block_words:
+            raise ValueError("capacity smaller than one set")
+        if self.policy not in (WritePolicy.STORE_IN, WritePolicy.STORE_THROUGH):
+            raise ValueError(f"unknown write policy {self.policy!r}")
+
+    @property
+    def sets(self) -> int:
+        return self.capacity_words // (self.ways * self.block_words)
+
+
+@dataclass
+class AreaCounts:
+    """Hit/miss counts for one memory area."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio in percent (100.0 when never accessed)."""
+        if not self.accesses:
+            return 100.0
+        return 100.0 * self.hits / self.accesses
+
+
+class CacheStats:
+    """Aggregate statistics of one simulation run."""
+
+    def __init__(self) -> None:
+        self.per_area: dict[Area, AreaCounts] = {area: AreaCounts() for area in Area}
+        self.per_cmd_hits: dict[CacheCmd, int] = {cmd: 0 for cmd in CacheCmd}
+        self.per_cmd_misses: dict[CacheCmd, int] = {cmd: 0 for cmd in CacheCmd}
+        self.block_fetches = 0      # block read-ins from main memory
+        self.writebacks = 0         # dirty block write-backs (store-in)
+        self.through_writes = 0     # individual word writes to memory (store-through)
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.per_area.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.per_area.values())
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.accesses:
+            return 100.0
+        return 100.0 * self.hits / self.accesses
+
+    def area_hit_ratio(self, area: Area) -> float:
+        return self.per_area[area].hit_ratio
+
+
+class Cache:
+    """One simulated cache (usable directly as a memory listener).
+
+    Replacement is true LRU within each set.  Tags are full block
+    numbers, so distinct areas never alias.
+    """
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self.stats = CacheStats()
+        cfg = self.config
+        self._set_mask = cfg.sets - 1 if (cfg.sets & (cfg.sets - 1)) == 0 else None
+        # Each set: list of [block_number, dirty] in LRU order (front = MRU).
+        self._sets: list[list[list]] = [[] for _ in range(cfg.sets)]
+        self._block_shift = (cfg.block_words - 1).bit_length() \
+            if cfg.block_words > 1 else 0
+        if 1 << self._block_shift != cfg.block_words:
+            raise ValueError("block size must be a power of two")
+
+    # -- MemoryListener interface -------------------------------------------------
+
+    def access(self, cmd: CacheCmd, address: int) -> bool:
+        """Simulate one access; returns True on hit."""
+        block = address >> self._block_shift
+        index = block % self.config.sets
+        ways = self._sets[index]
+        counts = self.stats.per_area[Area(address >> AREA_SHIFT)]
+        entry = None
+        for i, candidate in enumerate(ways):
+            if candidate[0] == block:
+                entry = candidate
+                if i:
+                    ways.pop(i)
+                    ways.insert(0, entry)
+                break
+
+        is_write = cmd is not CacheCmd.READ
+        if entry is not None:
+            counts.hits += 1
+            self.stats.per_cmd_hits[cmd] += 1
+            if is_write:
+                if self.config.policy == WritePolicy.STORE_IN:
+                    entry[1] = True
+                else:
+                    self.stats.through_writes += 1
+            return True
+
+        counts.misses += 1
+        self.stats.per_cmd_misses[cmd] += 1
+        if is_write and self.config.policy == WritePolicy.STORE_THROUGH:
+            # No write-allocate: the word goes straight to memory.
+            self.stats.through_writes += 1
+            return False
+        fetch = not (is_write
+                     and cmd is CacheCmd.WRITE_STACK
+                     and self.config.write_stack_no_fetch)
+        if fetch:
+            self.stats.block_fetches += 1
+        self._fill(ways, block, dirty=is_write
+                   and self.config.policy == WritePolicy.STORE_IN)
+        return False
+
+    def _fill(self, ways: list, block: int, dirty: bool) -> None:
+        if len(ways) >= self.config.ways:
+            victim = ways.pop()
+            if victim[1]:
+                self.stats.writebacks += 1
+        ways.insert(0, [block, dirty])
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write back all dirty blocks; returns how many were dirty."""
+        dirty = 0
+        for ways in self._sets:
+            for entry in ways:
+                if entry[1]:
+                    dirty += 1
+                    entry[1] = False
+        self.stats.writebacks += dirty
+        return dirty
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        self._sets = [[] for _ in range(self.config.sets)]
+
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(ways) for ways in self._sets)

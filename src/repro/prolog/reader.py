@@ -1,0 +1,303 @@
+"""Operator-precedence reader for Prolog source text.
+
+Implements the standard Edinburgh operator-precedence grammar over the
+token stream from :mod:`repro.prolog.tokens`.  The default operator
+table matches DEC-10 Prolog (which both the PSI's KL0 front end and the
+baseline compiler accept).
+
+Entry points:
+
+* :func:`parse_term` — one term from a string
+* :func:`parse_program` — a whole program: list of clause terms
+* :class:`Reader` — incremental reading with a custom operator table
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.terms import Atom, Struct, Term, Var, make_list
+from repro.prolog.tokens import Token, TokenKind, tokenize
+
+MAX_PRIORITY = 1200
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One operator definition: priority and type (xfx, xfy, yfx, fy, fx, xf, yf)."""
+
+    priority: int
+    type: str
+
+    @property
+    def is_prefix(self) -> bool:
+        return self.type in ("fy", "fx")
+
+    @property
+    def is_infix(self) -> bool:
+        return self.type in ("xfx", "xfy", "yfx")
+
+    @property
+    def is_postfix(self) -> bool:
+        return self.type in ("xf", "yf")
+
+    @property
+    def left_max(self) -> int:
+        """Maximum priority of a left argument."""
+        if self.type in ("xfx", "xfy", "xf"):
+            return self.priority - 1
+        return self.priority  # yfx, yf
+
+    @property
+    def right_max(self) -> int:
+        """Maximum priority of a right argument."""
+        if self.type in ("xfx", "yfx", "fx"):
+            return self.priority - 1
+        return self.priority  # xfy, fy
+
+
+#: The DEC-10 Prolog operator table (the subset our workloads use).
+DEFAULT_OPERATORS: dict[str, list[Op]] = {}
+
+
+def _add_op(priority: int, op_type: str, *names: str) -> None:
+    for name in names:
+        DEFAULT_OPERATORS.setdefault(name, []).append(Op(priority, op_type))
+
+
+_add_op(1200, "xfx", ":-", "-->")
+_add_op(1200, "fx", ":-", "?-")
+_add_op(1100, "xfy", ";")
+_add_op(1050, "xfy", "->")
+_add_op(1000, "xfy", ",")
+_add_op(900, "fy", "\\+")
+_add_op(700, "xfx", "=", "\\=", "==", "\\==", "@<", "@>", "@=<", "@>=",
+        "=..", "is", "=:=", "=\\=", "<", ">", "=<", ">=")
+_add_op(500, "yfx", "+", "-", "/\\", "\\/", "xor")
+_add_op(400, "yfx", "*", "/", "//", "mod", "rem", "<<", ">>")
+_add_op(200, "xfx", "**")
+_add_op(200, "xfy", "^")
+_add_op(200, "fy", "-", "+", "\\")
+
+
+class Reader:
+    """Parses a token stream into terms using an operator table."""
+
+    def __init__(self, text: str, operators: dict[str, list[Op]] | None = None):
+        self._tokens = tokenize(text)
+        self._index = 0
+        self._operators = operators if operators is not None else DEFAULT_OPERATORS
+        self._anon_counter = 0
+
+    # -- public API --------------------------------------------------------
+
+    def read_term(self) -> Term | None:
+        """Read the next clause-terminated term, or None at end of input."""
+        if self._peek().kind is TokenKind.EOF:
+            return None
+        term = self._parse(MAX_PRIORITY)
+        token = self._next()
+        if token.kind is not TokenKind.END:
+            raise self._error(token, "operator expected or missing '.'")
+        return term
+
+    def read_all(self) -> list[Term]:
+        terms = []
+        while (term := self.read_term()) is not None:
+            terms.append(term)
+        return terms
+
+    # -- token stream ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, token: Token, message: str) -> PrologSyntaxError:
+        return PrologSyntaxError(f"{message} (found {token.text!r})", token.line, token.column)
+
+    # -- operator-precedence parser -----------------------------------------
+
+    def _ops(self, name: str) -> list[Op]:
+        return self._operators.get(name, [])
+
+    def _parse(self, max_priority: int) -> Term:
+        left, left_priority = self._parse_primary(max_priority)
+        return self._parse_infix(left, left_priority, max_priority)
+
+    def _parse_infix(self, left: Term, left_priority: int, max_priority: int) -> Term:
+        while True:
+            token = self._peek()
+            name = self._infix_name(token)
+            if name is None:
+                return left
+            candidates = [op for op in self._ops(name)
+                          if op.is_infix and op.priority <= max_priority
+                          and left_priority <= op.left_max]
+            if not candidates:
+                return left
+            op = candidates[0]
+            self._next()
+            right = self._parse(op.right_max)
+            left = Struct(name, (left, right))
+            left_priority = op.priority
+        return left
+
+    def _infix_name(self, token: Token) -> str | None:
+        """The operator name if ``token`` can start an infix operator."""
+        if token.kind is TokenKind.ATOM and self._ops(token.text):
+            return token.text
+        if token.kind is TokenKind.PUNCT and token.text in (",", "|"):
+            # ',' is the conjunction operator; '|' acts as ';' at 1100.
+            return "," if token.text == "," else ";"
+        return None
+
+    def _parse_primary(self, max_priority: int) -> tuple[Term, int]:
+        token = self._next()
+        kind = token.kind
+
+        if kind is TokenKind.INT:
+            return token.value, 0
+
+        if kind is TokenKind.VAR:
+            return self._make_var(token.text), 0
+
+        if kind is TokenKind.STRING:
+            return make_list([ord(ch) for ch in token.value]), 0
+
+        if kind is TokenKind.OPEN_CT:
+            args = self._parse_arglist()
+            return Struct(token.value, tuple(args)), 0
+
+        if kind is TokenKind.PUNCT:
+            if token.text == "(":
+                term = self._parse(MAX_PRIORITY)
+                self._expect_punct(")")
+                return term, 0
+            if token.text == "[":
+                return self._parse_list(), 0
+            if token.text == "{":
+                if self._peek().kind is TokenKind.PUNCT and self._peek().text == "}":
+                    self._next()
+                    return Atom("{}"), 0
+                term = self._parse(MAX_PRIORITY)
+                self._expect_punct("}")
+                return Struct("{}", (term,)), 0
+            raise self._error(token, "unexpected punctuation")
+
+        if kind is TokenKind.ATOM:
+            return self._parse_atom_primary(token, max_priority)
+
+        raise self._error(token, "term expected")
+
+    def _parse_atom_primary(self, token: Token, max_priority: int) -> tuple[Term, int]:
+        name = token.text
+        # Negative number literals: '-' immediately before an integer.
+        if name == "-" and self._peek().kind is TokenKind.INT:
+            value = self._next().value
+            assert isinstance(value, int)
+            return -value, 0
+        prefix_ops = [op for op in self._ops(name) if op.is_prefix]
+        if prefix_ops and self._can_start_term(self._peek()):
+            op = next((o for o in prefix_ops if o.priority <= max_priority), None)
+            if op is not None:
+                operand = self._parse(op.right_max)
+                return Struct(name, (operand,)), op.priority
+        # A bare atom; if it is also an operator it carries its priority.
+        all_ops = self._ops(name)
+        priority = min((op.priority for op in all_ops), default=0)
+        return Atom(name), priority
+
+    def _can_start_term(self, token: Token) -> bool:
+        if token.kind in (TokenKind.INT, TokenKind.VAR, TokenKind.STRING,
+                          TokenKind.OPEN_CT):
+            return True
+        if token.kind is TokenKind.PUNCT:
+            return token.text in ("(", "[", "{")
+        if token.kind is TokenKind.ATOM:
+            # An atom that is exclusively an infix operator cannot start a term
+            # unless parenthesised.
+            ops = self._ops(token.text)
+            if ops and all(op.is_infix or op.is_postfix for op in ops):
+                return False
+            return True
+        return False
+
+    def _parse_arglist(self) -> list[Term]:
+        """Arguments after an OPEN_CT token, consuming the closing ')'."""
+        args = [self._parse_arg()]
+        while True:
+            token = self._next()
+            if token.kind is TokenKind.PUNCT and token.text == ")":
+                return args
+            if token.kind is TokenKind.PUNCT and token.text == ",":
+                args.append(self._parse_arg())
+                continue
+            raise self._error(token, "',' or ')' expected in argument list")
+
+    def _parse_arg(self) -> Term:
+        # Arguments parse at priority 999 so ',' separates arguments.
+        return self._parse(999)
+
+    def _parse_list(self) -> Term:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text == "]":
+            self._next()
+            return Atom("[]")
+        items = [self._parse_arg()]
+        tail: Term = Atom("[]")
+        while True:
+            token = self._next()
+            if token.kind is TokenKind.PUNCT and token.text == "]":
+                break
+            if token.kind is TokenKind.PUNCT and token.text == ",":
+                items.append(self._parse_arg())
+                continue
+            if token.kind is TokenKind.PUNCT and token.text == "|":
+                tail = self._parse_arg()
+                self._expect_punct("]")
+                break
+            raise self._error(token, "',', '|' or ']' expected in list")
+        return make_list(items, tail)
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._next()
+        if token.kind is not TokenKind.PUNCT or token.text != text:
+            raise self._error(token, f"{text!r} expected")
+
+    def _make_var(self, name: str) -> Var:
+        if name == "_":
+            self._anon_counter += 1
+            return Var(f"_G${self._anon_counter}")
+        return Var(name)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term from ``text`` (trailing '.' optional)."""
+    if not text.rstrip().endswith("."):
+        text = text + " ."
+    reader = Reader(text)
+    term = reader.read_term()
+    if term is None:
+        raise PrologSyntaxError("empty input")
+    return term
+
+
+def parse_program(text: str) -> list[Term]:
+    """Parse all clause terms in ``text``."""
+    return Reader(text).read_all()
+
+
+def iter_clauses(text: str) -> Iterator[Term]:
+    """Lazily yield clause terms from ``text``."""
+    reader = Reader(text)
+    while (term := reader.read_term()) is not None:
+        yield term

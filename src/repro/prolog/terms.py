@@ -1,0 +1,159 @@
+"""Source-level Prolog term representation.
+
+These classes are the abstract syntax produced by :mod:`repro.prolog.reader`
+and consumed by both execution engines (the PSI interpreter's code loader
+and the WAM compiler of the DEC baseline).  They are deliberately plain,
+immutable values: the *runtime* representation of terms (tagged words in
+machine memory) lives in :mod:`repro.core`.
+
+Integers are represented directly as Python ``int``; everything else uses
+the three classes below.  Lists are ordinary structures with functor
+``'.'`` and arity 2, terminated by the atom ``[]``, exactly as in classic
+Prolog systems of the DEC-10 lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+Term = Union["Atom", "Var", "Struct", int]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A Prolog atom (constant symbol)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A named source-level variable.
+
+    Variable identity within one clause is by name; the readers rename
+    ``_`` to fresh names so each anonymous variable is distinct.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.name.startswith("_G$")
+
+
+@dataclass(frozen=True, slots=True)
+class Struct:
+    """A compound term ``functor(arg1, ..., argn)`` with arity >= 1."""
+
+    functor: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError("Struct requires at least one argument; use Atom")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The predicate indicator ``(functor, arity)``."""
+        return (self.functor, len(self.args))
+
+    def __repr__(self) -> str:
+        return f"Struct({self.functor!r}, {self.args!r})"
+
+
+NIL = Atom("[]")
+TRUE = Atom("true")
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    """Build one list cell ``'.'(head, tail)``."""
+    return Struct(".", (head, tail))
+
+
+def make_list(items: Iterable[Term], tail: Term = NIL) -> Term:
+    """Build a Prolog list term from ``items``, ending in ``tail``."""
+    result = tail
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def is_cons(term: Term) -> bool:
+    """True if ``term`` is a list cell ``'.'/2``."""
+    return isinstance(term, Struct) and term.functor == "." and term.arity == 2
+
+
+def is_nil(term: Term) -> bool:
+    return isinstance(term, Atom) and term.name == "[]"
+
+
+def list_elements(term: Term) -> list[Term]:
+    """Return the elements of a proper list term.
+
+    Raises :class:`ValueError` if the term is not a proper list.
+    """
+    elements: list[Term] = []
+    while is_cons(term):
+        assert isinstance(term, Struct)
+        elements.append(term.args[0])
+        term = term.args[1]
+    if not is_nil(term):
+        raise ValueError(f"not a proper list (tail is {term!r})")
+    return elements
+
+
+def iter_subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every subterm, pre-order, iteratively."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+def term_variables(term: Term) -> list[Var]:
+    """All distinct variables in ``term``, in first-occurrence order."""
+    seen: dict[Var, None] = {}
+    for sub in iter_subterms(term):
+        if isinstance(sub, Var) and sub not in seen:
+            seen[sub] = None
+    return list(seen)
+
+
+def clause_parts(term: Term) -> tuple[Term, list[Term]]:
+    """Split a clause term into ``(head, body_goals)``.
+
+    A fact ``h`` becomes ``(h, [])``; a rule ``h :- b`` has its body
+    flattened over ``','``.  Control constructs other than conjunction
+    (``;``, ``->``) are left as single goals for the engines to handle.
+    """
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 2:
+        head, body = term.args
+        return head, flatten_conjunction(body)
+    return term, []
+
+
+def flatten_conjunction(term: Term) -> list[Term]:
+    """Flatten nested ``','/2`` into a goal list (left-to-right order)."""
+    goals: list[Term] = []
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Struct) and current.functor == "," and current.arity == 2:
+            stack.append(current.args[1])
+            stack.append(current.args[0])
+        else:
+            goals.append(current)
+    return goals

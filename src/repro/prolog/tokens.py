@@ -1,0 +1,241 @@
+"""Tokenizer for (DEC-10 flavoured) Prolog source text.
+
+Produces a stream of :class:`Token` values for the operator-precedence
+reader.  The token classes follow classic Edinburgh syntax:
+
+* atoms: lowercase identifiers, quoted atoms, symbolic atoms built from
+  the symbol-char set, and the solo atoms ``! ; [] {}``
+* variables: identifiers starting with an uppercase letter or ``_``
+* integers: decimal, ``0'c`` character codes
+* strings: ``"..."`` read as lists of character codes
+* punctuation: ``( ) [ ] { } , |`` and the clause-terminating ``.``
+
+Comments (``% ...`` and ``/* ... */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import PrologSyntaxError
+
+SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+SOLO_CHARS = set("!,;|")
+
+
+class TokenKind(Enum):
+    ATOM = auto()
+    VAR = auto()
+    INT = auto()
+    STRING = auto()          # value is the raw text; reader expands to code list
+    PUNCT = auto()           # ( ) [ ] { } , |
+    OPEN_CT = auto()         # '(' immediately after an atom: functor application
+    END = auto()             # clause-terminating full stop
+    EOF = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an ``EOF`` token."""
+    return list(_Tokenizer(text).run())
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def run(self):
+        while True:
+            self._skip_layout()
+            if self.pos >= len(self.text):
+                yield self._token(TokenKind.EOF, "")
+                return
+            yield self._next_token()
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _token(self, kind: TokenKind, text: str, value: object = None) -> Token:
+        return Token(kind, text, value, self.line, self.column)
+
+    def _error(self, message: str) -> PrologSyntaxError:
+        return PrologSyntaxError(message, self.line, self.column)
+
+    def _skip_layout(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "%":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    # -- token scanners ----------------------------------------------------
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if ch.isdigit():
+            return self._scan_number()
+        if ch == "_" or ch.isalpha():
+            return self._scan_name()
+        if ch == "'":
+            return self._scan_quoted_atom()
+        if ch == '"':
+            return self._scan_string()
+        if ch in "()[]{}":
+            token = self._token(TokenKind.PUNCT, ch)
+            self._advance()
+            return token
+        if ch in SOLO_CHARS:
+            self._advance()
+            if ch in "!;":
+                return self._token(TokenKind.ATOM, ch, ch)
+            return self._token(TokenKind.PUNCT, ch)
+        if ch in SYMBOL_CHARS:
+            return self._scan_symbol()
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        line, column = self.line, self.column
+        if self._peek() == "0" and self._peek(1) == "'":
+            self._advance(2)
+            ch = self._peek()
+            if ch == "\\":
+                self._advance()
+                code = self._scan_escape()
+            elif ch == "":
+                raise self._error("unterminated character code")
+            else:
+                self._advance()
+                code = ord(ch)
+            return Token(TokenKind.INT, self.text[start:self.pos], code, line, column)
+        while self._peek().isdigit():
+            self._advance()
+        text = self.text[start:self.pos]
+        return Token(TokenKind.INT, text, int(text), line, column)
+
+    def _scan_name(self) -> Token:
+        start = self.pos
+        line, column = self.line, self.column
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[start:self.pos]
+        if text[0] == "_" or text[0].isupper():
+            return Token(TokenKind.VAR, text, text, line, column)
+        if self._peek() == "(":
+            self._advance()
+            return Token(TokenKind.OPEN_CT, text, text, line, column)
+        return Token(TokenKind.ATOM, text, text, line, column)
+
+    def _scan_quoted_atom(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated quoted atom")
+            if ch == "'":
+                if self._peek(1) == "'":
+                    self._advance(2)
+                    chars.append("'")
+                    continue
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                chars.append(chr(self._scan_escape()))
+                continue
+            self._advance()
+            chars.append(ch)
+        name = "".join(chars)
+        if self._peek() == "(":
+            self._advance()
+            return Token(TokenKind.OPEN_CT, name, name, line, column)
+        return Token(TokenKind.ATOM, name, name, line, column)
+
+    def _scan_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated string")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                chars.append(chr(self._scan_escape()))
+                continue
+            self._advance()
+            chars.append(ch)
+        return Token(TokenKind.STRING, "".join(chars), "".join(chars), line, column)
+
+    _ESCAPES = {"n": 10, "t": 9, "r": 13, "a": 7, "b": 8, "f": 12, "v": 11,
+                "\\": 92, "'": 39, '"': 34, "`": 96, "0": 0}
+
+    def _scan_escape(self) -> int:
+        ch = self._peek()
+        if ch in self._ESCAPES:
+            self._advance()
+            return self._ESCAPES[ch]
+        raise self._error(f"unknown escape sequence \\{ch}")
+
+    def _scan_symbol(self) -> Token:
+        start = self.pos
+        line, column = self.line, self.column
+        while self._peek() in SYMBOL_CHARS:
+            self._advance()
+        text = self.text[start:self.pos]
+        # A lone '.' followed by layout or EOF terminates a clause.
+        if text == ".":
+            nxt = self._peek()
+            if nxt == "" or nxt in " \t\r\n%":
+                return Token(TokenKind.END, ".", None, line, column)
+        if self._peek() == "(":
+            self._advance()
+            return Token(TokenKind.OPEN_CT, text, text, line, column)
+        return Token(TokenKind.ATOM, text, text, line, column)

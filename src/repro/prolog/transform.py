@@ -1,0 +1,161 @@
+"""Source-to-source expansion of control constructs.
+
+Both execution engines (the PSI interpreter and the WAM baseline)
+handle only plain conjunctive clause bodies containing user calls,
+builtins and cut.  This module rewrites ``;``, ``->``, ``\\+`` and
+``not/1`` into auxiliary predicates at the source level:
+
+* ``(C -> T ; E)``  becomes  ``$ite(...)`` with clauses
+  ``$ite :- C, !, T.``  and  ``$ite :- E.``
+* ``(A ; B)``       becomes  ``$dsj(...)`` with one clause per branch
+* ``\\+ G``          becomes  ``$not(...)`` with
+  ``$not :- G, !, fail.``  and  ``$not.``
+
+Auxiliary predicates take every variable of the construct as an
+argument.  A cut inside a disjunction is therefore local to the
+construct (like ISO ``\\+``); the bundled workloads respect this, and
+it applies identically to both engines so the comparison stays fair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    clause_parts,
+    flatten_conjunction,
+)
+
+
+@dataclass(frozen=True)
+class FlatClause:
+    """A clause whose body is a flat list of simple goals."""
+
+    head: Term
+    body: tuple[Term, ...]
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        if isinstance(self.head, Atom):
+            return (self.head.name, 0)
+        if isinstance(self.head, Struct):
+            return (self.head.functor, self.head.arity)
+        raise PrologSyntaxError(f"invalid clause head: {self.head!r}")
+
+    @property
+    def head_args(self) -> tuple[Term, ...]:
+        return self.head.args if isinstance(self.head, Struct) else ()
+
+
+@dataclass
+class TransformResult:
+    clauses: list[FlatClause] = field(default_factory=list)
+    auxiliary: set[tuple[str, int]] = field(default_factory=set)
+
+
+class ControlExpander:
+    """Expands control constructs, generating auxiliary predicates.
+
+    One expander should live as long as its program so auxiliary names
+    stay unique across incremental loads.
+    """
+
+    _CONTROL = {(";", 2), ("->", 2), ("\\+", 1), ("not", 1)}
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def expand_program(self, terms) -> TransformResult:
+        result = TransformResult()
+        for term in terms:
+            self.expand_clause(term, result)
+        return result
+
+    def expand_clause(self, term: Term, result: TransformResult) -> FlatClause:
+        head, goals = clause_parts(term)
+        flat_goals: list[Term] = []
+        for goal in goals:
+            flat_goals.extend(self._expand_goal(goal, result))
+        clause = FlatClause(head, tuple(flat_goals))
+        result.clauses.append(clause)
+        return clause
+
+    # -- internals ---------------------------------------------------------
+
+    def _expand_goal(self, goal: Term, result: TransformResult) -> list[Term]:
+        if not isinstance(goal, Struct):
+            return [goal]
+        indicator = goal.indicator
+        if indicator == (",", 2):
+            expanded: list[Term] = []
+            for sub in flatten_conjunction(goal):
+                expanded.extend(self._expand_goal(sub, result))
+            return expanded
+        if indicator == (";", 2):
+            return [self._disjunction(goal, result)]
+        if indicator == ("->", 2):
+            bare = Struct(";", (goal, Atom("fail")))
+            return [self._disjunction(bare, result)]
+        if indicator in (("\\+", 1), ("not", 1)):
+            return [self._negation(goal.args[0], result)]
+        return [goal]
+
+    def _aux_head(self, kind: str, term: Term) -> Term:
+        variables = _distinct_vars(term)
+        name = f"${kind}{next(self._counter)}"
+        return Struct(name, tuple(variables)) if variables else Atom(name)
+
+    def _disjunction(self, goal: Struct, result: TransformResult) -> Term:
+        head = self._aux_head("dsj", goal)
+        for branch in _branches(goal):
+            if isinstance(branch, Struct) and branch.indicator == ("->", 2):
+                condition, then = branch.args
+                body = Struct(",", (condition, Struct(",", (Atom("!"), then))))
+            else:
+                body = branch
+            self.expand_clause(Struct(":-", (head, body)), result)
+        result.auxiliary.add(_indicator(head))
+        return head
+
+    def _negation(self, inner: Term, result: TransformResult) -> Term:
+        head = self._aux_head("not", inner)
+        body = Struct(",", (inner, Struct(",", (Atom("!"), Atom("fail")))))
+        self.expand_clause(Struct(":-", (head, body)), result)
+        result.clauses.append(FlatClause(head, ()))
+        result.auxiliary.add(_indicator(head))
+        return head
+
+
+def _indicator(head: Term) -> tuple[str, int]:
+    if isinstance(head, Atom):
+        return (head.name, 0)
+    assert isinstance(head, Struct)
+    return (head.functor, head.arity)
+
+
+def _branches(goal: Term) -> list[Term]:
+    branches: list[Term] = []
+    while isinstance(goal, Struct) and goal.indicator == (";", 2):
+        branches.append(goal.args[0])
+        goal = goal.args[1]
+    branches.append(goal)
+    return branches
+
+
+def _distinct_vars(term: Term) -> list[Var]:
+    seen: dict[str, Var] = {}
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            seen.setdefault(current.name, current)
+        elif isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+    return list(seen.values())

@@ -1,0 +1,30 @@
+"""Measurement tools: the COLLECT / MAP / PMMS equivalents (§4.1)."""
+
+from repro.tools.collect import CollectedRun, collect
+from repro.tools.map import (
+    BranchRow,
+    WFRow,
+    branch_analysis,
+    module_analysis,
+    routine_histogram,
+    wf_analysis,
+)
+from repro.tools.pmms import (
+    FIGURE1_CAPACITIES,
+    ComparisonResult,
+    SweepPoint,
+    capacity_sweep,
+    compare_associativity,
+    compare_write_policy,
+    performance_improvement,
+    simulate,
+)
+
+__all__ = [
+    "collect", "CollectedRun",
+    "branch_analysis", "wf_analysis", "module_analysis", "routine_histogram",
+    "BranchRow", "WFRow",
+    "simulate", "capacity_sweep", "performance_improvement",
+    "compare_associativity", "compare_write_policy",
+    "SweepPoint", "ComparisonResult", "FIGURE1_CAPACITIES",
+]

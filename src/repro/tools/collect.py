@@ -1,0 +1,100 @@
+"""COLLECT: run a program on the PSI model and capture everything.
+
+The original COLLECT was an interpreter in the PSI's console processor
+that single-stepped the CPU and dumped microinstruction addresses,
+register and memory contents to floppy disk.  Our equivalent runs a
+goal on :class:`~repro.core.machine.PSIMachine` with
+
+* the stats collector (microinstruction-stream statistics),
+* optionally a :class:`~repro.core.memory.TraceRecorder` (the memory
+  access stream handed to PMMS), and
+* optionally an online :class:`~repro.memsys.Cache` in the paper's
+  production configuration, for end-to-end execution-time measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine import MachineConfig, PSIMachine
+from repro.core.memory import TraceRecorder
+from repro.core.stats import StatsCollector
+from repro.memsys import Cache, CacheConfig, TimingBreakdown, execution_time
+
+
+@dataclass
+class CollectedRun:
+    """Everything COLLECT gathered from one run."""
+
+    goal: str
+    succeeded: bool
+    solutions: int
+    stats: StatsCollector
+    trace: TraceRecorder | None
+    cache: Cache | None
+    machine: PSIMachine
+
+    @property
+    def steps(self) -> int:
+        return self.stats.total_steps
+
+    @property
+    def timing(self) -> TimingBreakdown:
+        """PSI execution time (requires the online cache)."""
+        cache_stats = self.cache.stats if self.cache is not None else None
+        return execution_time(self.steps, cache_stats)
+
+    @property
+    def time_ms(self) -> float:
+        return self.timing.total_ms
+
+    @property
+    def lips(self) -> float:
+        """Logical inferences per second at the modelled clock."""
+        seconds = self.timing.total_ns / 1e9
+        return self.stats.inferences / seconds if seconds else 0.0
+
+
+def collect(program: str, goal: str, *,
+            all_solutions: bool = False,
+            record_trace: bool = True,
+            with_cache: bool = True,
+            cache_config: CacheConfig | None = None,
+            machine_config: MachineConfig | None = None,
+            setup_goals: tuple[str, ...] = ()) -> CollectedRun:
+    """Load ``program``, run ``goal``, return the collected data.
+
+    ``setup_goals`` run before measurement starts (their traffic is
+    excluded) — used by workloads that build input data first.
+    """
+    machine = PSIMachine(config=machine_config)
+    machine.consult(program)
+    for setup in setup_goals:
+        if machine.run(setup) is None:
+            raise RuntimeError(f"setup goal failed: {setup}")
+    # Fresh collectors so measurement excludes loading and setup.
+    stats = StatsCollector()
+    machine.stats = stats
+    machine.mem.stats = stats
+    machine.wf.stats = stats
+    trace = TraceRecorder() if record_trace else None
+    if trace is not None:
+        machine.mem.attach(trace)
+    cache = Cache(cache_config or CacheConfig()) if with_cache else None
+    if cache is not None:
+        machine.mem.attach(cache)
+
+    solver = machine.solve(goal)
+    if all_solutions:
+        solutions = solver.count()
+        succeeded = solutions > 0
+    else:
+        solution = solver.next()
+        succeeded = solution is not None
+        solutions = 1 if succeeded else 0
+
+    if trace is not None:
+        machine.mem.detach(trace)
+    if cache is not None:
+        machine.mem.detach(cache)
+    return CollectedRun(goal, succeeded, solutions, stats, trace, cache, machine)

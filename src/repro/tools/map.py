@@ -1,0 +1,74 @@
+"""MAP: microinstruction pattern analysis.
+
+The original MAP counted occurrences of specific patterns in specific
+microinstruction fields over an address trace collected by COLLECT.
+Our microinstruction stream is the routine-emission record inside
+:class:`~repro.core.stats.StatsCollector`; MAP projects it onto the
+fields the paper analyses:
+
+* the branch field (Table 7),
+* the three work-file-controlling fields Source-1/Source-2/Destination
+  (Table 6),
+* per-module step counts (Table 2),
+* and a per-routine histogram for drill-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.micro import BRANCH_TYPE, BranchOp, Module, WFMode
+from repro.core.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class BranchRow:
+    op: BranchOp
+    branch_type: int
+    percent: float
+
+
+@dataclass(frozen=True)
+class WFRow:
+    mode: WFMode
+    source1: tuple[float, float] | None   # (% of field accesses, % of steps)
+    source2: tuple[float, float] | None
+    dest: tuple[float, float] | None
+
+
+def branch_analysis(stats: StatsCollector) -> list[BranchRow]:
+    """Table 7 rows: dynamic frequency of each branch-field operation."""
+    ratios = stats.branch_ratios()
+    return [BranchRow(op, BRANCH_TYPE[op], ratios[op]) for op in BranchOp]
+
+
+def wf_analysis(stats: StatsCollector) -> list[WFRow]:
+    """Table 6 rows: per access mode, per field, the access-count share
+    and the share of total microprogram steps."""
+    table = stats.wf_table()
+    rows = []
+    for mode in WFMode:
+        s1 = table["source1"][mode]
+        s2 = table["source2"][mode]
+        d = table["dest"][mode]
+        rows.append(WFRow(
+            mode,
+            s1 if s1[0] or s1[1] else None,
+            s2 if mode is WFMode.WF00_0F else None,
+            d if (d[0] or d[1]) and mode is not WFMode.CONSTANT else
+            (0.0, 0.0) if mode is not WFMode.CONSTANT else None,
+        ))
+    return rows
+
+
+def module_analysis(stats: StatsCollector) -> dict[Module, float]:
+    """Table 2 row: execution step ratio of each interpreter module."""
+    return stats.module_ratios()
+
+
+def routine_histogram(stats: StatsCollector, top: int = 30) -> list[tuple[str, str, int]]:
+    """Most-executed microroutines: (module, routine name, step count)."""
+    rows = [(module.value, routine.name, count * routine.n_steps)
+            for (module, routine), count in stats.routine_counts.items()]
+    rows.sort(key=lambda r: -r[2])
+    return rows[:top]

@@ -1,0 +1,119 @@
+"""PMMS: the cache memory simulator driver.
+
+The original PMMS replayed cache-command/address traces collected by
+COLLECT against various cache specifications to produce hit ratios and
+the capacity/organisation studies of §4.2.  This module does exactly
+that over a :class:`~repro.core.memory.TraceRecorder`:
+
+* :func:`simulate` — one configuration over one trace,
+* :func:`capacity_sweep` — Figure 1's 8-word → 8K-word sweep,
+* :func:`compare_associativity` — the 1-set vs 2-set 4KW study,
+* :func:`compare_write_policy` — the store-in vs store-through study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.memory import TraceRecorder
+from repro.memsys import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    WritePolicy,
+    execution_time,
+    improvement_ratio,
+    time_without_cache,
+)
+
+#: Figure 1's x axis: cache capacity from 8 words to 8K words.
+FIGURE1_CAPACITIES = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def simulate(trace: TraceRecorder, config: CacheConfig | None = None) -> CacheStats:
+    """Replay ``trace`` through a fresh cache with ``config``."""
+    cache = Cache(config or CacheConfig())
+    access = cache.access
+    for cmd, address in trace.entries():
+        access(cmd, address)
+    return cache.stats
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One Figure-1 data point."""
+
+    capacity_words: int
+    hit_ratio: float
+    improvement_percent: float
+
+
+def performance_improvement(trace: TraceRecorder, steps: int,
+                            config: CacheConfig) -> tuple[float, CacheStats]:
+    """The paper's metric: ((Tnc/Tc) - 1) x 100 for one configuration."""
+    stats = simulate(trace, config)
+    t_c = execution_time(steps, stats).total_ns
+    t_nc = time_without_cache(steps, stats.accesses).total_ns
+    return improvement_ratio(t_nc, t_c), stats
+
+
+def capacity_sweep(trace: TraceRecorder, steps: int,
+                   capacities=FIGURE1_CAPACITIES,
+                   base: CacheConfig | None = None) -> list[SweepPoint]:
+    """Vary capacity with other parameters fixed at the PSI values.
+
+    For capacities too small to hold one two-way set of 4-word blocks
+    the way count is reduced to keep the geometry legal (the smallest
+    point, 8 words, is two 4-word blocks in one set — as in the paper,
+    which swept down to 8 words).
+    """
+    base = base or CacheConfig()
+    points = []
+    for capacity in capacities:
+        ways = min(base.ways, max(1, capacity // base.block_words))
+        config = replace(base, capacity_words=capacity, ways=ways)
+        improvement, stats = performance_improvement(trace, steps, config)
+        points.append(SweepPoint(capacity, stats.hit_ratio, improvement))
+    return points
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    label_a: str
+    label_b: str
+    improvement_a: float
+    improvement_b: float
+
+    @property
+    def difference(self) -> float:
+        return self.improvement_a - self.improvement_b
+
+    @property
+    def relative_loss_percent(self) -> float:
+        """How much lower b's improvement is, relative to a's."""
+        if self.improvement_a == 0:
+            return 0.0
+        return 100.0 * (self.improvement_a - self.improvement_b) / self.improvement_a
+
+
+def compare_associativity(trace: TraceRecorder, steps: int,
+                          set_capacity_words: int = 4096) -> ComparisonResult:
+    """Two 4KW sets vs one 4KW set (§4.2: one set was only ~3% lower)."""
+    two_set = CacheConfig(capacity_words=2 * set_capacity_words, ways=2)
+    one_set = CacheConfig(capacity_words=set_capacity_words, ways=1)
+    improvement_two, _ = performance_improvement(trace, steps, two_set)
+    improvement_one, _ = performance_improvement(trace, steps, one_set)
+    return ComparisonResult("two 4KW sets", "one 4KW set",
+                            improvement_two, improvement_one)
+
+
+def compare_write_policy(trace: TraceRecorder, steps: int,
+                         base: CacheConfig | None = None) -> ComparisonResult:
+    """Store-in vs store-through (§4.2: store-in ~8% higher)."""
+    base = base or CacheConfig()
+    store_in = replace(base, policy=WritePolicy.STORE_IN)
+    store_through = replace(base, policy=WritePolicy.STORE_THROUGH)
+    improvement_in, _ = performance_improvement(trace, steps, store_in)
+    improvement_through, _ = performance_improvement(trace, steps, store_through)
+    return ComparisonResult("store-in", "store-through",
+                            improvement_in, improvement_through)

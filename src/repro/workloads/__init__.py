@@ -1,0 +1,14 @@
+"""Benchmark workloads: every program of the paper's evaluation."""
+
+from repro.workloads.registry import (
+    Workload,
+    all_workloads,
+    get,
+    hardware_eval_workloads,
+    table1_workloads,
+)
+
+__all__ = [
+    "Workload", "get", "all_workloads",
+    "table1_workloads", "hardware_eval_workloads",
+]

@@ -1,0 +1,239 @@
+"""BUP: a bottom-up parser for natural language (Table 1 rows 11-13).
+
+The original BUP (Matsumoto et al., ICOT) compiled context-free rules
+into Prolog clauses for bottom-up left-corner parsing.  This program
+uses the same scheme: a ``goal/4`` driver takes the next word's
+category as a left corner and climbs rules via per-category left-corner
+clauses, with termination clauses ``cat(cat, ...)``.
+
+Matching the paper's characterisation: category terms carry nested
+feature structures — agreement ``agr(Person, Number)``, and a semantics
+term assembled during parsing; lexical entries carry a wide
+``features/9`` structure ("BUP treats structures larger than eight
+elements and nested structures"), and PP-attachment ambiguity causes
+the frequent backtracking and re-unification the paper measures
+(unify = 43% of interpreter steps, Table 2).
+
+bup-1/2/3 parse sentences of 5, 9 and 13 words; bup-3 additionally
+enumerates every parse of an ambiguous sentence.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+BUP_SOURCE = """
+% ---------------------------------------------------------------- lexicon
+% dict(Category, Sentence, Rest): consume one word.
+% Lexical entries carry a 9-element feature structure.
+
+% Every lexical lookup inspects the word and its feature bundle with
+% builtins (type check, feature-structure arity check, slot access),
+% the way the original BUP's dictionary interface worked; this is a
+% large part of BUP's 65% builtin call rate (§3.2).
+dict(det(Agr, Sem), [W|S], S) :- atom(W), det_word(W, Agr, Sem, F), wf(F).
+dict(n(Agr, Sem), [W|S], S) :- atom(W), noun_word(W, Agr, Sem, F), wf(F).
+dict(v(Agr, Sem), [W|S], S) :- atom(W), verb_word(W, Agr, Sem, F), wf(F).
+dict(adj(Sem), [W|S], S) :- atom(W), adj_word(W, Sem, F), wf(F).
+dict(p(Sem), [W|S], S) :- atom(W), prep_word(W, Sem, F), wf(F).
+
+% Feature-bundle well-formedness: inspect the structure with builtins.
+wf(F) :-
+    nonvar(F),
+    functor(F, features, N),
+    N >= 9,
+    arg(5, F, Valence),
+    integer(Valence),
+    Valence >= 0,
+    Valence =< 2.
+
+det_word(the, agr(3, _), def,
+    features(det, def, any, weak, 0, closed, article, common, core)).
+det_word(a, agr(3, sg), indef,
+    features(det, indef, sg, weak, 0, closed, article, common, core)).
+
+noun_word(man, agr(3, sg), man,
+    features(n, count, sg, animate, 1, open, entity, human, core)).
+noun_word(men, agr(3, pl), man,
+    features(n, count, pl, animate, 1, open, entity, human, core)).
+noun_word(telescope, agr(3, sg), telescope,
+    features(n, count, sg, inanimate, 1, open, entity, instrument, core)).
+noun_word(park, agr(3, sg), park,
+    features(n, count, sg, inanimate, 1, open, entity, location, core)).
+noun_word(dog, agr(3, sg), dog,
+    features(n, count, sg, animate, 1, open, entity, animal, core)).
+noun_word(girl, agr(3, sg), girl,
+    features(n, count, sg, animate, 1, open, entity, human, core)).
+noun_word(hill, agr(3, sg), hill,
+    features(n, count, sg, inanimate, 1, open, entity, location, core)).
+
+verb_word(saw, agr(_, _), see,
+    features(v, trans, past, active, 2, open, event, perception, core)).
+verb_word(walked, agr(_, _), walk,
+    features(v, intrans, past, active, 1, open, event, motion, core)).
+verb_word(liked, agr(_, _), like,
+    features(v, trans, past, active, 2, open, event, attitude, core)).
+
+adj_word(old, old, features(adj, qual, _, _, 1, open, property, age, core)).
+adj_word(small, small,
+    features(adj, qual, _, _, 1, open, property, size, core)).
+
+prep_word(in, in, features(p, loc, _, _, 2, closed, relation, place, core)).
+prep_word(with, with,
+    features(p, instr, _, _, 2, closed, relation, comit, core)).
+prep_word(on, on, features(p, loc, _, _, 2, closed, relation, place, core)).
+
+% ------------------------------------------------------- link relation
+% link(LeftCornerCat, GoalCat): can LC begin a phrase of the goal?
+
+link(det(_, _), np(_, _)).
+link(det(_, _), s(_)).
+link(np(_, _), np(_, _)).
+link(np(_, _), s(_)).
+link(n(_, _), n1(_, _)).
+link(n(_, _), np(_, _)).
+link(n(_, _), s(_)).
+link(adj(_), n1(_, _)).
+link(adj(_), np(_, _)).
+link(adj(_), s(_)).
+link(v(_, _), vp(_, _)).
+link(p(_), pp(_)).
+link(X, X).
+
+% ---------------------------------------------------------- BUP driver
+% goal(GoalCat, S0, S): parse a phrase of GoalCat from S0 leaving S.
+% The driver keeps arithmetic bookkeeping (rule-application counter via
+% a length computation on the remaining sentence), as the original used
+% for its chart statistics.
+
+goal(G, S0, S) :-
+    dict(C, S0, S1),
+    length(S1, Remaining),
+    Remaining >= 0,
+    link(C, G),
+    lc(C, G, S1, S).
+
+% lc(Category, Goal, S0, S): climb from a completed left corner.
+% Termination: the completed category is the goal itself.
+lc(s(Sem), s(Sem), S, S).
+lc(np(Agr, Sem), np(Agr, Sem), S, S).
+lc(n1(Agr, Sem), n1(Agr, Sem), S, S).
+lc(n(Agr, Sem), n(Agr, Sem), S, S).
+lc(vp(Agr, Sem), vp(Agr, Sem), S, S).
+lc(pp(Sem), pp(Sem), S, S).
+lc(det(Agr, Sem), det(Agr, Sem), S, S).
+lc(v(Agr, Sem), v(Agr, Sem), S, S).
+lc(adj(Sem), adj(Sem), S, S).
+lc(p(Sem), p(Sem), S, S).
+
+% Rule s -> np vp        (agreement checked between subject and verb)
+lc(np(Agr, SemNP), G, S0, S) :-
+    goal(vp(Agr, SemVP), S0, S1),
+    lc(s(sent(SemNP, SemVP)), G, S1, S).
+
+% Rule np -> det n1
+lc(det(Agr, SemD), G, S0, S) :-
+    goal(n1(Agr, SemN), S0, S1),
+    lc(np(Agr, np(SemD, SemN)), G, S1, S).
+
+% Rule n1 -> n
+lc(n(Agr, SemN), G, S, S1) :-
+    lc(n1(Agr, nbar(SemN, [])), G, S, S1).
+
+% Rule n1 -> adj n1
+lc(adj(SemA), G, S0, S) :-
+    goal(n1(Agr, nbar(SemN, Mods)), S0, S1),
+    lc(n1(Agr, nbar(SemN, [SemA|Mods])), G, S1, S).
+
+% Rule np -> np pp      (attachment ambiguity source)
+lc(np(Agr, SemNP), G, S0, S) :-
+    goal(pp(SemPP), S0, S1),
+    lc(np(Agr, npmod(SemNP, SemPP)), G, S1, S).
+
+% Rule vp -> v np
+lc(v(Agr, SemV), G, S0, S) :-
+    goal(np(_, SemO), S0, S1),
+    lc(vp(Agr, vp(SemV, SemO)), G, S1, S).
+
+% Rule vp -> v
+lc(v(Agr, SemV), G, S, S1) :-
+    lc(vp(Agr, vp(SemV, nil)), G, S, S1).
+
+% Rule vp -> vp pp
+lc(vp(Agr, SemVP), G, S0, S) :-
+    goal(pp(SemPP), S0, S1),
+    lc(vp(Agr, vpmod(SemVP, SemPP)), G, S1, S).
+
+% Rule pp -> p np
+lc(p(SemP), G, S0, S) :-
+    goal(np(_, SemNP), S0, S1),
+    lc(pp(pp(SemP, SemNP)), G, S1, S).
+
+% ------------------------------------------------------------- drivers
+
+parse(Sentence, Sem) :- goal(s(Sem), Sentence, []).
+
+sentence1([the, man, walked]).
+sentence2([the, old, man, saw, a, dog, in, the, park]).
+sentence3([the, girl, saw, the, small, dog, on, the, hill,
+           with, a, telescope]).
+
+run_bup1(Sem) :- sentence1(S), parse(S, Sem).
+run_bup2(Sem) :- sentence2(S), parse(S, Sem).
+run_bup3 :- sentence3(S), parse(S, _), counter_inc(parses), fail.
+run_bup3.
+
+% Hardware-evaluation driver: a sustained parsing session (all parses
+% of every sentence, several rounds) so cache statistics reflect steady
+% state rather than cold-start compulsory misses.
+parse_all(S) :- parse(S, _), fail.
+parse_all(_).
+bup_session(0) :- !.
+bup_session(N) :-
+    sentence1(S1), parse_all(S1),
+    sentence2(S2), parse_all(S2),
+    sentence3(S3), parse_all(S3),
+    N1 is N - 1,
+    bup_session(N1).
+run_bup_eval :- bup_session(6).
+"""
+
+register(Workload(
+    name="bup-1",
+    paper_id="(11)",
+    title="BUP-1",
+    source=BUP_SOURCE,
+    goal="run_bup1(Sem)",
+    description="Bottom-up left-corner parse of a 3-word sentence.",
+))
+
+register(Workload(
+    name="bup-2",
+    paper_id="(12)",
+    title="BUP-2",
+    source=BUP_SOURCE,
+    goal="run_bup2(Sem)",
+    description="Parse of a 9-word sentence with one PP attachment.",
+))
+
+register(Workload(
+    name="bup-eval",
+    paper_id="bup-hw",
+    title="BUP (hardware evaluation)",
+    source=BUP_SOURCE,
+    goal="run_bup_eval",
+    description="Sustained parsing session for the Tables 3-5 "
+                "measurements (steady-state cache behaviour).",
+))
+
+register(Workload(
+    name="bup-3",
+    paper_id="(13)",
+    title="BUP-3",
+    source=BUP_SOURCE,
+    goal="run_bup3",
+    all_solutions=False,
+    description="All parses of an ambiguous 12-word sentence with two "
+                "prepositional phrases (failure-driven enumeration).",
+    expected={"parses_min": 2},
+))

@@ -1,0 +1,323 @@
+"""Table 1 rows (1)-(10): the Prolog-contest small benchmarks.
+
+All are "small-scale programs that contain frequent list processing"
+(§3.1).  Rows (4)-(6) run a Lisp interpreter written in Prolog — a
+meta-interpreter over s-expressions — executing tarai (Takeuchi), fib
+and nreverse, as the contest did.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.library import LISTS, RANGE, SELECT
+from repro.workloads.registry import Workload, register
+
+# ---------------------------------------------------------------------------
+# (1) nreverse (30)
+# ---------------------------------------------------------------------------
+
+NREVERSE_SOURCE = LISTS + RANGE + """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+
+run_nreverse(R) :- range(1, 30, L), nrev(L, R).
+"""
+
+register(Workload(
+    name="nreverse",
+    paper_id="(1)",
+    title="nreverse (30)",
+    source=NREVERSE_SOURCE,
+    goal="run_nreverse(R)",
+    description="Naive reverse of a 30-element list; the classic LIPS "
+                "benchmark.  Deterministic list code the DEC compiler "
+                "optimises well (indexing removes all choice points).",
+    expected={"first_element": 30},
+))
+
+# ---------------------------------------------------------------------------
+# (2) quick sort (50) — Warren's 50-element data set
+# ---------------------------------------------------------------------------
+
+QSORT_SOURCE = """
+qsort([], R, R).
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+
+data([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11,
+      55,29,39,81,90,37,10,0,66,51,7,21,85,27,31,63,75,4,95,99,
+      11,28,61,74,18,92,40,53,59,8]).
+
+run_qsort(R) :- data(L), qsort(L, R, []).
+"""
+
+register(Workload(
+    name="qsort",
+    paper_id="(2)",
+    title="quick sort (50)",
+    source=QSORT_SOURCE,
+    goal="run_qsort(R)",
+    description="Warren's quicksort benchmark on the traditional "
+                "50-integer data set; deterministic with shallow "
+                "backtracking in partition/4.",
+    expected={"sorted_length": 50},
+))
+
+# ---------------------------------------------------------------------------
+# (3) tree traversing
+# ---------------------------------------------------------------------------
+
+TREE_SOURCE = LISTS + """
+insert(X, leaf, node(leaf, X, leaf)).
+insert(X, node(L, Y, R), node(L1, Y, R)) :- X < Y, !, insert(X, L, L1).
+insert(X, node(L, Y, R), node(L, Y, R1)) :- insert(X, R, R1).
+
+build([], T, T).
+build([X|Xs], T0, T) :- insert(X, T0, T1), build(Xs, T1, T).
+
+inorder(leaf, []).
+inorder(node(L, X, R), Out) :-
+    inorder(L, LO), inorder(R, RO), append(LO, [X|RO], Out).
+
+mirror(leaf, leaf).
+mirror(node(L, X, R), node(RM, X, LM)) :- mirror(L, LM), mirror(R, RM).
+
+tree_data([17,9,25,4,13,21,29,2,6,11,15,19,23,27,31,1,3,5,7,
+           10,12,14,16,18,20,22,24,26,28,30,8,32,33,34,35,36]).
+
+run_tree(N) :-
+    tree_data(L), build(L, leaf, T),
+    mirror(T, M), mirror(M, T2),
+    inorder(T2, Flat), length(Flat, N).
+"""
+
+register(Workload(
+    name="tree",
+    paper_id="(3)",
+    title="tree traversing",
+    source=TREE_SOURCE,
+    goal="run_tree(N)",
+    description="Binary search tree: insert 36 keys, double mirror, "
+                "inorder flatten.  Structure unification on node/3 terms.",
+    expected={"N": 36},
+))
+
+# ---------------------------------------------------------------------------
+# (4)-(6): a Lisp interpreter in Prolog
+# ---------------------------------------------------------------------------
+
+LISP_SOURCE = """
+% A small Lisp: s-expressions as Prolog lists, environments as
+% bind(Name, Value) association lists, nil as the false value.
+
+eval_(X, _, X) :- integer(X), !.
+eval_(nil, _, nil) :- !.
+eval_(t, _, t) :- !.
+eval_(X, Env, V) :- atom(X), !, lookup(X, Env, V).
+eval_([quote, X], _, X) :- !.
+eval_([if, C, T, E], Env, V) :- !,
+    eval_(C, Env, CV),
+    ( CV = nil -> eval_(E, Env, V) ; eval_(T, Env, V) ).
+eval_([Op|Args], Env, V) :-
+    prim(Op), !,
+    evlis(Args, Env, Vs),
+    apply_prim(Op, Vs, V).
+eval_([F|Args], Env, V) :-
+    evlis(Args, Env, Vs),
+    fun(F, Params, Body),
+    bind_args(Params, Vs, NewEnv),
+    eval_(Body, NewEnv, V).
+
+evlis([], _, []).
+evlis([A|As], Env, [V|Vs]) :- eval_(A, Env, V), evlis(As, Env, Vs).
+
+lookup(X, [bind(X, V)|_], V) :- !.
+lookup(X, [_|Env], V) :- lookup(X, Env, V).
+
+bind_args([], [], []).
+bind_args([P|Ps], [V|Vs], [bind(P, V)|Env]) :- bind_args(Ps, Vs, Env).
+
+prim(+). prim(-). prim(<). prim(>). prim(sub1).
+prim(cons). prim(car). prim(cdr). prim(null).
+
+apply_prim(+, [A, B], V) :- V is A + B.
+apply_prim(-, [A, B], V) :- V is A - B.
+apply_prim(sub1, [A], V) :- V is A - 1.
+apply_prim(<, [A, B], V) :- ( A < B -> V = t ; V = nil ).
+apply_prim(>, [A, B], V) :- ( A > B -> V = t ; V = nil ).
+apply_prim(cons, [A, B], [A|B]).
+apply_prim(car, [[H|_]], H).
+apply_prim(cdr, [[_|T]], T).
+apply_prim(null, [nil], t) :- !.
+apply_prim(null, [[]], t) :- !.
+apply_prim(null, [_], nil).
+
+% (defun tarai (x y z) (if (< y x) (tarai (tarai (1- x) y z)
+%                                         (tarai (1- y) z x)
+%                                         (tarai (1- z) x y)) y))
+fun(tarai, [x, y, z],
+    [if, [<, y, x],
+         [tarai, [tarai, [sub1, x], y, z],
+                 [tarai, [sub1, y], z, x],
+                 [tarai, [sub1, z], x, y]],
+         y]).
+
+% (defun fib (n) (if (< n 2) 1 (+ (fib (- n 1)) (fib (- n 2)))))
+fun(fib, [n],
+    [if, [<, n, 2],
+         1,
+         [+, [fib, [-, n, 1]], [fib, [-, n, 2]]]]).
+
+% (defun app (a b) (if (null a) b (cons (car a) (app (cdr a) b))))
+% (defun nrev (l) (if (null l) nil (app (nrev (cdr l)) (cons (car l) nil))))
+fun(app, [a, b],
+    [if, [null, a], b, [cons, [car, a], [app, [cdr, a], b]]]).
+fun(nrev, [l],
+    [if, [null, l],
+         nil,
+         [app, [nrev, [cdr, l]], [cons, [car, l], [quote, nil]]]]).
+
+run_tarai(V) :- eval_([tarai, 6, 3, 0], [], V).
+run_fib(V) :- eval_([fib, 10], [], V).
+run_lisp_nrev(V) :-
+    eval_([nrev, [quote, [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]]], [], V).
+"""
+
+register(Workload(
+    name="lisp-tarai",
+    paper_id="(4)",
+    title="lisp (tarai3)",
+    source=LISP_SOURCE,
+    goal="run_tarai(V)",
+    description="Takeuchi's tarai through the Lisp-in-Prolog "
+                "meta-interpreter; heavy meta-call style dispatch on "
+                "list structures.",
+    expected={"V": 6},
+))
+
+register(Workload(
+    name="lisp-fib",
+    paper_id="(5)",
+    title="lisp (fib10)",
+    source=LISP_SOURCE,
+    goal="run_fib(V)",
+    description="Interpreted fib(10).",
+    expected={"V": 89},
+))
+
+register(Workload(
+    name="lisp-nreverse",
+    paper_id="(6)",
+    title="lisp (nreverse)",
+    source=LISP_SOURCE,
+    goal="run_lisp_nrev(V)",
+    description="Interpreted naive reverse of a 16-element Lisp list.",
+    expected={"first": 16},
+))
+
+# ---------------------------------------------------------------------------
+# (7)/(8): 8 queens
+# ---------------------------------------------------------------------------
+
+QUEENS_SOURCE = RANGE + SELECT + """
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    select(Q, Unplaced, Rest),
+    no_attack(Safe, Q, 1),
+    place(Rest, [Q|Safe], Qs).
+
+no_attack([], _, _).
+no_attack([Y|Ys], Q, D) :-
+    Q =\\= Y + D, Q =\\= Y - D,
+    D1 is D + 1,
+    no_attack(Ys, Q, D1).
+
+queens_all :- queens(8, _), counter_inc(solutions), fail.
+queens_all.
+"""
+
+register(Workload(
+    name="queens-one",
+    paper_id="(7)",
+    title="8 queens (1)",
+    source=QUEENS_SOURCE,
+    goal="queens(8, Qs)",
+    description="First solution of 8 queens: generate-and-test with "
+                "select/3 and arithmetic safety checks.",
+))
+
+register(Workload(
+    name="queens-all",
+    paper_id="(8)",
+    title="8 queens (all)",
+    source=QUEENS_SOURCE,
+    goal="queens_all",
+    description="All 92 solutions via a failure-driven loop and a "
+                "side-effect counter (the DEC-10-era all-solutions idiom).",
+    expected={"solutions": 92},
+))
+
+# ---------------------------------------------------------------------------
+# (9) reverse function — accumulator ('function-style') reverse
+# ---------------------------------------------------------------------------
+
+REVERSE_FUNCTION_SOURCE = RANGE + """
+rev([], Acc, Acc).
+rev([H|T], Acc, R) :- rev(T, [H|Acc], R).
+
+run_reverse(R) :- range(1, 400, L), rev(L, [], R).
+"""
+
+register(Workload(
+    name="reverse-function",
+    paper_id="(9)",
+    title="reverse function",
+    source=REVERSE_FUNCTION_SOURCE,
+    goal="run_reverse(R)",
+    description="Linear accumulator reverse of a 400-element list: a "
+                "pure tail-recursive loop.",
+    expected={"first_element": 400},
+))
+
+# ---------------------------------------------------------------------------
+# (10) slow reverse (6)
+# ---------------------------------------------------------------------------
+
+SLOW_REVERSE_SOURCE = LISTS + RANGE + """
+% Reverse by repeatedly extracting the last element, with a
+% deliberately naive double check that re-reverses the tail: an
+% exponential specification-style program.
+slow_rev([], []).
+slow_rev(L, [X|R]) :-
+    last_of(L, X),
+    butlast(L, L1),
+    slow_rev(L1, R),
+    slow_rev(R, Check),
+    Check = L1.
+
+last_of([X], X) :- !.
+last_of([_|T], X) :- last_of(T, X).
+
+butlast([_], []) :- !.
+butlast([H|T], [H|T1]) :- butlast(T, T1).
+
+run_slow_reverse(R) :- range(1, 6, L), slow_rev(L, R).
+"""
+
+register(Workload(
+    name="slow-reverse",
+    paper_id="(10)",
+    title="slow reverse (6)",
+    source=SLOW_REVERSE_SOURCE,
+    goal="run_slow_reverse(R)",
+    description="Exponential-time reverse of a 6-element list "
+                "(each step re-reverses its own result as a check).",
+    expected={"first_element": 6},
+))

@@ -1,0 +1,167 @@
+"""HARMONIZER: knowledge-based harmony assignment (rows 14-16).
+
+"A music generation system that attaches harmonies to melodies
+according to musical knowledge ... uses frequent backtracking" (§3.1).
+
+This replacement harmonises a melody (a list of pitch classes, one per
+beat) by choosing a chord for every beat subject to musical rules:
+
+* the melody note must be a chord tone,
+* consecutive chords must form an allowed progression,
+* no chord may repeat three times in a row,
+* phrases must end with an authentic cadence (V -> I),
+* voice-leading: consecutive bass notes may not leap more than a
+  fifth except at the cadence.
+
+Chords are structured terms ``chord(Name, Degree, notes(A, B, C))``;
+the constraint propagation fails late and often, producing exactly the
+deep chronological backtracking (and trail traffic) the paper measures
+for this program.  harmonizer-1/2/3 harmonise 8-, 12- and 24-note
+melodies.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+HARMONIZER_SOURCE = """
+% Chord knowledge: chord(Name, Degree, notes(N1, N2, N3)) in C major.
+chord(i,  1, notes(0, 4, 7)).
+chord(ii, 2, notes(2, 5, 9)).
+chord(iii, 3, notes(4, 7, 11)).
+chord(iv, 4, notes(5, 9, 0)).
+chord(v,  5, notes(7, 11, 2)).
+chord(vi, 6, notes(9, 0, 4)).
+
+chord_tone(N, notes(N, _, _)).
+chord_tone(N, notes(_, N, _)).
+chord_tone(N, notes(_, _, N)).
+
+bass(chord(_, _, notes(B, _, _)), B).
+
+% Allowed progressions (degree pairs); tonal harmony core moves.
+prog(1, 1). prog(1, 2). prog(1, 3). prog(1, 4). prog(1, 5). prog(1, 6).
+prog(2, 5). prog(2, 3).
+prog(3, 6). prog(3, 4).
+prog(4, 5). prog(4, 2). prog(4, 1).
+prog(5, 1). prog(5, 6).
+prog(6, 2). prog(6, 4).
+
+% Bass voice leading: interval of at most a fifth (7 semitones).
+smooth(B1, B2) :- D is B1 - B2, D =< 7, D >= -7.
+
+% harmonize(Melody, PrevChord, PrevPrev, Chords)
+harmonize([], _, _, []).
+harmonize([Note], chord(_, D1, _), _, [C]) :-
+    chord(Name, 1, Notes),          % final chord is the tonic
+    C = chord(Name, 1, Notes),
+    chord_tone(Note, Notes),
+    prog(D1, 1),
+    D1 =:= 5.                       % authentic cadence: V -> I
+harmonize([Note|Rest], Prev, PrevPrev, [C|Cs]) :-
+    Rest = [_|_],
+    chord(Name, Degree, Notes),
+    C = chord(Name, Degree, Notes),
+    chord_tone(Note, Notes),
+    compatible(Prev, C),
+    no_triple(PrevPrev, Prev, C),
+    leads(Prev, C),
+    harmonize(Rest, C, Prev, Cs).
+
+compatible(start, _).
+compatible(chord(_, D1, _), chord(_, D2, _)) :- prog(D1, D2).
+
+no_triple(start, _, _).
+no_triple(chord(N1, _, _), chord(N2, _, _), chord(N3, _, _)) :-
+    distinct_somewhere(N1, N2, N3).
+distinct_somewhere(N1, N2, _) :- N1 \\== N2.
+distinct_somewhere(N1, N2, N3) :- N1 == N2, N2 \\== N3.
+
+leads(start, _).
+leads(P, C) :-
+    bass(P, B1), bass(C, B2), smooth(B1, B2),
+    tension(P, C, T), T =< 9.
+
+% A simple tension metric over the root interval and degree distance —
+% the kind of numeric musical knowledge the harmonizer applied.
+tension(chord(_, D1, notes(B1, _, _)), chord(_, D2, notes(B2, _, _)), T) :-
+    Interval is abs(B1 - B2) mod 12,
+    Dist is abs(D1 - D2),
+    T is Interval // 2 + Dist.
+
+% ----------------------------------------------------- global form rules
+% Checked on the completed harmonisation; failures here backtrack into
+% the chord assignment (generate and test), which is where this
+% program's "frequent backtracking" comes from.
+
+good_form(Cs) :-
+    distinct_degrees(Cs, [], Ds),
+    length(Ds, ND), ND >= 5,
+    count_repeats(Cs, 0, Reps), Reps =< 2,
+    length(Cs, Len), MaxLeaps is Len // 3,
+    count_leaps(Cs, 0, Leaps), Leaps =< MaxLeaps.
+
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+
+distinct_degrees([], Acc, Acc).
+distinct_degrees([chord(_, D, _)|Cs], Acc, Ds) :-
+    ( mem(D, Acc) -> distinct_degrees(Cs, Acc, Ds)
+    ; distinct_degrees(Cs, [D|Acc], Ds) ).
+
+count_repeats([], N, N).
+count_repeats([_], N, N).
+count_repeats([chord(N1, _, _), C2|Cs], Acc, R) :-
+    C2 = chord(N2, _, _),
+    ( N1 == N2 -> Acc1 is Acc + 1 ; Acc1 = Acc ),
+    count_repeats([C2|Cs], Acc1, R).
+
+count_leaps([], N, N).
+count_leaps([_], N, N).
+count_leaps([C1, C2|Cs], Acc, R) :-
+    bass(C1, B1), bass(C2, B2),
+    D is B1 - B2, A is abs(D),
+    ( A >= 5 -> Acc1 is Acc + 1 ; Acc1 = Acc ),
+    count_leaps([C2|Cs], Acc1, R).
+
+% Melodies chosen (by an offline search documented in EXPERIMENTS.md)
+% so that backtracking volume grows steeply with length, mirroring the
+% paper's harmonizer-1/2/3 scaling.
+melody1([4, 9, 7, 7, 4, 9, 11, 0]).
+melody2([11, 4, 0, 7, 7, 0, 7, 4, 0, 7, 11, 0]).
+melody3([9, 9, 4, 11, 7, 4, 9, 9, 0, 4, 9, 11,
+         7, 7, 9, 7, 4, 7, 0, 7, 9, 5, 11, 0]).
+
+run_harmonizer1(Cs) :- melody1(M), harmonize(M, start, start, Cs), good_form(Cs).
+run_harmonizer2(Cs) :- melody2(M), harmonize(M, start, start, Cs), good_form(Cs).
+run_harmonizer3(Cs) :- melody3(M), harmonize(M, start, start, Cs), good_form(Cs).
+"""
+
+register(Workload(
+    name="harmonizer-1",
+    paper_id="(14)",
+    title="harmonizer-1",
+    source=HARMONIZER_SOURCE,
+    goal="run_harmonizer1(Cs)",
+    description="Harmonise an 8-note melody under progression, "
+                "repetition, voice-leading and cadence constraints.",
+))
+
+register(Workload(
+    name="harmonizer-2",
+    paper_id="(15)",
+    title="harmonizer-2",
+    source=HARMONIZER_SOURCE,
+    goal="run_harmonizer2(Cs)",
+    description="Harmonise a 12-note melody (deeper backtracking).",
+))
+
+register(Workload(
+    name="harmonizer-3",
+    paper_id="(16)",
+    title="harmonizer-3",
+    source=HARMONIZER_SOURCE,
+    goal="run_harmonizer3(Cs)",
+    description="Harmonise a 24-note melody; the cadence constraint at "
+                "the end forces long backtracking chains.",
+))

@@ -1,0 +1,175 @@
+"""LCP: a left-corner parser written in expert DEC-10 style (rows 17-19).
+
+The paper notes LCP ran *faster on DEC than on PSI* although it
+processes structural data, attributing this to its author (F. Pereira)
+writing in a style that plays to the DEC-10 compiler's strengths.  This
+replacement is written the same way:
+
+* dictionary facts keyed on the word atom in the **first argument**, so
+  ``switch_on_constant`` resolves every lexical lookup without a choice
+  point;
+* rule predicates keyed on the left-corner category atom in the first
+  argument;
+* flat, shallow structures (plain atoms for categories, one parse-tree
+  term) instead of nested feature bundles;
+* cuts after deterministic commitments.
+
+lcp-1/2/3 parse 5-, 9- and 14-word sentences deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+LCP_SOURCE = """
+% Dictionary: word atom first, so the compiler indexes on it.
+word(the, det).
+word(a, det).
+word(man, n).
+word(men, n).
+word(dog, n).
+word(girl, n).
+word(park, n).
+word(hill, n).
+word(telescope, n).
+word(saw, v).
+word(walked, v).
+word(liked, v).
+word(old, adj).
+word(small, adj).
+word(in, p).
+word(with, p).
+word(on, p).
+
+% Left-corner table: corner category first for indexing.
+corner(det, np).
+corner(np, s).
+corner(n, np).
+corner(adj, np).
+corner(v, vp).
+corner(p, pp).
+
+% parse(Goal, Tree, S0, S): left-corner parse with eager commitment.
+parse(Goal, Tree, [W|S0], S) :-
+    word(W, C), !,
+    complete(C, leaf(C, W), Goal, Tree, S0, S).
+
+% complete(Corner, CornerTree, Goal, Tree, S0, S)
+% Termination clauses are written per category so the compiler's
+% first-argument indexing keeps every call deterministic (the expert
+% DEC-10 style the paper attributes to this program's author).
+complete(s, T, s, T, S, S).
+complete(np, T, np, T, S, S).
+complete(n1, T, n1, T, S, S).
+complete(vp, T, vp, T, S, S).
+complete(pp, T, pp, T, S, S).
+complete(det, T, det, T, S, S).
+complete(n, T, n, T, S, S).
+complete(adj, T, adj, T, S, S).
+complete(v, T, v, T, S, S).
+complete(p, T, p, T, S, S).
+complete(det, T, Goal, Tree, S0, S) :-
+    parse(n1, TN, S0, S1),
+    complete(np, np(T, TN), Goal, Tree, S1, S).
+complete(n, T, Goal, Tree, S0, S) :-
+    complete(n1, n1(T), Goal, Tree, S0, S).
+complete(adj, T, Goal, Tree, S0, S) :-
+    parse(n1, TN, S0, S1),
+    complete(n1, n1mod(T, TN), Goal, Tree, S1, S).
+complete(np, T, Goal, Tree, S0, S) :-
+    maybe_pp(T, T1, S0, S1),
+    complete_np(T1, Goal, Tree, S1, S).
+complete(v, T, Goal, Tree, S0, S) :-
+    parse_np_or_none(TO, S0, S1),
+    complete(vp, vp(T, TO), Goal, Tree, S1, S).
+complete(vp, T, Goal, Tree, S0, S) :-
+    maybe_pp(T, T1, S0, S1),
+    complete_vp(T1, Goal, Tree, S1, S).
+complete(p, T, Goal, Tree, S0, S) :-
+    parse(np, TN, S0, S1),
+    complete(pp, pp(T, TN), Goal, Tree, S1, S).
+
+% Deterministic continuations, committed with cut.
+complete_np(T, np, T, S, S) :- !.
+complete_np(T, Goal, Tree, S0, S) :-
+    parse(vp, TV, S0, S1),
+    complete(s, s(T, TV), Goal, Tree, S1, S).
+
+complete_vp(T, vp, T, S, S) :- !.
+complete_vp(T, s, T, S, S).
+
+% Eager PP attachment (low attachment, committed).
+maybe_pp(T, Tree, [W|S0], S) :-
+    word(W, p), !,
+    parse(np, TN, S0, S1),
+    maybe_pp(ppmod(T, pp(leaf(p, W), TN)), Tree, S1, S).
+maybe_pp(T, T, S, S).
+
+parse_np_or_none(TO, [W|S0], S) :-
+    word(W, C), noun_starter(C), !,
+    word(W, C1),
+    complete_obj(C1, W, TO, S0, S).
+parse_np_or_none(none, S, S).
+
+complete_obj(C, W, TO, S0, S) :- complete(C, leaf(C, W), np, TO, S0, S).
+
+noun_starter(det).
+noun_starter(n).
+noun_starter(adj).
+
+sentence1([the, man, walked]).
+sentence2([the, old, man, saw, a, dog, in, the, park]).
+sentence3([the, girl, saw, the, small, dog, on, the, hill,
+           with, a, telescope, in, the, park]).
+
+run_lcp1(T) :- sentence1(S), parse(s, T, S, []).
+run_lcp2(T) :- sentence2(S), parse(s, T, S, []).
+run_lcp3(T) :- sentence3(S), parse(s, T, S, []).
+
+% Hardware-evaluation driver: repeated parsing of all sentences.
+lcp_session(0) :- !.
+lcp_session(N) :-
+    sentence1(S1), parse(s, _, S1, []),
+    sentence2(S2), parse(s, _, S2, []),
+    sentence3(S3), parse(s, _, S3, []),
+    N1 is N - 1,
+    lcp_session(N1).
+run_lcp_eval :- lcp_session(20).
+"""
+
+register(Workload(
+    name="lcp-eval",
+    paper_id="lcp-hw",
+    title="LCP (hardware evaluation)",
+    source=LCP_SOURCE,
+    goal="run_lcp_eval",
+    description="Sustained parsing session for the Tables 3-5 "
+                "measurements.",
+))
+
+register(Workload(
+    name="lcp-1",
+    paper_id="(17)",
+    title="LCP-1",
+    source=LCP_SOURCE,
+    goal="run_lcp1(T)",
+    description="Deterministic left-corner parse, 3 words.",
+))
+
+register(Workload(
+    name="lcp-2",
+    paper_id="(18)",
+    title="LCP-2",
+    source=LCP_SOURCE,
+    goal="run_lcp2(T)",
+    description="Deterministic left-corner parse, 9 words.",
+))
+
+register(Workload(
+    name="lcp-3",
+    paper_id="(19)",
+    title="LCP-3",
+    source=LCP_SOURCE,
+    goal="run_lcp3(T)",
+    description="Deterministic left-corner parse, 14 words.",
+))

@@ -1,0 +1,23 @@
+"""Shared Prolog library snippets included by workload sources."""
+
+LISTS = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+"""
+
+BETWEEN = """
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+"""
+
+RANGE = """
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+"""
+
+SELECT = """
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+"""

@@ -1,0 +1,104 @@
+"""8 PUZZLE: sliding-tile search (Tables 2-5).
+
+"8 PUZZLE is a search problem and contains much backtracking" (§3.2).
+Table 2 shows its profile: no cut at all, heavy builtin and
+argument-fetch work (arithmetic move generation and term surgery),
+modest unification, high trail activity.
+
+This replacement runs iterative-deepening depth-first search over the
+3x3 sliding puzzle.  The board is a 9-argument structure ``b/9``
+accessed with ``arg/3`` and rebuilt with ``=../2`` — builtin term
+surgery rather than list pattern matching — and the blank position is
+tracked numerically with arithmetic legality checks, which is what
+gives the program its measured builtin/get_arg-dominated profile.  The
+program deliberately contains no cut and no if-then-else (which would
+compile to cuts).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+PUZZLE8_SOURCE = """
+% Moves of the blank: delta and a legality test on the square index.
+% 0 1 2
+% 3 4 5
+% 6 7 8
+
+delta(up, -3).
+delta(down, 3).
+delta(left, -1).
+delta(right, 1).
+
+legal(up, B) :- B >= 3.
+legal(down, B) :- B =< 5.
+legal(left, B) :- B mod 3 >= 1.
+legal(right, B) :- B mod 3 =< 1.
+
+% A move must not immediately undo the previous one.
+opposite(up, down). opposite(down, up).
+opposite(left, right). opposite(right, left).
+
+allowed(M, start) :- delta(M, _).
+allowed(M, Last) :- delta(M, _), opposite(M, Op), Op \\== Last.
+
+% move(Board, Blank, M, Board1, Blank1)
+move(Board, Blank, M, Board1, Blank1) :-
+    legal(M, Blank),
+    delta(M, D),
+    Blank1 is Blank + D,
+    I is Blank + 1,
+    J is Blank1 + 1,
+    arg(J, Board, Tile),
+    Board =.. [F|Cells],
+    rebuild(Cells, 1, I, Tile, J, Cells1),
+    Board1 =.. [F|Cells1].
+
+% rebuild(Cells, K, I, Tile, J, Cells1): square I receives the moved
+% tile, square J becomes the blank, every other square is copied.
+rebuild([], _, _, _, _, []).
+rebuild([C|Cs], K, I, Tile, J, [C1|Cs1]) :-
+    cell_value(K, I, Tile, J, C, C1),
+    K1 is K + 1,
+    rebuild(Cs, K1, I, Tile, J, Cs1).
+
+cell_value(K, K, Tile, _, _, Tile).
+cell_value(K, I, _, K, _, 0) :- K =\\= I.
+cell_value(K, I, _, J, C, C) :- K =\\= I, K =\\= J.
+
+goal_board(b(0, 1, 2, 3, 4, 5, 6, 7, 8)).
+
+% Depth-limited DFS; backtracks over move choices.
+dfs(Board, _, _, _, []) :- goal_board(Board).
+dfs(Board, Blank, Last, Depth, [M|Ms]) :-
+    Depth > 0,
+    allowed(M, Last),
+    move(Board, Blank, M, Board1, Blank1),
+    Depth1 is Depth - 1,
+    dfs(Board1, Blank1, M, Depth1, Ms).
+
+% Iterative deepening.
+ids(Board, Blank, Depth, _, Moves) :- dfs(Board, Blank, start, Depth, Moves).
+ids(Board, Blank, Depth, Max, Moves) :-
+    Depth < Max,
+    Depth1 is Depth + 1,
+    ids(Board, Blank, Depth1, Max, Moves).
+
+% Start state: exactly 7 moves from the goal (verified by BFS).
+start_board(b(3, 1, 2, 7, 6, 5, 4, 0, 8), 7).
+
+run_puzzle(Moves) :-
+    start_board(Board, Blank),
+    ids(Board, Blank, 1, 8, Moves).
+"""
+
+register(Workload(
+    name="puzzle8",
+    paper_id="p8",
+    title="8 puzzle",
+    source=PUZZLE8_SOURCE,
+    goal="run_puzzle(Moves)",
+    description="Iterative-deepening search over the 8 puzzle; "
+                "arithmetic move generation and builtin term surgery, "
+                "no cut.",
+))

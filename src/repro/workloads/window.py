@@ -1,0 +1,209 @@
+"""WINDOW: the PSI operating system's window component (Tables 2-5).
+
+The paper's WINDOW workload is part of SIMPOS, written in ESP (an
+object-oriented KL0 dialect).  Its measured characteristics: builtin
+calls are 82% of all predicate calls; it "rarely uses the functions of
+Prolog" (few structure unifications, little backtracking, cut ~10% of
+steps); it is the only program using heap-vector data, raising heap
+traffic; and window-2/3 perform process switches for I/O services,
+which lowers their cache hit ratios.
+
+This replacement models ESP objects the way ESP compiled them: method
+dispatch predicates over class atoms with cuts, instance state in heap
+vectors (slots: x, y, width, height, z-order, visible, style, cursor),
+border drawing and damage computation via integer arithmetic, and an
+event loop of create/move/resize/draw/scroll/overlap operations.
+
+* window-1: one task, 4 windows, no process switching
+* window-2: 6 windows, process switches between operation bursts
+* window-3: 8 windows, frequent process switches and cross-class calls
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+WINDOW_SOURCE = """
+% Slot layout of a window instance vector.
+slot(x, 0). slot(y, 1). slot(width, 2). slot(height, 3).
+slot(zorder, 4). slot(visible, 5). slot(style, 6). slot(cursor_x, 7).
+slot(cursor_y, 8). slot(damage, 9).
+
+% ESP method bodies commit to the (deterministic) slot lookup with a
+% cut, as the ESP compiler did for every method selection; slot access
+% is the hottest operation in the window system, which is why WINDOW
+% spends around a tenth of its steps in the cut routine (Table 2).
+get_slot(W, Name, V) :- slot(Name, I), !, vector_ref(W, I, V).
+set_slot(W, Name, V) :- slot(Name, I), !, vector_set(W, I, V).
+
+% -------------------------------------------------------------- classes
+% ESP-style method dispatch: class atom first, cut after selection.
+
+new(window, W, X, Y) :- !,
+    new_vector(W, 10),
+    set_slot(W, x, X), set_slot(W, y, Y),
+    set_slot(W, width, 40), set_slot(W, height, 12),
+    set_slot(W, zorder, 0), set_slot(W, visible, 1),
+    set_slot(W, style, 0), set_slot(W, damage, 1).
+new(title_window, W, X, Y) :- !,
+    new(window, W, X, Y),
+    set_slot(W, style, 1).
+new(scroll_window, W, X, Y) :-
+    new(window, W, X, Y),
+    set_slot(W, style, 2), set_slot(W, cursor_x, 0),
+    set_slot(W, cursor_y, 0).
+
+% method(Class, Selector, Window, Args...)
+send(W, move(DX, DY)) :- !,
+    get_slot(W, x, X), get_slot(W, y, Y),
+    X1 is X + DX, Y1 is Y + DY,
+    clamp(X1, 0, 200, X2), clamp(Y1, 0, 120, Y2),
+    set_slot(W, x, X2), set_slot(W, y, Y2),
+    set_slot(W, damage, 1).
+send(W, resize(DW, DH)) :- !,
+    get_slot(W, width, Wd), get_slot(W, height, Ht),
+    W1 is Wd + DW, H1 is Ht + DH,
+    clamp(W1, 8, 120, W2), clamp(H1, 4, 60, H2),
+    set_slot(W, width, W2), set_slot(W, height, H2),
+    set_slot(W, damage, 1).
+send(W, raise(Z)) :- !,
+    set_slot(W, zorder, Z), set_slot(W, damage, 1).
+send(W, scroll(N)) :- !,
+    get_slot(W, cursor_y, CY),
+    get_slot(W, height, H),
+    CY1 is CY + N,
+    ( CY1 >= H -> set_slot(W, cursor_y, 0) ; set_slot(W, cursor_y, CY1) ),
+    set_slot(W, damage, 1).
+send(W, draw) :- !,
+    get_slot(W, damage, D),
+    ( D =:= 0 -> true ; draw_window(W) ).
+send(_, _).
+
+% Border drawing: per-edge cell arithmetic, the builtin-heavy kernel.
+draw_window(W) :-
+    get_slot(W, x, X), get_slot(W, y, Y),
+    get_slot(W, width, Wd), get_slot(W, height, Ht),
+    X2 is X + Wd - 1, Y2 is Y + Ht - 1,
+    draw_hline(X, X2, Y), draw_hline(X, X2, Y2),
+    draw_vline(Y, Y2, X), draw_vline(Y, Y2, X2),
+    get_slot(W, style, Style),
+    draw_decor(Style, W),
+    set_slot(W, damage, 0).
+
+draw_hline(X, X2, _) :- X > X2, !.
+draw_hline(X, X2, Y) :-
+    Cell is Y * 256 + X, Cell >= 0,
+    X1 is X + 4,
+    draw_hline(X1, X2, Y).
+
+draw_vline(Y, Y2, _) :- Y > Y2, !.
+draw_vline(Y, Y2, X) :-
+    Cell is Y * 256 + X, Cell >= 0,
+    Y1 is Y + 2,
+    draw_vline(Y1, Y2, X).
+
+draw_decor(0, _) :- !.
+draw_decor(1, W) :- !,
+    get_slot(W, x, X), get_slot(W, y, Y),
+    T is Y - 1, T >= -1, X >= 0,
+    set_slot(W, cursor_x, X).
+draw_decor(2, W) :-
+    get_slot(W, cursor_y, CY),
+    get_slot(W, y, Y),
+    P is Y + CY, P >= 0,
+    set_slot(W, cursor_x, 0).
+
+clamp(V, Lo, _, Lo) :- V < Lo, !.
+clamp(V, _, Hi, Hi) :- V > Hi, !.
+clamp(V, _, _, V).
+
+% Overlap test between two windows (pure arithmetic + comparison).
+overlaps(W1, W2) :-
+    get_slot(W1, x, X1), get_slot(W1, width, Wd1),
+    get_slot(W2, x, X2), get_slot(W2, width, Wd2),
+    X1 < X2 + Wd2, X2 < X1 + Wd1,
+    get_slot(W1, y, Y1), get_slot(W1, height, H1),
+    get_slot(W2, y, Y2), get_slot(W2, height, H2),
+    Y1 < Y2 + H2, Y2 < Y1 + H1.
+
+damage_overlapping(_, []).
+damage_overlapping(W, [V|Vs]) :-
+    ( overlaps(W, V) -> set_slot(V, damage, 1) ; true ),
+    damage_overlapping(W, Vs).
+
+% ------------------------------------------------------------ event loop
+
+make_windows(0, []) :- !.
+make_windows(N, [W|Ws]) :-
+    X is (N * 23) mod 160, Y is (N * 17) mod 100,
+    Class is N mod 3,
+    make_window(Class, W, X, Y),
+    N1 is N - 1,
+    make_windows(N1, Ws).
+
+make_window(0, W, X, Y) :- !, new(window, W, X, Y).
+make_window(1, W, X, Y) :- !, new(title_window, W, X, Y).
+make_window(2, W, X, Y) :- new(scroll_window, W, X, Y).
+
+burst(_, [], _) :- !.
+burst(0, _, _) :- !.
+burst(N, [W|Ws], All) :-
+    DX is (N * 7) mod 11 - 5, DY is (N * 5) mod 7 - 3,
+    send(W, move(DX, DY)),
+    send(W, resize(DY, DX)),
+    send(W, scroll(1)),
+    damage_overlapping(W, All),
+    send(W, draw),
+    send(W, raise(N)),
+    N1 is N - 1,
+    burst(N1, Ws, All).
+
+rounds(0, _, _) :- !.
+rounds(K, Ws, Switch) :-
+    burst(6, Ws, Ws),
+    do_switch(Switch),
+    K1 is K - 1,
+    rounds(K1, Ws, Switch).
+
+do_switch(0) :- !.
+do_switch(_) :- process_switch.
+
+run_window(NWin, Rounds, Switch) :-
+    make_windows(NWin, Ws),
+    rounds(Rounds, Ws, Switch).
+
+run_window1 :- run_window(4, 14, 0).
+run_window2 :- run_window(6, 12, 1).
+run_window3 :- run_window(8, 12, 1), run_window(5, 6, 1).
+"""
+
+register(Workload(
+    name="window-1",
+    paper_id="w1",
+    title="window-1",
+    source=WINDOW_SOURCE,
+    goal="run_window1",
+    psi_only=True,
+    description="Window-system burst without process switching.",
+))
+
+register(Workload(
+    name="window-2",
+    paper_id="w2",
+    title="window-2",
+    source=WINDOW_SOURCE,
+    goal="run_window2",
+    psi_only=True,
+    description="Window bursts with a process switch per round.",
+))
+
+register(Workload(
+    name="window-3",
+    paper_id="w3",
+    title="window-3",
+    source=WINDOW_SOURCE,
+    goal="run_window3",
+    psi_only=True,
+    description="Two window tasks with frequent process switches and "
+                "cross-class traffic.",
+))

@@ -1,0 +1,58 @@
+"""Sanity checks on the DEC-2060 cost model."""
+
+from repro.baseline import WAMMachine
+from repro.baseline.isa import COSTS_NS, DYNAMIC_COSTS_NS, Op
+
+
+class TestCostTable:
+    def test_every_opcode_priced(self):
+        assert set(COSTS_NS) == set(Op)
+        for op, cost in COSTS_NS.items():
+            assert cost >= 0, op
+
+    def test_calibrated_structure_penalty(self):
+        # The paper's qualitative claim: structure unification is where
+        # compiled code loses ground.  The fitted table must encode it.
+        assert COSTS_NS[Op.GET_STRUCTURE] > 3 * COSTS_NS[Op.GET_LIST]
+        assert DYNAMIC_COSTS_NS["general_unify_node"] > \
+            2 * COSTS_NS[Op.UNIFY_VALUE]
+
+    def test_fastcode_arith_cheap(self):
+        assert COSTS_NS[Op.BUILTIN_ARITH] < COSTS_NS[Op.GET_STRUCTURE]
+
+    def test_indexing_cheaper_than_choice_points(self):
+        assert COSTS_NS[Op.SWITCH_ON_CONSTANT] < COSTS_NS[Op.TRY]
+
+
+class TestTimeAccounting:
+    def test_time_accumulates(self):
+        m = WAMMachine()
+        m.consult("f(1). f(2).")
+        m.run("f(X)")
+        first = m.stats.time_ns
+        m.run("f(2)")
+        assert m.stats.time_ns > first
+
+    def test_instruction_counts_complete(self):
+        m = WAMMachine()
+        m.consult("loop(0). loop(N) :- N > 0, N1 is N - 1, loop(N1).")
+        m.run("loop(50)")
+        stats = m.stats
+        assert stats.instr_counts.get(Op.EXECUTE, 0) >= 50
+        assert stats.instr_counts.get(Op.BUILTIN_ARITH, 0) >= 100
+        assert stats.total_instructions == sum(stats.instr_counts.values())
+
+    def test_lips_computation(self):
+        m = WAMMachine()
+        m.consult("f(1).")
+        m.run("f(X)")
+        assert m.stats.lips > 0
+
+    def test_indexed_lookup_cheaper_than_scan(self):
+        indexed = WAMMachine()
+        indexed.consult("\n".join(f"k({i}, v{i})." for i in range(20)))
+        indexed.run("k(19, V)")
+        scan = WAMMachine()
+        scan.consult("\n".join(f"s(X, v{i}) :- X =:= {i}." for i in range(20)))
+        scan.run("s(19, V)")
+        assert indexed.stats.time_ns < scan.stats.time_ns

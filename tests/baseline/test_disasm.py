@@ -1,0 +1,67 @@
+"""Tests for the WAM disassembler."""
+
+from repro.baseline import WAMMachine
+from repro.baseline.disasm import disassemble, disassemble_instr, disassemble_machine
+from repro.baseline.isa import Instr, Op
+
+
+def machine_with(source):
+    m = WAMMachine()
+    m.consult(source)
+    return m
+
+
+class TestInstr:
+    def test_register_operands(self):
+        text = disassemble_instr(Instr(Op.GET_VARIABLE, ("x", 3), 0))
+        assert "X3" in text and text.startswith("get_variable")
+
+    def test_permanent_operands(self):
+        text = disassemble_instr(Instr(Op.PUT_VALUE, ("y", 1), 2))
+        assert "Y1" in text
+
+    def test_functor_operand(self):
+        text = disassemble_instr(Instr(Op.GET_STRUCTURE, ("f", 2), 0))
+        assert "f/2" in text
+
+    def test_jump_target(self):
+        assert "L7" in disassemble_instr(Instr(Op.TRY, 7))
+
+    def test_label_column(self):
+        assert disassemble_instr(Instr(Op.PROCEED), 12).startswith("L12")
+
+
+class TestProcedureListing:
+    def test_lists_all_instructions(self):
+        m = machine_with("f(a). f(b).")
+        proc = m.procedures[("f", 1)]
+        text = disassemble(proc)
+        assert text.count("\n") == len(proc.code)
+        assert "% f/1: 2 clause(s)" in text
+
+    def test_switch_rendered(self):
+        m = machine_with("c(red, 1). c(blue, 2).")
+        text = disassemble(m.procedures[("c", 2)])
+        assert "switch_on_term" in text
+        assert "switch_on_constant" in text
+        assert "'red'->L" in text or "red" in text
+
+    def test_jump_targets_marked(self):
+        m = machine_with("f(a). f(X) :- g(X). g(_).")
+        text = disassemble(m.procedures[("f", 1)])
+        assert ">" in text   # at least one instruction is a branch target
+
+    def test_machine_listing_skips_internals(self):
+        m = machine_with("p :- (a ; b). a. b.")
+        m.solve("p")   # creates $query_1
+        text = disassemble_machine(m)
+        assert "% p/0" in text
+        # Internal predicates get no section of their own (references
+        # from user code may still mention them).
+        assert "% $query" not in text
+        assert "% $dsj" not in text
+
+    def test_fastcode_visible(self):
+        m = machine_with("inc(X, Y) :- Y is X + 1.")
+        text = disassemble(m.procedures[("inc", 2)])
+        assert "builtin_arith" in text

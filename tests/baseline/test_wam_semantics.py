@@ -1,0 +1,176 @@
+"""Prolog semantics tests for the WAM baseline."""
+
+import pytest
+
+from repro.baseline import WAMMachine
+from repro.prolog import Atom, Struct, list_elements
+
+LISTS = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+"""
+
+
+@pytest.fixture
+def m():
+    machine = WAMMachine()
+    machine.consult(LISTS)
+    return machine
+
+
+class TestResolution:
+    def test_fact(self, m):
+        m.consult("likes(mary, wine).")
+        assert m.run("likes(mary, wine)") is not None
+        assert m.run("likes(mary, beer)") is None
+
+    def test_append(self, m):
+        s = m.run("append([1,2], [3], X)")
+        assert list_elements(s["X"]) == [1, 2, 3]
+
+    def test_append_enumeration(self, m):
+        assert m.solve("append(A, B, [1,2,3])").count() == 4
+
+    def test_member_order(self, m):
+        assert [s["X"] for s in m.solve("member(X, [a,b])").all()] == \
+            [Atom("a"), Atom("b")]
+
+    def test_nrev(self, m):
+        s = m.run("nrev([1,2,3,4], R)")
+        assert list_elements(s["R"]) == [4, 3, 2, 1]
+
+    def test_deep_recursion(self, m):
+        m.consult("count(0) :- !. count(N) :- N1 is N - 1, count(N1).")
+        assert m.run("count(20000)") is not None
+
+
+class TestIndexing:
+    def test_constant_dispatch(self, m):
+        m.consult("""
+        color(red, 1). color(green, 2). color(blue, 3).
+        """)
+        s = m.run("color(green, X)")
+        assert s["X"] == 2
+        # Indexed dispatch must not leave a choice point: exactly 1 solution.
+        assert m.solve("color(blue, X)").count() == 1
+
+    def test_structure_dispatch(self, m):
+        m.consult("""
+        shape(circle(R), A) :- A is R * R * 3.
+        shape(square(S), A) :- A is S * S.
+        """)
+        assert m.run("shape(square(4), A)")["A"] == 16
+
+    def test_var_argument_tries_all(self, m):
+        m.consult("f(a). f(b). f(c).")
+        assert m.solve("f(X)").count() == 3
+
+    def test_mixed_first_args(self, m):
+        m.consult("""
+        g(1, one). g(2, two). g(foo, sym). g([], nil_case). g([_|_], cons).
+        """)
+        assert m.run("g(2, X)")["X"] == Atom("two")
+        assert m.run("g(foo, X)")["X"] == Atom("sym")
+        assert m.run("g([], X)")["X"] == Atom("nil_case")
+        assert m.run("g([1], X)")["X"] == Atom("cons")
+
+
+class TestCutAndControl:
+    def test_neck_cut(self, m):
+        m.consult("""
+        sign(X, neg) :- X < 0, !.
+        sign(0, zero) :- !.
+        sign(_, pos).
+        """)
+        assert m.run("sign(-3, S)")["S"] == Atom("neg")
+        assert m.run("sign(0, S)")["S"] == Atom("zero")
+        assert m.run("sign(9, S)")["S"] == Atom("pos")
+        assert m.solve("sign(-3, S)").count() == 1
+
+    def test_deep_cut(self, m):
+        m.consult("""
+        pick(L, X) :- member(X, L), X > 2, !.
+        """)
+        assert m.solve("pick([1,3,4], X)").count() == 1
+
+    def test_if_then_else(self, m):
+        s = m.run("(1 < 2 -> R = yes ; R = no)")
+        assert s["R"] == Atom("yes")
+        s = m.run("(2 < 1 -> R = yes ; R = no)")
+        assert s["R"] == Atom("no")
+
+    def test_disjunction(self, m):
+        assert [s["X"] for s in m.solve("(X = 1 ; X = 2)").all()] == [1, 2]
+
+    def test_negation(self, m):
+        assert m.run("\\+ member(9, [1,2])") is not None
+        assert m.run("\\+ member(1, [1,2])") is None
+
+    def test_meta_call(self, m):
+        s = m.run("G = member(X, [5]), call(G)")
+        assert s["X"] == 5
+
+    def test_failure_driven_loop(self, m):
+        m.consult("loop :- member(_, [a,b,c]), counter_inc(k), fail. loop.")
+        m.run("loop")
+        assert m.counters["k"] == 3
+
+
+class TestBuiltins:
+    def test_arith(self, m):
+        assert m.run("X is 2 + 3 * 4")["X"] == 14
+        assert m.run("X is -7 // 2")["X"] == -3
+        assert m.run("3 =< 3") is not None
+
+    def test_functor_arg_univ(self, m):
+        assert m.run("functor(f(a, b), N, A)")["N"] == Atom("f")
+        assert m.run("arg(1, f(a, b), X)")["X"] == Atom("a")
+        assert list_elements(m.run("f(1) =.. L")["L"]) == [Atom("f"), 1]
+        assert m.run("T =.. [g, 1]")["T"] == Struct("g", (1,))
+
+    def test_type_tests(self, m):
+        assert m.run("var(X)") is not None
+        assert m.run("X = 1, integer(X)") is not None
+        assert m.run("atom(foo)") is not None
+
+    def test_structural_compare(self, m):
+        assert m.run("f(1) == f(1)") is not None
+        assert m.run("f(1) \\== f(2)") is not None
+        assert m.run("1 @< foo") is not None
+
+    def test_length(self, m):
+        assert m.run("length([a,b], N)")["N"] == 2
+
+    def test_not_unify(self, m):
+        assert m.run("\\=(f(1), f(2))") is not None
+        assert m.run("\\=(X, 1)") is None
+
+
+class TestEnvironmentSafety:
+    def test_unsafe_variable_survives_deallocate(self, m):
+        # Y passed in the last call after deallocate must not dangle.
+        m.consult("""
+        outer(R) :- mk(X), use(X, R).
+        mk(X) :- X = val(1).
+        use(val(N), R) :- R is N + 1.
+        """)
+        assert m.run("outer(R)")["R"] == 2
+
+    def test_unbound_permanent_in_last_call(self, m):
+        m.consult("""
+        go(R) :- step1(A), step2(A, R).
+        step1(_).
+        step2(A, A).
+        """)
+        assert m.run("go(R)") is not None
+
+    def test_permanent_inside_structure(self, m):
+        m.consult("""
+        wrap(R) :- p(X), q(X), R = f(X).
+        p(_). q(7).
+        """)
+        assert m.run("wrap(R)")["R"] == Struct("f", (7,))

@@ -1,0 +1,108 @@
+"""Error behaviour of builtins and machine limits."""
+
+import pytest
+
+from repro.core import MachineConfig, PSIMachine
+from repro.errors import (
+    EvaluationError,
+    ExistenceError,
+    InstantiationError,
+    ResourceLimitExceeded,
+    TypeError_,
+)
+
+
+@pytest.fixture
+def m():
+    machine = PSIMachine()
+    machine.consult("anchor.")
+    return machine
+
+
+class TestArithmeticErrors:
+    def test_unbound(self, m):
+        with pytest.raises(InstantiationError):
+            m.run("X is Y + 1")
+
+    def test_division_by_zero(self, m):
+        with pytest.raises(EvaluationError):
+            m.run("X is 5 // 0")
+        with pytest.raises(EvaluationError):
+            m.run("X is 5 mod 0")
+
+    def test_non_evaluable_functor(self, m):
+        with pytest.raises(TypeError_):
+            m.run("X is foo(1)")
+
+    def test_atom_in_expression(self, m):
+        with pytest.raises(TypeError_):
+            m.run("X is foo")
+
+    def test_list_in_expression(self, m):
+        with pytest.raises(TypeError_):
+            m.run("X is [1]")
+
+
+class TestCallErrors:
+    def test_unbound_meta_call(self, m):
+        with pytest.raises(InstantiationError):
+            m.run("call(G)")
+
+    def test_integer_meta_call(self, m):
+        with pytest.raises(TypeError_):
+            m.run("call(42)")
+
+    def test_undefined_predicate(self, m):
+        with pytest.raises(ExistenceError) as info:
+            m.run("missing(1, 2)")
+        assert info.value.functor == "missing"
+        assert info.value.arity == 2
+
+
+class TestTermErrors:
+    def test_functor_unbound_both_ways(self, m):
+        with pytest.raises(InstantiationError):
+            m.run("functor(T, N, A)")
+
+    def test_univ_unbound(self, m):
+        with pytest.raises(InstantiationError):
+            m.run("T =.. L")
+
+    def test_univ_non_atom_head(self, m):
+        with pytest.raises(TypeError_):
+            m.run("T =.. [1, 2]")
+
+    def test_counter_requires_atom(self, m):
+        with pytest.raises(TypeError_):
+            m.run("counter_inc(42)")
+
+    def test_vector_bad_size(self, m):
+        with pytest.raises(TypeError_):
+            m.run("new_vector(V, foo)")
+
+    def test_vector_ref_non_vector(self, m):
+        with pytest.raises(TypeError_):
+            m.run("vector_ref(notvec, 0, X)")
+
+
+class TestLimits:
+    def test_activation_limit(self):
+        machine = PSIMachine(MachineConfig(max_calls=100))
+        machine.consult("loop :- loop.")
+        with pytest.raises(ResourceLimitExceeded):
+            machine.run("loop")
+
+    def test_word_limit(self):
+        machine = PSIMachine(MachineConfig(word_limit=2000))
+        machine.consult("""
+        grow(N, [N|T]) :- N1 is N + 1, grow(N1, T).
+        """)
+        from repro.errors import MachineError
+        with pytest.raises(MachineError):
+            machine.run("grow(0, L)")
+
+    def test_errors_are_repro_errors(self):
+        from repro.errors import ReproError
+        for cls in (EvaluationError, InstantiationError, TypeError_,
+                    ExistenceError, ResourceLimitExceeded):
+            assert issubclass(cls, ReproError)

@@ -1,0 +1,179 @@
+"""Unit tests for the KL0 code compiler and heap serialisation."""
+
+import pytest
+
+from repro.core.builtins import BUILTIN_TABLE
+from repro.core.code import (
+    BuiltinGoal,
+    CallGoal,
+    CConst,
+    CList,
+    CStruct,
+    CutGoal,
+    CVar,
+    CVoid,
+    CodeSerializer,
+    Program,
+)
+from repro.core.memory import Area, MemorySystem
+from repro.core.stats import NullStats
+from repro.core.words import SymbolTable, Tag
+from repro.prolog import parse_term
+
+
+@pytest.fixture
+def program():
+    return Program(SymbolTable(), BUILTIN_TABLE)
+
+
+def compile_one(program, text):
+    return program.add_clause(parse_term(text))
+
+
+class TestGoalClassification:
+    def test_builtin_goal(self, program):
+        clause = compile_one(program, "p(X) :- X is 1 + 2")
+        assert isinstance(clause.body[0], BuiltinGoal)
+        assert clause.body[0].name == "is"
+
+    def test_user_call(self, program):
+        clause = compile_one(program, "p :- q")
+        goal = clause.body[0]
+        assert isinstance(goal, CallGoal)
+        assert goal.indicator == ("q", 0)
+
+    def test_cut_goal(self, program):
+        clause = compile_one(program, "p :- !, q")
+        assert isinstance(clause.body[0], CutGoal)
+
+    def test_last_goal_marked(self, program):
+        clause = compile_one(program, "p :- q, r")
+        assert not clause.body[0].is_last
+        assert clause.body[1].is_last
+
+
+class TestVariableClassification:
+    def test_nested_vars_are_global(self, program):
+        clause = compile_one(program, "p(f(X)) :- q(g(X))")
+        head_arg = clause.head_args[0]
+        assert isinstance(head_arg, CStruct)
+        var = head_arg.args[0]
+        assert isinstance(var, CVar) and var.is_global
+
+    def test_top_level_only_var_is_local(self, program):
+        clause = compile_one(program, "p(X) :- q(X), r(X), s")
+        var = clause.head_args[0]
+        assert isinstance(var, CVar) and not var.is_global
+        assert clause.nlocals == 1
+
+    def test_single_occurrence_is_void(self, program):
+        clause = compile_one(program, "p(X, Y) :- q(Y), r")
+        assert isinstance(clause.head_args[0], CVoid)
+
+    def test_last_call_args_stay_local_at_compile_time(self, program):
+        # Unsafe variables are globalised at *runtime* by the machine's
+        # TRO (the DEC-10 method), not by the compiler: X stays a local
+        # slot here.  tests/core/test_machine_hardware.py checks the
+        # runtime side.
+        clause = compile_one(program, "p(X) :- q(X)")
+        var = clause.head_args[0]
+        assert isinstance(var, CVar) and not var.is_global
+        assert clause.nlocals == 1
+        assert clause.nglobals == 0
+
+    def test_non_final_user_call_keeps_locals(self, program):
+        # q is followed by a builtin, so its frame is not TRO-reclaimed
+        # at the call: X and Y can safely stay local.
+        clause = compile_one(program, "p(X, Y) :- q(X, Y), X < Y")
+        assert clause.nglobals == 0
+        assert clause.nlocals == 2
+
+    def test_first_occurrence_flags(self, program):
+        clause = compile_one(program, "p(X, X) :- q")
+        first, second = clause.head_args
+        assert first.is_first and not second.is_first
+
+
+class TestControlExpansionIntegration:
+    def test_disjunction_becomes_aux_procedure(self, program):
+        compile_one(program, "p(X) :- (X = 1 ; X = 2)")
+        aux = [proc for proc in program.procedures.values() if proc.is_auxiliary]
+        assert len(aux) == 1
+        assert len(aux[0].clauses) == 2
+
+    def test_negation_two_clauses(self, program):
+        compile_one(program, "p :- \\+ q")
+        aux = [proc for proc in program.procedures.values() if proc.is_auxiliary]
+        assert len(aux[0].clauses) == 2
+
+
+class TestSerialisation:
+    def load(self, program, mem):
+        serializer = CodeSerializer(mem)
+        for proc in program.procedures.values():
+            serializer.load_procedure(proc)
+
+    def test_every_node_gets_an_address(self, program):
+        clause = compile_one(program, "p([H|T], f(H)) :- q(T)")
+        mem = MemorySystem(NullStats())
+        self.load(program, mem)
+        def walk(node):
+            assert node.addr >= 0
+            if isinstance(node, CList):
+                walk(node.head)
+                walk(node.tail)
+            elif isinstance(node, CStruct):
+                for arg in node.args:
+                    walk(arg)
+        for arg in clause.head_args:
+            walk(arg)
+        for goal in clause.body:
+            assert goal.addr >= 0
+
+    def test_preorder_addresses_increase(self, program):
+        clause = compile_one(program, "p(f(a, g(b)), c) :- q")
+        mem = MemorySystem(NullStats())
+        self.load(program, mem)
+        struct = clause.head_args[0]
+        assert struct.addr < struct.args[0].addr < struct.args[1].addr
+
+    def test_small_int_packing(self, program):
+        clause = compile_one(program, "p :- q(1, 2, 3, 4, 5)")
+        mem = MemorySystem(NullStats())
+        self.load(program, mem)
+        goal = clause.body[0]
+        consts = [a for a in goal.args if isinstance(a, CConst)]
+        # First int starts a packed word; the next three share it.
+        assert not consts[0].packed
+        assert consts[1].packed and consts[2].packed and consts[3].packed
+        assert consts[0].addr == consts[1].addr == consts[3].addr
+        # The fifth starts a new word.
+        assert not consts[4].packed
+        assert consts[4].addr != consts[0].addr
+
+    def test_large_ints_not_packed(self, program):
+        clause = compile_one(program, "p :- q(1000, 2000)")
+        mem = MemorySystem(NullStats())
+        self.load(program, mem)
+        a, b = clause.body[0].args
+        assert not a.packed and not b.packed
+        assert a.addr != b.addr
+
+    def test_descriptor_table(self, program):
+        compile_one(program, "p(1). ")
+        compile_one(program, "p(2). ")
+        mem = MemorySystem(NullStats())
+        self.load(program, mem)
+        proc = program.procedure("p", 1)
+        assert proc.descriptor_base >= 0
+        header = mem.peek(Area.HEAP, proc.descriptor_base)
+        assert header == (Tag.INT, 2)
+
+    def test_incremental_load_preserves_loaded_clauses(self, program):
+        mem = MemorySystem(NullStats())
+        clause1 = compile_one(program, "p(1).")
+        self.load(program, mem)
+        base1 = clause1.heap_base
+        compile_one(program, "p(2).")
+        self.load(program, mem)
+        assert clause1.heap_base == base1

@@ -1,0 +1,89 @@
+"""Regression tests for cut's trail tidying.
+
+The crash scenario: a cut discards choice points but not their trail
+entries; a later backtrack past the cut then untrails addresses whose
+stacks were already truncated.  These tests rebuild that situation in
+miniature (it originally surfaced in the WINDOW workload) and check
+both correctness and the survival of legitimately-trailed bindings.
+"""
+
+import pytest
+
+from repro.core import PSIMachine
+from repro.prolog import Atom
+
+
+@pytest.fixture
+def m():
+    machine = PSIMachine()
+    machine.consult("anchor.")
+    return machine
+
+
+class TestTidyOnCut:
+    def test_backtrack_past_cut_with_discarded_bindings(self, m):
+        # commit/2 binds its fresh argument and cuts; outer/1 then fails
+        # and backtracks past the cut into pick/1, whose restart reclaims
+        # stacks that held the committed binding's cell.
+        m.consult("""
+        pick(1). pick(2).
+        commit(X, Y) :- mk(Y), Y = val(X), !.
+        commit(_, none).
+        mk(_).
+        outer(X) :- pick(X), commit(X, Y), check(X, Y).
+        check(2, val(2)).
+        """)
+        solution = m.run("outer(X)")
+        assert solution is not None
+        assert solution["X"] == 2
+
+    def test_older_bindings_survive_the_cut(self, m):
+        # A binding of a cell older than the surviving choice point must
+        # still be undone when that choice point is resumed.
+        m.consult("""
+        alt(a). alt(b).
+        inner(_) :- !.
+        go(A, X) :- alt(A), inner(X), X = marked(A), verify(A, X).
+        verify(b, marked(b)).
+        """)
+        solution = m.run("go(A, X)")
+        assert solution["A"] == Atom("b")
+
+    def test_repeated_cut_fail_cycles(self, m):
+        # Stress: many cut/backtrack rounds with conditional bindings in
+        # between, as the window system's slot-access cuts produced.
+        m.consult("""
+        slot(a, 1). slot(b, 2). slot(c, 3). slot(d, 4).
+        access(Name, V) :- slot(Name, V), !.
+        round(0) :- !.
+        round(N) :-
+            access(b, V1), access(d, V2),
+            S is V1 + V2, S =:= 6,
+            N1 is N - 1,
+            round(N1).
+        sweep :- pickn(N), round(N), counter_inc(done), fail.
+        sweep.
+        pickn(5). pickn(9). pickn(3).
+        """)
+        m.run("sweep")
+        assert m.counters["done"] == 3
+
+    def test_gcell_records_survive_cut(self, m):
+        # Lazy global-cell allocation records are kept by tidying, so a
+        # later backtrack still resets the frame's cell cache.
+        m.consult("""
+        choice(1). choice(2).
+        keeper(X, f(X)) :- !.
+        go(C, T, Y) :- choice(C), keeper(X, T), C > 1, Y is C * 3.
+        """)
+        solution = m.run("go(C, T, Y)")
+        assert solution["Y"] == 6
+
+    def test_trail_area_stays_consistent(self, m):
+        from repro.core.memory import Area
+        m.consult("""
+        p(1). p(2).
+        q(X) :- p(X), X = 2, !.
+        """)
+        assert m.run("q(X)")["X"] == 2
+        assert m.mem.top(Area.TRAIL) == len(m.trail)

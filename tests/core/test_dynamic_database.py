@@ -1,0 +1,120 @@
+"""Tests for assert/retract on both engines."""
+
+import pytest
+
+from repro.baseline import WAMMachine
+from repro.core import PSIMachine
+from repro.core.memory import Area
+from repro.core.micro import CacheCmd
+from repro.errors import TypeError_
+
+ENGINES = [PSIMachine, WAMMachine]
+
+
+@pytest.fixture(params=ENGINES, ids=["psi", "wam"])
+def m(request):
+    machine = request.param()
+    machine.consult("anchor.")
+    return machine
+
+
+class TestAssert:
+    def test_assert_fact(self, m):
+        m.run("assertz(city(tokyo))")
+        assert m.run("city(tokyo)") is not None
+        assert m.run("city(kyoto)") is None
+
+    def test_assert_multiple_clause_order(self, m):
+        m.run("assertz(n(1)), assertz(n(2)), assertz(n(3))")
+        values = [s["X"] for s in m.solve("n(X)").all()]
+        assert values == [1, 2, 3]
+
+    def test_assert_rule(self, m):
+        m.run("assertz(base(4))")
+        m.run("assertz((double(X, Y) :- base(X), Y is X * 2))")
+        assert m.run("double(X, Y)")["Y"] == 8
+
+    def test_assert_alias(self, m):
+        m.run("assert(thing(a))")
+        assert m.run("thing(a)") is not None
+
+    def test_asserted_structures(self, m):
+        m.run("assertz(shape(circle(3)))")
+        s = m.run("shape(circle(R))")
+        assert s["R"] == 3
+
+    def test_assert_then_backtrack_through(self, m):
+        m.run("assertz(opt(a)), assertz(opt(b))")
+        m.run("(opt(X), counter_inc(seen), fail ; true)")
+        assert m.counters["seen"] == 2
+
+
+class TestRetract:
+    def test_retract_first_matching(self, m):
+        m.run("assertz(k(1)), assertz(k(2)), assertz(k(1))")
+        assert m.run("retract(k(1))") is not None
+        assert [s["X"] for s in m.solve("k(X)").all()] == [2, 1]
+
+    def test_retract_with_unification(self, m):
+        m.run("assertz(pair(a, 1)), assertz(pair(b, 2))")
+        s = m.run("retract(pair(b, V))")
+        assert s["V"] == 2
+        assert m.run("pair(b, _)") is None
+
+    def test_retract_no_match_fails(self, m):
+        m.run("assertz(q(1))")
+        assert m.run("retract(q(2))") is None
+        assert m.run("q(1)") is not None
+
+    def test_retract_unknown_predicate_fails(self, m):
+        assert m.run("retract(never_defined(1))") is None
+
+    def test_retract_requires_callable(self, m):
+        with pytest.raises(TypeError_):
+            m.run("retract(42)")
+
+    def test_retract_does_not_disturb_outer_choice_points(self, m):
+        m.run("assertz(r(1)), assertz(r(2)), assertz(del(x))")
+        m.consult("""
+        sweep :- r(_), retract(del(nomatch)), counter_inc(c), fail.
+        sweep.
+        """)
+        m.counters.clear()
+        m.run("sweep")
+        # retract fails twice but both r/1 alternatives must still fire...
+        assert m.counters == {}
+        m.consult("""
+        sweep2 :- r(_), counter_inc(c2), fail.
+        sweep2.
+        """)
+        m.run("sweep2")
+        assert m.counters["c2"] == 2
+
+
+class TestDatabaseLifecycle:
+    def test_memo_pattern(self, m):
+        m.consult("""
+        memo(-1, 0).
+        fib(N, F) :- memo(N, F), !.
+        fib(0, 1). fib(1, 1).
+        fib(N, F) :-
+            N > 1,
+            N1 is N - 1, N2 is N - 2,
+            fib(N1, F1), fib(N2, F2),
+            F is F1 + F2,
+            assertz(memo(N, F)).
+        """)
+        assert m.run("fib(12, F)")["F"] == 233
+        # memoised: the second query is a direct table lookup
+        assert m.run("memo(12, F)")["F"] == 233
+        assert m.run("fib(12, F)")["F"] == 233
+
+    def test_assert_billed_as_heap_traffic_on_psi(self):
+        machine = PSIMachine()
+        machine.consult("anchor.")
+        before = machine.stats.mem_counts.get(
+            (CacheCmd.WRITE_STACK, Area.HEAP), 0)
+        machine.run("assertz(big(f(1, 2, 3, 4, 5)))")
+        after = machine.stats.mem_counts.get(
+            (CacheCmd.WRITE_STACK, Area.HEAP), 0)
+        assert after > before

@@ -1,0 +1,170 @@
+"""Tests of the PSI machine's hardware accounting behaviour.
+
+These verify the *mechanisms* behind the paper's measurements: frame
+buffering keeps deterministic tail-recursive loops off the local stack,
+choice points cost 10-word control frames, the trail records
+conditional bindings, instruction fetch hits the heap, and the
+process-switch builtin invalidates the frame buffers.
+"""
+
+import pytest
+
+from repro.core import PSIMachine
+from repro.core.machine import CONTROL_FRAME_WORDS
+from repro.core.memory import Area
+from repro.core.micro import CacheCmd, Module
+
+
+def machine(source: str) -> PSIMachine:
+    m = PSIMachine()
+    m.consult(source)
+    return m
+
+
+def area_count(m, cmd, area):
+    return m.stats.mem_counts.get((cmd, area), 0)
+
+
+class TestFrameBuffering:
+    def test_tail_recursive_loop_avoids_local_stack(self):
+        # Deterministic count-down: locals stay in the WF frame buffers.
+        m = machine("""
+        loop(0).
+        loop(N) :- N > 0, N1 is N - 1, loop(N1).
+        """)
+        assert m.run("loop(200)") is not None
+        local_traffic = (area_count(m, CacheCmd.READ, Area.LOCAL)
+                         + area_count(m, CacheCmd.WRITE, Area.LOCAL)
+                         + area_count(m, CacheCmd.WRITE_STACK, Area.LOCAL))
+        # A memory-resident frame would cost hundreds of accesses here.
+        assert local_traffic < 50
+
+    def test_non_last_call_flushes_frame(self):
+        # X stays local (the final goal is a builtin, so no TRO
+        # globalisation); the call to one/1 forces the frame out of the
+        # work-file buffer into the local stack.
+        m = machine("""
+        chain(X) :- one(X), two(X), 1 < 2.
+        one(_). two(_).
+        """)
+        m.run("chain(5)")
+        flushed = area_count(m, CacheCmd.WRITE_STACK, Area.LOCAL)
+        assert flushed >= 1
+
+    def test_instruction_fetch_hits_heap(self):
+        m = machine("f(1).")
+        m.run("f(X)")
+        assert area_count(m, CacheCmd.READ, Area.HEAP) > 3
+
+
+class TestControlStack:
+    def test_choice_point_is_ten_words(self):
+        m = machine("c(1). c(2).")
+        before = m.mem.top(Area.CONTROL)
+        m.run("c(X)")
+        writes = area_count(m, CacheCmd.WRITE_STACK, Area.CONTROL)
+        assert writes >= CONTROL_FRAME_WORDS
+        assert writes % CONTROL_FRAME_WORDS == 0
+
+    def test_deterministic_call_pushes_no_choice_point(self):
+        m = machine("only. top :- only.")
+        m.run("top")
+        assert area_count(m, CacheCmd.WRITE_STACK, Area.CONTROL) == 0
+
+    def test_control_stack_reclaimed_after_run(self):
+        m = machine("""
+        go :- level1, level1.
+        level1 :- level2, level2.
+        level2.
+        """)
+        m.run("go")
+        # All environments popped: control stack back to (near) empty.
+        assert m.mem.top(Area.CONTROL) == 0
+
+
+class TestTrail:
+    def test_unconditional_bindings_not_trailed(self):
+        m = machine("bindme(X) :- X = 1.")
+        m.run("bindme(V)")
+        assert area_count(m, CacheCmd.WRITE_STACK, Area.TRAIL) == 0
+
+    def test_conditional_bindings_trailed_and_undone(self):
+        m = machine("""
+        pick(a). pick(b).
+        go(X) :- pick(X), X = b.
+        """)
+        solution = m.run("go(X)")
+        assert solution is not None
+        assert area_count(m, CacheCmd.WRITE_STACK, Area.TRAIL) >= 1
+        assert m.stats.module_steps().get(Module.TRAIL, 0) > 0
+
+    def test_backtracking_restores_global_stack(self):
+        m = machine("""
+        build(f(1, 2, 3)). build(g(7)).
+        want(g(X)) .
+        go(X) :- build(T), want(T), T = g(X).
+        """)
+        assert m.run("go(X)")["X"] == 7
+
+
+class TestTRO:
+    def test_local_stack_bounded_in_deep_recursion(self):
+        m = machine("""
+        down(0).
+        down(N) :- N > 0, N1 is N - 1, down(N1).
+        """)
+        m.run("down(3000)")
+        # Without last-call optimisation the local stack would hold
+        # thousands of frames at peak; TRO keeps it flat.
+        assert m.mem.top(Area.LOCAL) < 64
+
+    def test_global_stack_grows_without_backtracking(self):
+        m = machine("""
+        build(0, []).
+        build(N, [N|T]) :- N1 is N - 1, build(N1, T).
+        """)
+        m.run("build(100, L)")
+        assert m.mem.top(Area.GLOBAL) >= 200   # 100 list cells
+
+
+class TestProcessSwitch:
+    def test_switch_adds_heap_traffic(self):
+        base = machine("go :- true.")
+        base.run("go")
+        switched = machine("go :- process_switch.")
+        switched.run("go")
+        extra = (area_count(switched, CacheCmd.WRITE, Area.HEAP)
+                 - area_count(base, CacheCmd.WRITE, Area.HEAP))
+        assert extra >= 64   # the WF save area
+
+    def test_switch_flushes_buffered_frame(self):
+        m = machine("""
+        go(X) :- Y is X + 1, process_switch, Z is Y + 1, Z > 0.
+        """)
+        assert m.run("go(1)") is not None
+        assert area_count(m, CacheCmd.WRITE_STACK, Area.LOCAL) >= 1
+
+
+class TestBuiltinCounting:
+    def test_builtin_calls_counted_separately(self):
+        m = machine("go :- 1 < 2, 2 < 3, sub. sub.")
+        m.run("go")
+        assert m.stats.builtin_calls == 2
+        # inferences: the calls to go/0 and sub/0
+        assert m.stats.inferences == 2
+
+
+class TestRegression:
+    def test_lazy_global_cells_survive_backtracking(self):
+        """Regression for the stale gcell-cache bug: a frame's lazily
+        allocated global cell must be re-allocated after backtracking
+        truncates the global stack (previously this aliased a fresh
+        cell and created a self-referential REF loop)."""
+        m = machine("""
+        alt(1). alt(2).
+        hold(X, f(X)).
+        go(X, T, Y) :- alt(A), hold(X, T), A > 1, Y is A * 10.
+        """)
+        solution = m.run("go(X, T, Y)")
+        assert solution is not None
+        assert solution["Y"] == 20

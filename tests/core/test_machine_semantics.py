@@ -1,0 +1,334 @@
+"""Prolog semantics tests for the PSI machine.
+
+These check the machine as a language implementation: unification,
+backtracking order, cut, control constructs, arithmetic.  Hardware
+accounting is tested separately.
+"""
+
+import pytest
+
+from repro.core import PSIMachine
+from repro.prolog import Atom, Struct, list_elements, parse_term, term_to_string
+
+LISTS = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+"""
+
+
+@pytest.fixture
+def m():
+    machine = PSIMachine()
+    machine.consult(LISTS)
+    return machine
+
+
+def as_list(term):
+    return list_elements(term)
+
+
+class TestBasicResolution:
+    def test_fact(self, m):
+        m.consult("likes(mary, wine).")
+        assert m.run("likes(mary, wine)") is not None
+        assert m.run("likes(mary, beer)") is None
+
+    def test_undefined_predicate_raises(self, m):
+        from repro.errors import ExistenceError
+        with pytest.raises(ExistenceError):
+            m.run("no_such_thing(1)")
+
+    def test_append_forward(self, m):
+        s = m.run("append([1,2], [3], X)")
+        assert as_list(s["X"]) == [1, 2, 3]
+
+    def test_append_backward_enumerates_all_splits(self, m):
+        solutions = m.solve("append(A, B, [1,2,3])").all()
+        assert len(solutions) == 4
+        assert as_list(solutions[0]["A"]) == []
+        assert as_list(solutions[3]["A"]) == [1, 2, 3]
+
+    def test_member_enumeration_order(self, m):
+        values = [s["X"] for s in m.solve("member(X, [a,b,c])").all()]
+        assert values == [Atom("a"), Atom("b"), Atom("c")]
+
+    def test_nrev(self, m):
+        s = m.run("nrev([1,2,3,4,5,6,7,8], R)")
+        assert as_list(s["R"]) == [8, 7, 6, 5, 4, 3, 2, 1]
+
+    def test_deep_recursion(self, m):
+        m.consult("""
+        count(0) :- !.
+        count(N) :- N1 is N - 1, count(N1).
+        """)
+        assert m.run("count(5000)") is not None
+
+
+class TestUnification:
+    def test_structure_unification(self, m):
+        s = m.run("= (f(X, g(Y)), f(1, g(2)))" .replace("= (", "=("))
+        assert s["X"] == 1 and s["Y"] == 2
+
+    def test_unification_failure(self, m):
+        assert m.run("f(1) = f(2)") is None
+        assert m.run("f(1) = g(1)") is None
+        assert m.run("f(1) = f(1, 2)") is None
+
+    def test_var_to_var_aliasing(self, m):
+        s = m.run("X = Y, Y = 42, Z = X")
+        assert s["X"] == 42 and s["Z"] == 42
+
+    def test_shared_structure(self, m):
+        s = m.run("X = f(Y), Y = 3, X = f(Z)")
+        assert s["Z"] == 3
+
+    def test_atoms_vs_integers_distinct(self, m):
+        assert m.run("foo = 1") is None
+
+    def test_nil_unifies_with_nil(self, m):
+        assert m.run("[] = []") is not None
+
+    def test_not_unify_builtin(self, m):
+        assert m.run("\\=(f(X), g(Y))") is not None
+        assert m.run("\\=(f(X), f(Y))") is None
+        # An unbound variable unifies with anything, so X \= 1 fails...
+        assert m.run("\\=(X, 1)") is None
+        # ...and the trial unification must not leave bindings behind.
+        s = m.run("\\=(f(X), g(X)), X = 2")
+        assert s["X"] == 2
+
+
+class TestBacktrackingAndCut:
+    def test_cut_commits_to_first_solution(self, m):
+        m.consult("""
+        first(X, L) :- member(X, L), !.
+        """)
+        assert m.solve("first(X, [a,b,c])").count() == 1
+
+    def test_cut_inside_clause_keeps_outer_choices(self, m):
+        m.consult("""
+        pick(1). pick(2).
+        chosen(X) :- pick(X), marker.
+        marker :- !.
+        """)
+        assert m.solve("chosen(X)").count() == 2
+
+    def test_cut_discards_alternative_clauses(self, m):
+        m.consult("""
+        classify(X, small) :- X < 10, !.
+        classify(_, big).
+        """)
+        values = [s["R"] for s in m.solve("classify(5, R)").all()]
+        assert values == [Atom("small")]
+
+    def test_fail_driven_loop_with_counter(self, m):
+        m.consult("""
+        each :- member(_, [a,b,c,d]), counter_inc(n), fail.
+        each.
+        """)
+        m.run("each")
+        assert m.counters["n"] == 4
+
+    def test_deterministic_retry_after_failure(self, m):
+        m.consult("""
+        road(a, b). road(b, c). road(a, d). road(d, c).
+        path(X, X).
+        path(X, Z) :- road(X, Y), path(Y, Z).
+        """)
+        assert m.solve("path(a, c)").count() == 2
+
+
+class TestControlConstructs:
+    def test_disjunction(self, m):
+        values = [s["X"] for s in m.solve("(X = 1 ; X = 2 ; X = 3)").all()]
+        assert values == [1, 2, 3]
+
+    def test_if_then_else_true_branch(self, m):
+        s = m.run("(1 < 2 -> R = yes ; R = no)")
+        assert s["R"] == Atom("yes")
+
+    def test_if_then_else_false_branch(self, m):
+        s = m.run("(2 < 1 -> R = yes ; R = no)")
+        assert s["R"] == Atom("no")
+
+    def test_if_then_commits_condition(self, m):
+        m.consult("cond(1). cond(2).")
+        solutions = m.solve("(cond(X) -> true ; fail)").all()
+        assert [s["X"] for s in solutions] == [1]
+
+    def test_bare_if_then_fails_when_condition_fails(self, m):
+        assert m.run("(fail -> true)") is None
+
+    def test_negation_as_failure(self, m):
+        assert m.run("\\+ member(5, [1,2,3])") is not None
+        assert m.run("\\+ member(2, [1,2,3])") is None
+
+    def test_negation_leaves_no_bindings(self, m):
+        s = m.run("\\+ (X = 1, fail), X = 7")
+        assert s["X"] == 7
+
+    def test_meta_call(self, m):
+        s = m.run("G = member(X, [1,2]), call(G)")
+        assert s["X"] == 1
+
+    def test_meta_call_of_builtin(self, m):
+        s = m.run("G = (3 < 5), call(G)")
+        assert s is not None
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,value", [
+        ("1 + 2", 3),
+        ("2 * 3 + 4", 10),
+        ("7 - 10", -3),
+        ("7 // 2", 3),
+        ("-7 // 2", -3),      # truncating division, DEC-10 style
+        ("7 mod 3", 1),
+        ("1 << 4", 16),
+        ("255 /\\ 15", 15),
+        ("-(3 + 4)", -7),
+        ("abs(-9)", 9),
+        ("min(3, 5)", 3),
+        ("max(3, 5)", 5),
+    ])
+    def test_is(self, m, expr, value):
+        s = m.run(f"X is {expr}")
+        assert s["X"] == value
+
+    def test_comparisons(self, m):
+        assert m.run("3 < 5") is not None
+        assert m.run("5 < 3") is None
+        assert m.run("3 =< 3") is not None
+        assert m.run("4 >= 5") is None
+        assert m.run("2 + 2 =:= 4") is not None
+        assert m.run("2 + 2 =\\= 5") is not None
+
+    def test_division_by_zero_raises(self, m):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            m.run("X is 1 // 0")
+
+    def test_unbound_in_expression_raises(self, m):
+        from repro.errors import InstantiationError
+        with pytest.raises(InstantiationError):
+            m.run("X is Y + 1")
+
+
+class TestTermInspection:
+    def test_functor_decompose(self, m):
+        s = m.run("functor(foo(a, b), N, A)")
+        assert s["N"] == Atom("foo") and s["A"] == 2
+
+    def test_functor_construct(self, m):
+        s = m.run("functor(T, foo, 2), T = foo(X, Y), X = 1")
+        assert s["X"] == 1
+
+    def test_functor_of_atomic(self, m):
+        s = m.run("functor(99, N, A)")
+        assert s["N"] == 99 and s["A"] == 0
+
+    def test_arg(self, m):
+        s = m.run("arg(2, foo(a, b, c), X)")
+        assert s["X"] == Atom("b")
+
+    def test_arg_out_of_range_fails(self, m):
+        assert m.run("arg(4, foo(a, b, c), X)") is None
+
+    def test_univ_decompose(self, m):
+        s = m.run("foo(1, 2) =.. L")
+        assert as_list(s["L"]) == [Atom("foo"), 1, 2]
+
+    def test_univ_construct(self, m):
+        s = m.run("T =.. [foo, 1, 2]")
+        assert s["T"] == Struct("foo", (1, 2))
+
+    def test_length(self, m):
+        s = m.run("length([a,b,c], N)")
+        assert s["N"] == 3
+
+    def test_length_generates(self, m):
+        s = m.run("length(L, 3)")
+        assert len(as_list(s["L"])) == 3
+
+    def test_type_tests(self, m):
+        assert m.run("var(X)") is not None
+        assert m.run("X = 1, var(X)") is None
+        assert m.run("nonvar(foo)") is not None
+        assert m.run("atom(foo)") is not None
+        assert m.run("atom(1)") is None
+        assert m.run("atom([])") is not None
+        assert m.run("integer(3)") is not None
+        assert m.run("atomic(3)") is not None
+        assert m.run("compound(f(1))") is not None
+        assert m.run("compound([1])") is not None
+        assert m.run("is_list([1,2])") is not None
+        assert m.run("is_list([1|_])") is None
+
+    def test_structural_equality(self, m):
+        assert m.run("f(X) == f(X)") is None or True  # distinct queries rename
+        s = m.run("X = f(Y), X == f(Y)")
+        assert s is not None
+        assert m.run("f(1) == f(1)") is not None
+        assert m.run("f(1) \\== f(2)") is not None
+
+    def test_standard_order(self, m):
+        assert m.run("1 @< foo") is not None
+        assert m.run("foo @< f(1)") is not None
+        assert m.run("f(1) @< f(2)") is not None
+        assert m.run("compare(<, 1, 2)") is not None
+        s = m.run("compare(O, f(1), 1)")
+        assert s["O"] == Atom(">")
+
+
+class TestHeapVectors:
+    def test_vector_lifecycle(self, m):
+        s = m.run("new_vector(V, 4), vector_set(V, 0, 11), "
+                  "vector_ref(V, 0, X), vector_size(V, S)")
+        assert s["X"] == 11 and s["S"] == 4
+
+    def test_vector_default_zero(self, m):
+        s = m.run("new_vector(V, 2), vector_ref(V, 1, X)")
+        assert s["X"] == 0
+
+    def test_vector_out_of_range(self, m):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            m.run("new_vector(V, 2), vector_ref(V, 5, X)")
+
+    def test_vector_set_is_destructive(self, m):
+        s = m.run("new_vector(V, 1), vector_set(V, 0, 1), "
+                  "vector_set(V, 0, 2), vector_ref(V, 0, X)")
+        assert s["X"] == 2
+
+
+class TestOutput:
+    def test_write_collects_output(self, m):
+        m.run("write(hello), nl, write(f(1, 2))")
+        assert "".join(m.output) == "hello\nf(1,2)"
+
+    def test_tab(self, m):
+        m.output.clear()
+        m.run("tab(3)")
+        assert "".join(m.output) == "   "
+
+
+class TestSolutionDecoding:
+    def test_unbound_query_var_decodes_as_var(self, m):
+        s = m.run("X = f(_)")
+        assert isinstance(s["X"], Struct)
+
+    def test_long_list_decodes_without_recursion_error(self, m):
+        m.consult("""
+        build(0, []) :- !.
+        build(N, [N|T]) :- N1 is N - 1, build(N1, T).
+        """)
+        s = m.run("build(2000, L)")
+        assert len(as_list(s["L"])) == 2000
+
+    def test_term_to_string_of_solution(self, m):
+        s = m.run("append([1], [x], R)")
+        assert term_to_string(s["R"]) == "[1,x]"

@@ -1,0 +1,88 @@
+"""Unit tests for the microinstruction accounting model."""
+
+import pytest
+
+from repro.core import micro
+from repro.core.micro import (
+    BRANCH_TYPE,
+    NO_OPERATION_OPS,
+    BranchOp,
+    CacheCmd,
+    MicroRoutine,
+    MicroStep,
+    S,
+    WFMode,
+    all_routines,
+)
+
+
+class TestMicroStep:
+    def test_defaults(self):
+        step = MicroStep()
+        assert step.wf1 is None
+        assert step.br is BranchOp.NOP1
+
+    def test_source2_restricted_to_dual_port(self):
+        with pytest.raises(ValueError):
+            MicroStep(wf2=WFMode.WF10_3F)
+        MicroStep(wf2=WFMode.WF00_0F)  # allowed
+
+
+class TestMicroRoutine:
+    def test_precomputed_counters_match_steps(self):
+        routine = MicroRoutine("t", [
+            S(wf1=WFMode.WF00_0F, dest=WFMode.WF10_3F, br=BranchOp.GOTO1),
+            S(wf1=WFMode.WF00_0F, br=BranchOp.NOP2),
+            S(br=BranchOp.GOTO1),
+        ])
+        assert routine.n_steps == 3
+        assert routine.wf1_counts[WFMode.WF00_0F] == 2
+        assert routine.dest_counts[WFMode.WF10_3F] == 1
+        assert routine.branch_counts[BranchOp.GOTO1] == 2
+        assert routine.branch_counts[BranchOp.NOP2] == 1
+
+    def test_empty_routine_rejected(self):
+        with pytest.raises(ValueError):
+            MicroRoutine("empty", [])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            micro.routine("mem.read", [S()])
+
+    def test_wfar_auto_increment_tracking(self):
+        routine = MicroRoutine("t2", [
+            S(wf1=WFMode.WFAR1, auto_inc=True),
+            S(dest=WFMode.WFAR2),
+        ])
+        assert routine.wfar_accesses == 2
+        assert routine.wfar_auto_inc == 1
+
+
+class TestRoutineLibrary:
+    def test_every_branch_op_has_a_type(self):
+        assert set(BRANCH_TYPE) == set(BranchOp)
+
+    def test_noop_set(self):
+        assert NO_OPERATION_OPS == {BranchOp.NOP1, BranchOp.NOP2, BranchOp.NOP3}
+
+    def test_mem_routines_are_single_step(self):
+        for cmd in CacheCmd:
+            assert micro.MEM_ROUTINES[cmd].n_steps == 1
+
+    def test_registry_contains_core_routines(self):
+        names = set(all_routines())
+        for required in ("mem.read", "unify.dispatch", "control.cp_push",
+                         "trail.push", "cut.execute", "built.entry",
+                         "get_arg.fetch", "wf.frame_read"):
+            assert required in names
+
+    def test_trail_buffer_uses_wfar2(self):
+        assert micro.R_TRAIL_BUF.dest_counts.get(WFMode.WFAR2, 0) == 1
+
+    def test_frame_buffer_uses_wfar1_or_base(self):
+        assert micro.R_FRAME_READ_BUF.wf1_counts.get(WFMode.WFAR1, 0) == 1
+        assert micro.R_FRAME_READ_BUF_BASE.wf1_counts.get(WFMode.PDR_CDR, 0) == 1
+
+    def test_tag_dispatch_routines_use_case_tag(self):
+        assert micro.R_DECODE.branch_counts.get(BranchOp.CASE_TAG, 0) == 1
+        assert micro.R_DECODE_PACKED.branch_counts.get(BranchOp.CASE_IRN, 0) == 1

@@ -1,0 +1,67 @@
+"""Packed 8-bit operands: serialisation and runtime decode accounting."""
+
+import pytest
+
+from repro.core import PSIMachine, micro
+from repro.core.micro import BranchOp
+
+
+def packed_decodes(machine):
+    return sum(n for (_, routine), n in machine.stats.routine_counts.items()
+               if routine in (micro.R_DECODE_PACKED, micro.R_GET_ARG_PACKED))
+
+
+class TestRuntimeDecodes:
+    def test_matching_packed_constants_uses_case_irn(self):
+        m = PSIMachine()
+        m.consult("board(b(1, 2, 3, 4)).")
+        m.run("board(B)")
+        assert packed_decodes(m) > 0
+        assert m.stats.branch_counts()[BranchOp.CASE_IRN] > 0
+
+    def test_variable_slots_are_packed_operands(self):
+        m = PSIMachine()
+        m.consult("""
+        swap(A, B, C, D, r(B, A, D, C)).
+        go(R) :- swap(1, 2, 3, 4, R).
+        """)
+        m.run("go(R)")
+        assert packed_decodes(m) > 0
+
+    def test_atoms_break_packing_runs(self):
+        m = PSIMachine()
+        m.consult("p(1, foo, 2).")
+        proc = m.program.procedure("p", 3)
+        args = proc.clauses[0].head_args
+        # 1 starts a run; foo (atom) breaks it; 2 starts fresh: nothing
+        # shares a word, so nothing is marked packed.
+        assert not args[0].packed and not args[2].packed
+        assert args[0].addr != args[2].addr
+
+    def test_pack_limit_four_per_word(self):
+        m = PSIMachine()
+        m.consult("p(1, 2, 3, 4, 5, 6, 7, 8, 9).")
+        args = m.program.procedure("p", 9).clauses[0].head_args
+        addresses = sorted({a.addr for a in args})
+        # Nine packable ints need ceil(9/4) = 3 words.
+        assert len(addresses) == 3
+
+    def test_packed_and_plain_agree_semantically(self):
+        packed = PSIMachine()
+        packed.consult("v(1, 2, 3).")
+        plain = PSIMachine()
+        plain.consult("v(1000, 2000, 3000).")
+        assert packed.run("v(1, 2, 3)") is not None
+        assert packed.run("v(1, 2, 9)") is None
+        assert plain.run("v(1000, 2000, 3000)") is not None
+        assert plain.run("v(1000, 2000, 9)") is None
+
+    def test_code_density_improves_with_packing(self):
+        m = PSIMachine()
+        m.consult("""
+        dense(1, 2, 3, 4).
+        sparse(1000, 2000, 3000, 4000).
+        """)
+        dense = m.program.procedure("dense", 4).clauses[0].heap_size
+        sparse = m.program.procedure("sparse", 4).clauses[0].heap_size
+        assert dense < sparse

@@ -1,0 +1,84 @@
+"""Tests for the Solver / Solution query API."""
+
+import pytest
+
+from repro.core import PSIMachine
+from repro.prolog import Atom
+
+
+@pytest.fixture
+def m():
+    machine = PSIMachine()
+    machine.consult("""
+    color(red). color(green). color(blue).
+    pair(X, Y) :- color(X), color(Y).
+    """)
+    return machine
+
+
+class TestSolver:
+    def test_next_enumerates_in_order(self, m):
+        solver = m.solve("color(C)")
+        assert solver.next()["C"] == Atom("red")
+        assert solver.next()["C"] == Atom("green")
+        assert solver.next()["C"] == Atom("blue")
+        assert solver.next() is None
+
+    def test_exhausted_solver_stays_exhausted(self, m):
+        solver = m.solve("color(C)")
+        solver.all()
+        assert solver.next() is None
+        assert solver.next() is None
+
+    def test_all_with_limit(self, m):
+        solver = m.solve("pair(X, Y)")
+        assert len(solver.all(limit=4)) == 4
+
+    def test_count(self, m):
+        assert m.solve("pair(X, Y)").count() == 9
+
+    def test_failing_goal(self, m):
+        solver = m.solve("color(purple)")
+        assert solver.next() is None
+
+    def test_sequential_queries_on_one_machine(self, m):
+        assert m.run("color(red)") is not None
+        assert m.run("color(blue)") is not None
+        assert m.solve("color(C)").count() == 3
+
+    def test_solution_mapping_interface(self, m):
+        solution = m.run("pair(X, Y)")
+        assert "X" in solution and "Z" not in solution
+        assert solution["X"] == Atom("red")
+        assert "X=" in repr(solution)
+
+    def test_goal_with_no_variables(self, m):
+        solution = m.run("color(red)")
+        assert solution.bindings == {}
+
+    def test_anonymous_variables_not_reported(self, m):
+        solution = m.run("pair(_, Y)")
+        assert list(solution.bindings) == ["Y"]
+
+    def test_term_goal_accepted(self, m):
+        from repro.prolog import Struct, Var
+        solution = m.run(Struct("color", (Var("C"),)))
+        assert solution["C"] == Atom("red")
+
+
+class TestMachineReuse:
+    def test_consult_after_query(self, m):
+        m.run("color(red)")
+        m.consult("shade(dark). shade(light).")
+        assert m.solve("shade(S)").count() == 2
+
+    def test_stats_accumulate_across_queries(self, m):
+        m.run("color(red)")
+        first = m.stats.total_steps
+        m.run("color(green)")
+        assert m.stats.total_steps > first
+
+    def test_output_accumulates(self, m):
+        m.run("write(a)")
+        m.run("write(b)")
+        assert "".join(m.output) == "ab"

@@ -1,0 +1,114 @@
+"""Unit tests for the stats collector's derived tables."""
+
+import pytest
+
+from repro.core import micro
+from repro.core.memory import Area
+from repro.core.micro import BranchOp, CacheCmd, Module, WFMode
+from repro.core.stats import StatsCollector
+
+
+@pytest.fixture
+def stats():
+    return StatsCollector()
+
+
+class TestStepAccounting:
+    def test_total_steps(self, stats):
+        stats.emit(micro.R_DEREF_STEP, 5)            # 1-step routine
+        stats.emit(micro.R_CALL_SETUP)               # 4-step routine
+        assert stats.total_steps == 5 + micro.R_CALL_SETUP.n_steps
+
+    def test_module_attribution(self, stats):
+        stats.module = Module.UNIFY
+        stats.emit(micro.R_DEREF_STEP, 10)
+        stats.module = Module.CONTROL
+        stats.emit(micro.R_DEREF_STEP, 10)
+        steps = stats.module_steps()
+        assert steps[Module.UNIFY] == 10
+        assert steps[Module.CONTROL] == 10
+        ratios = stats.module_ratios()
+        assert ratios[Module.UNIFY] == pytest.approx(50.0)
+
+    def test_emit_in_overrides_module(self, stats):
+        stats.module = Module.CONTROL
+        stats.emit_in(Module.TRAIL, micro.R_TRAIL_PUSH)
+        assert stats.module_steps()[Module.TRAIL] == micro.R_TRAIL_PUSH.n_steps
+
+    def test_empty_collector_ratios(self, stats):
+        assert stats.module_ratios()[Module.CONTROL] == 0.0
+        assert stats.cache_command_ratios()[CacheCmd.READ] == 0.0
+        assert stats.area_access_ratios() == {}
+
+
+class TestMemoryAccounting:
+    def test_mem_access_bills_one_step(self, stats):
+        stats.mem_access(CacheCmd.READ, Area.HEAP)
+        assert stats.total_steps == 1
+        assert stats.total_mem_accesses == 1
+
+    def test_cache_command_ratio(self, stats):
+        stats.emit(micro.R_DEREF_STEP, 8)
+        stats.mem_access(CacheCmd.READ, Area.HEAP)
+        stats.mem_access(CacheCmd.WRITE_STACK, Area.LOCAL)
+        ratios = stats.cache_command_ratios()
+        assert ratios[CacheCmd.READ] == pytest.approx(10.0)
+        assert ratios[CacheCmd.WRITE_STACK] == pytest.approx(10.0)
+
+    def test_area_ratios(self, stats):
+        stats.mem_access(CacheCmd.READ, Area.HEAP)
+        stats.mem_access(CacheCmd.READ, Area.HEAP)
+        stats.mem_access(CacheCmd.READ, Area.GLOBAL)
+        ratios = stats.area_access_ratios()
+        assert ratios[Area.HEAP] == pytest.approx(200 / 3)
+
+
+class TestWFTables:
+    def test_field_counts(self, stats):
+        stats.emit(micro.R_FRAME_READ_BUF, 3)    # wf1=@WFAR1
+        counts = stats.wf_field_counts()
+        assert counts["source1"][WFMode.WFAR1] == 3
+
+    def test_table_percentages(self, stats):
+        stats.emit(micro.R_FRAME_READ_BUF, 1)
+        table = stats.wf_table()
+        share, of_steps = table["source1"][WFMode.WFAR1]
+        assert share == pytest.approx(100.0)
+        assert of_steps == pytest.approx(100.0)
+
+    def test_field_totals_bounded_by_100(self, stats):
+        stats.emit(micro.R_CALL_SETUP, 4)
+        totals = stats.wf_field_totals()
+        for value in totals.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_auto_increment_ratio(self, stats):
+        stats.emit(micro.R_FRAME_READ_BUF, 9)      # auto_inc
+        stats.emit(micro.R_GET_ARG_VAR_BUF, 1)     # auto_inc as well
+        assert stats.wfar_auto_increment_ratio() == pytest.approx(1.0)
+        assert StatsCollector().wfar_auto_increment_ratio() == 0.0
+
+
+class TestBranchTables:
+    def test_ratios_sum_to_100(self, stats):
+        stats.emit(micro.R_CALL_SETUP, 2)
+        stats.emit(micro.R_UNIFY_DISPATCH, 5)
+        total = sum(stats.branch_ratios().values())
+        assert total == pytest.approx(100.0)
+
+    def test_branch_operation_rate(self, stats):
+        stats.emit(micro.R_DEREF_STEP, 1)       # CASE_TAG: a branch
+        stats.emit(micro.R_FRAME_READ_BUF, 1)   # NOP1: not a branch
+        assert stats.branch_operation_rate() == pytest.approx(50.0)
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        a.emit(micro.R_DEREF_STEP, 2)
+        b.emit(micro.R_DEREF_STEP, 3)
+        b.inferences = 7
+        a.merge(b)
+        assert a.total_steps == 5
+        assert a.inferences == 7

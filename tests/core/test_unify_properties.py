@@ -1,0 +1,175 @@
+"""Property-based tests of unification on both engines.
+
+Strategy terms mix constants, small integers, shared variables, lists
+and structures.  A reference unifier over source terms provides the
+oracle; the PSI interpreter and the WAM baseline must both agree with
+it on success/failure, and on the witnessed bindings when unification
+succeeds.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baseline import WAMMachine
+from repro.core import PSIMachine
+from repro.prolog import Atom, Struct, Term, Var, term_to_string
+
+_VARS = ["X", "Y", "Z"]
+
+
+def _terms(depth: int):
+    base = st.one_of(
+        st.sampled_from([Atom("a"), Atom("b"), Atom("[]")]),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from([Var(v) for v in _VARS]),
+    )
+    if depth == 0:
+        return base
+    sub = _terms(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda a, b: Struct(".", (a, b)), sub, sub),
+        st.builds(lambda a: Struct("f", (a,)), sub),
+        st.builds(lambda a, b: Struct("g", (a, b)), sub, sub),
+    )
+
+
+# -- reference unifier over source terms -------------------------------------
+
+
+def _walk(term: Term, subst: dict) -> Term:
+    while isinstance(term, Var) and term.name in subst:
+        term = subst[term.name]
+    return term
+
+
+class _STO(Exception):
+    """Unification subject to occurs check: would build a cyclic term.
+
+    Like DEC-10 Prolog and the PSI, the engines have no occur check, so
+    such cases create rational trees that our finite-term oracle (and
+    the solution decoder) cannot represent; the properties skip them.
+    """
+
+
+def _occurs(name: str, term: Term, subst: dict) -> bool:
+    term = _walk(term, subst)
+    if isinstance(term, Var):
+        return term.name == name
+    if isinstance(term, Struct):
+        return any(_occurs(name, a, subst) for a in term.args)
+    return False
+
+
+def _ref_unify(t1: Term, t2: Term, subst: dict) -> bool:
+    t1 = _walk(t1, subst)
+    t2 = _walk(t2, subst)
+    if isinstance(t1, Var):
+        if isinstance(t2, Var) and t1.name == t2.name:
+            return True
+        if _occurs(t1.name, t2, subst):
+            raise _STO
+        subst[t1.name] = t2
+        return True
+    if isinstance(t2, Var):
+        if _occurs(t2.name, t1, subst):
+            raise _STO
+        subst[t2.name] = t1
+        return True
+    if isinstance(t1, int) or isinstance(t2, int):
+        return t1 == t2
+    if isinstance(t1, Atom) or isinstance(t2, Atom):
+        return t1 == t2
+    assert isinstance(t1, Struct) and isinstance(t2, Struct)
+    if t1.indicator != t2.indicator:
+        return False
+    return all(_ref_unify(a, b, subst) for a, b in zip(t1.args, t2.args))
+
+
+def _resolve(term: Term, subst: dict) -> Term:
+    term = _walk(term, subst)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(_resolve(a, subst) for a in term.args))
+    return term
+
+
+def _is_ground(term: Term) -> bool:
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Struct):
+        return all(_is_ground(a) for a in term.args)
+    return True
+
+
+# -- the properties ------------------------------------------------------------
+
+
+@given(_terms(2), _terms(2))
+@settings(max_examples=120, deadline=None)
+def test_engines_agree_with_reference(t1, t2):
+    subst: dict = {}
+    try:
+        expected = _ref_unify(t1, t2, subst)
+    except _STO:
+        assume(False)
+    goal = f"{term_to_string(t1)} = {term_to_string(t2)}"
+
+    psi = PSIMachine()
+    psi.consult("anchor.")
+    psi_solution = psi.run(goal)
+    assert (psi_solution is not None) == expected, goal
+
+    wam = WAMMachine()
+    wam.consult("anchor.")
+    wam_solution = wam.run(goal)
+    assert (wam_solution is not None) == expected, goal
+
+    if expected:
+        for name in _VARS:
+            reference = _resolve(Var(name), subst)
+            if not _is_ground(reference):
+                continue
+            for solution in (psi_solution, wam_solution):
+                if name in solution.bindings:
+                    assert solution.bindings[name] == reference, goal
+
+
+@given(_terms(2))
+@settings(max_examples=80, deadline=None)
+def test_unify_with_itself_succeeds(t):
+    goal = f"T = {term_to_string(t)}, T = {term_to_string(t)}"
+    machine = PSIMachine()
+    machine.consult("anchor.")
+    assert machine.run(goal) is not None
+
+
+@given(_terms(2), _terms(2))
+@settings(max_examples=80, deadline=None)
+def test_unification_is_symmetric(t1, t2):
+    try:
+        _ref_unify(t1, t2, {})
+    except _STO:
+        assume(False)
+    machine = PSIMachine()
+    machine.consult("anchor.")
+    forward = machine.run(f"{term_to_string(t1)} = {term_to_string(t2)}")
+    backward = machine.run(f"{term_to_string(t2)} = {term_to_string(t1)}")
+    assert (forward is None) == (backward is None)
+
+
+@given(_terms(2), _terms(2))
+@settings(max_examples=60, deadline=None)
+def test_failed_unification_undoes_bindings(t1, t2):
+    """After \\+(T1 = T2) the machine state is clean: X stays free."""
+    subst: dict = {}
+    try:
+        expected = _ref_unify(t1, t2, subst)
+    except _STO:
+        assume(False)
+    machine = PSIMachine()
+    machine.consult("anchor.")
+    text1, text2 = term_to_string(t1), term_to_string(t2)
+    solution = machine.run(f"\\+ ({text1} = {text2}), X = probe")
+    if not expected:
+        assert solution is not None
+        assert solution["X"] == Atom("probe")

@@ -1,0 +1,65 @@
+"""Unit tests for tagged words and symbol tables."""
+
+from repro.core.words import (
+    NIL_WORD,
+    SymbolTable,
+    Tag,
+    is_atomic_word,
+    is_compound_word,
+    is_var_word,
+    mk_atom,
+    mk_int,
+    mk_ref,
+    mk_unbound,
+)
+
+
+class TestWords:
+    def test_constructors(self):
+        assert mk_int(5) == (Tag.INT, 5)
+        assert mk_atom(3) == (Tag.ATOM, 3)
+        assert mk_ref(99) == (Tag.REF, 99)
+        assert mk_unbound(7) == (Tag.UNDEF, 7)
+        assert NIL_WORD == (Tag.NIL, 0)
+
+    def test_predicates(self):
+        assert is_var_word(mk_unbound(1))
+        assert not is_var_word(mk_int(1))
+        assert is_atomic_word(mk_int(0))
+        assert is_atomic_word(NIL_WORD)
+        assert not is_atomic_word((Tag.LIST, 4))
+        assert is_compound_word((Tag.STRUCT, 4))
+        assert is_compound_word((Tag.VECT, 4))
+        assert not is_compound_word(mk_atom(1))
+
+    def test_tag_values_are_stable_ints(self):
+        # Trace encodings and packed words rely on small stable ints.
+        assert Tag.UNDEF == 0 and Tag.REF == 1
+        assert all(tag < 16 for tag in Tag)
+
+
+class TestSymbolTable:
+    def test_atom_interning(self):
+        table = SymbolTable()
+        a = table.atom("foo")
+        b = table.atom("foo")
+        c = table.atom("bar")
+        assert a == b != c
+        assert table.atom_name(a) == "foo"
+        assert table.atom_count == 2
+
+    def test_functor_interning(self):
+        table = SymbolTable()
+        f1 = table.functor("f", 2)
+        f2 = table.functor("f", 3)
+        f3 = table.functor("f", 2)
+        assert f1 == f3 != f2
+        assert table.functor_name(f2) == ("f", 3)
+        assert table.functor_count == 2
+
+    def test_same_name_atom_and_functor_independent(self):
+        table = SymbolTable()
+        table.atom("f")
+        table.functor("f", 1)
+        assert table.atom_count == 1
+        assert table.functor_count == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the work file (frame buffer) model."""
+
+from repro.core.stats import StatsCollector
+from repro.core.workfile import BUFFER_SLOTS, WorkFile
+
+
+class FakeFrame:
+    def __init__(self, base, nlocals):
+        self.base = base
+        self.nlocals = nlocals
+        self.buffer_id = None
+
+
+def make():
+    return WorkFile(StatsCollector())
+
+
+class TestBufferManagement:
+    def test_acquire_alternates(self):
+        wf = make()
+        a = FakeFrame(0, 4)
+        b = FakeFrame(4, 4)
+        assert wf.acquire(a) == 0
+        assert wf.acquire(b) == 1
+
+    def test_third_acquire_evicts_first(self):
+        wf = make()
+        a, b, c = FakeFrame(0, 2), FakeFrame(2, 2), FakeFrame(4, 2)
+        a.buffer_id = wf.acquire(a)
+        b.buffer_id = wf.acquire(b)
+        c.buffer_id = wf.acquire(c)
+        assert a.buffer_id is None          # evicted
+        assert wf.owner_of_local(4) is c
+        assert wf.owner_of_local(0) is None
+
+    def test_oversized_frame_not_buffered(self):
+        wf = make()
+        big = FakeFrame(0, BUFFER_SLOTS + 1)
+        assert wf.acquire(big) is None
+
+    def test_release(self):
+        wf = make()
+        frame = FakeFrame(0, 4)
+        frame.buffer_id = wf.acquire(frame)
+        wf.release(frame)
+        assert frame.buffer_id is None
+        assert wf.owner_of_local(0) is None
+
+    def test_owner_lookup_by_offset_range(self):
+        wf = make()
+        frame = FakeFrame(10, 4)
+        frame.buffer_id = wf.acquire(frame)
+        assert wf.owner_of_local(10) is frame
+        assert wf.owner_of_local(13) is frame
+        assert wf.owner_of_local(14) is None
+        assert wf.owner_of_local(9) is None
+
+    def test_reset_clears_owners(self):
+        wf = make()
+        frame = FakeFrame(0, 4)
+        frame.buffer_id = wf.acquire(frame)
+        wf.reset()
+        assert frame.buffer_id is None
+        assert wf.owner_of_local(0) is None
+
+
+class TestBilling:
+    def test_slot_access_emits_wf_routines(self):
+        wf = make()
+        wf.read_slot(5)
+        wf.write_slot(5)
+        assert wf.stats.total_steps == 2
+
+    def test_no_memory_traffic(self):
+        wf = make()
+        wf.read_slot(0)
+        assert wf.stats.total_mem_accesses == 0

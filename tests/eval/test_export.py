@@ -1,0 +1,76 @@
+"""Tests for the JSON/CSV exporters (no heavy runs: synthetic rows)."""
+
+import json
+
+import pytest
+
+from repro.core.memory import Area
+from repro.core.micro import BranchOp, Module, WFMode
+from repro.eval import export
+from repro.eval.figure1 import Figure1Result
+from repro.eval.table1 import Table1Row
+from repro.eval.table2 import Table2Row
+from repro.eval.table4 import Table4Row
+from repro.tools.pmms import SweepPoint
+
+
+def sample_table1():
+    return [Table1Row("nreverse", "(1)", "nreverse (30)", 10.0, 7.0, 0.7,
+                      13.6, 9.48, 0.70, 500)]
+
+
+class TestConverters:
+    def test_table1(self):
+        data = export.table1_to_dict(sample_table1())
+        assert data[0]["ratio"] == 0.7
+        assert data[0]["program"] == "nreverse (30)"
+
+    def test_table2(self):
+        row = Table2Row("bup", {m: 10.0 for m in Module}, {}, 55.0)
+        data = export.table2_to_dict([row])
+        assert data[0]["unify"] == 10.0
+        assert data[0]["builtin_call_rate"] == 55.0
+
+    def test_table4(self):
+        row = Table4Row("bup", {a: 20.0 for a in Area}, None)
+        data = export.table4_to_dict([row])
+        assert data[0]["heap"] == 20.0
+
+    def test_figure1(self):
+        result = Figure1Result([SweepPoint(8, 50.0, 30.0),
+                                SweepPoint(8192, 99.0, 100.0)])
+        data = export.figure1_to_dict(result)
+        assert data[0]["capacity_words"] == 8
+        assert data[1]["improvement_percent"] == 100.0
+
+
+class TestWriters:
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "t1.json"
+        export.write_json(export.table1_to_dict(sample_table1()), path)
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["id"] == "(1)"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "t1.csv"
+        export.write_csv(export.table1_to_dict(sample_table1()), path)
+        text = path.read_text().splitlines()
+        assert text[0].startswith("id,program")
+        assert len(text) == 2
+
+    def test_write_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        export.write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestEndToEndSmall:
+    def test_figure1_export_roundtrip(self, tmp_path):
+        from repro.eval import figure1, runner
+        runner.clear_cache()
+        result = figure1.generate("lcp-1", capacities=(8, 8192))
+        path = tmp_path / "figure1.json"
+        export.write_json(export.figure1_to_dict(result), path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 2
+        runner.clear_cache()

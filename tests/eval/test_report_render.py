@@ -1,0 +1,45 @@
+"""Rendering tests for the report formatter edge cases."""
+
+from repro.eval.report import _cell, _is_numeric, fmt_ms, format_table
+
+
+class TestCellFormatting:
+    def test_float_precision_scales(self):
+        assert _cell(0.07) == "0.07"
+        assert _cell(3.14159) == "3.1"
+        assert _cell(1234.5) == "1234"
+        assert _cell(0.0) == "0.0"
+
+    def test_none_renders_dash(self):
+        assert _cell(None) == "-"
+
+    def test_strings_pass_through(self):
+        assert _cell("abc") == "abc"
+
+    def test_numeric_detection(self):
+        assert _is_numeric("3.4")
+        assert _is_numeric("-7")
+        assert not _is_numeric("x1")
+        assert not _is_numeric("")
+
+    def test_fmt_ms(self):
+        assert fmt_ms(12.345) == "12.35"
+        assert fmt_ms(1234.5) == "1234"
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["name", "value"], [("x", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert lines[-1].endswith("22")
+        assert lines[-2].rstrip().endswith("1")
+
+    def test_title_optional(self):
+        with_title = format_table(["a"], [(1,)], title="T")
+        without = format_table(["a"], [(1,)])
+        assert with_title.splitlines()[0] == "T"
+        assert len(with_title.splitlines()) == len(without.splitlines()) + 1

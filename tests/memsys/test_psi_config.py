@@ -1,0 +1,26 @@
+"""The PSI production cache configuration constant and its paper spec."""
+
+from repro.memsys import CYCLE_NS, MISS_NS, PSI_CACHE, TRANSFER_NS, WritePolicy
+
+
+class TestProductionConfig:
+    def test_spec_matches_section_2_2(self):
+        # (a) 8K words capacity
+        assert PSI_CACHE.capacity_words == 8192
+        # (b) two-set set associative
+        assert PSI_CACHE.ways == 2
+        # (c) store-in (write-back)
+        assert PSI_CACHE.policy == WritePolicy.STORE_IN
+        # (e) four-word block size
+        assert PSI_CACHE.block_words == 4
+        # (g) specialised write-stack command skips read-in
+        assert PSI_CACHE.write_stack_no_fetch
+
+    def test_timing_constants(self):
+        # (d) 200ns hit / 800ns miss; (f) 800ns block transfer
+        assert CYCLE_NS == 200
+        assert MISS_NS == 800
+        assert TRANSFER_NS == 800
+
+    def test_geometry_derivation(self):
+        assert PSI_CACHE.sets == 8192 // (2 * 4)

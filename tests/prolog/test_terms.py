@@ -1,0 +1,91 @@
+"""Unit tests for the term AST helpers."""
+
+import pytest
+
+from repro.prolog import (
+    Atom,
+    NIL,
+    Struct,
+    Var,
+    clause_parts,
+    cons,
+    flatten_conjunction,
+    is_cons,
+    is_nil,
+    list_elements,
+    make_list,
+    parse_term,
+    term_variables,
+)
+from repro.prolog.terms import iter_subterms
+
+
+class TestConstruction:
+    def test_struct_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_indicator(self):
+        assert Struct("f", (1, 2)).indicator == ("f", 2)
+        assert Struct("f", (1, 2)).arity == 2
+
+    def test_cons_and_nil(self):
+        cell = cons(1, NIL)
+        assert is_cons(cell)
+        assert is_nil(cell.args[1])
+        assert not is_cons(NIL)
+        assert not is_nil(Atom("nil"))
+
+    def test_make_list_roundtrip(self):
+        term = make_list([1, 2, 3])
+        assert list_elements(term) == [1, 2, 3]
+
+    def test_make_list_with_tail(self):
+        term = make_list([1], tail=Var("T"))
+        assert term.args[1] == Var("T")
+
+    def test_list_elements_rejects_partial(self):
+        with pytest.raises(ValueError):
+            list_elements(make_list([1], tail=Var("T")))
+
+
+class TestTraversal:
+    def test_iter_subterms_preorder(self):
+        term = parse_term("f(g(a), b)")
+        subs = list(iter_subterms(term))
+        assert subs[0] == term
+        assert Atom("a") in subs and Atom("b") in subs
+        assert len(subs) == 4  # f, g, a, b
+
+    def test_term_variables_order_and_dedup(self):
+        term = parse_term("f(X, g(Y, X), Z)")
+        assert term_variables(term) == [Var("X"), Var("Y"), Var("Z")]
+
+    def test_term_variables_ground(self):
+        assert term_variables(parse_term("f(a, 1)")) == []
+
+    def test_deep_term_traversal_is_iterative(self):
+        term = make_list(list(range(5000)))
+        names = term_variables(term)
+        assert names == []
+
+
+class TestClauseParts:
+    def test_fact(self):
+        head, body = clause_parts(parse_term("p(1)"))
+        assert head == Struct("p", (1,))
+        assert body == []
+
+    def test_rule(self):
+        head, body = clause_parts(parse_term("p :- q, r, s"))
+        assert head == Atom("p")
+        assert [g.name for g in body] == ["q", "r", "s"]
+
+    def test_flatten_left_nested(self):
+        term = parse_term("((a, b), c)")
+        assert [g.name for g in flatten_conjunction(term)] == ["a", "b", "c"]
+
+    def test_disjunction_left_as_single_goal(self):
+        _, body = clause_parts(parse_term("p :- (a ; b), c"))
+        assert len(body) == 2
+        assert isinstance(body[0], Struct) and body[0].functor == ";"

@@ -1,0 +1,102 @@
+"""Tests for the shared control-construct expander."""
+
+from repro.prolog import Atom, Struct, Var, parse_term
+from repro.prolog.transform import ControlExpander, TransformResult
+
+
+def expand(text):
+    expander = ControlExpander()
+    result = TransformResult()
+    main = expander.expand_clause(parse_term(text), result)
+    return main, result
+
+
+class TestFlattening:
+    def test_fact(self):
+        main, result = expand("p(1)")
+        assert main.body == ()
+        assert len(result.clauses) == 1
+
+    def test_conjunction_flattened(self):
+        main, _ = expand("p :- a, b, c")
+        assert [g.name for g in main.body] == ["a", "b", "c"]
+
+    def test_nested_conjunction(self):
+        main, _ = expand("p :- (a, b), (c, d)")
+        assert len(main.body) == 4
+
+
+class TestDisjunction:
+    def test_creates_aux_predicate(self):
+        main, result = expand("p(X) :- (X = 1 ; X = 2)")
+        assert len(main.body) == 1
+        aux_goal = main.body[0]
+        assert isinstance(aux_goal, Struct)
+        assert aux_goal.functor.startswith("$dsj")
+        # two auxiliary clauses, one per branch
+        aux_clauses = [c for c in result.clauses if c is not main]
+        assert len(aux_clauses) == 2
+        assert result.auxiliary == {(aux_goal.functor, aux_goal.arity)}
+
+    def test_aux_head_carries_construct_vars(self):
+        main, _ = expand("p(X, Y) :- (X = 1 ; Y = 2)")
+        aux_goal = main.body[0]
+        assert set(aux_goal.args) == {Var("X"), Var("Y")}
+
+    def test_variable_free_disjunction_gets_atom_head(self):
+        main, result = expand("p :- (a ; b)")
+        assert isinstance(main.body[0], Atom)
+
+    def test_multi_branch(self):
+        _, result = expand("p(X) :- (X = 1 ; X = 2 ; X = 3)")
+        aux_clauses = [c for c in result.clauses[:-1]]
+        assert len(aux_clauses) == 3
+
+
+class TestIfThenElse:
+    def test_condition_gets_cut(self):
+        _, result = expand("p(X, R) :- (X > 0 -> R = pos ; R = neg)")
+        then_clause = result.clauses[0]
+        body_names = [g.name if isinstance(g, Atom) else g.functor
+                      for g in then_clause.body]
+        assert body_names == [">", "!", "="]
+
+    def test_bare_if_then_gets_fail_branch(self):
+        _, result = expand("p(X) :- (X > 0 -> true)")
+        else_clause = result.clauses[1]
+        assert [g.name for g in else_clause.body] == ["fail"]
+
+
+class TestNegation:
+    def test_two_clauses(self):
+        main, result = expand("p(X) :- \\+ q(X)")
+        aux_goal = main.body[0]
+        assert aux_goal.functor.startswith("$not")
+        aux_clauses = [c for c in result.clauses if c is not main]
+        assert len(aux_clauses) == 2
+        first, second = aux_clauses
+        names = [g.name if isinstance(g, Atom) else g.functor
+                 for g in first.body]
+        assert names == ["q", "!", "fail"]
+        assert second.body == ()
+
+    def test_not_synonym(self):
+        main, _ = expand("p(X) :- not(q(X))")
+        assert main.body[0].functor.startswith("$not")
+
+
+class TestNesting:
+    def test_disjunction_inside_negation(self):
+        _, result = expand("p(X) :- \\+ (X = 1 ; X = 2)")
+        functors = {c.indicator[0][:4] for c in result.clauses}
+        assert "$not" in functors
+        assert "$dsj" in functors
+
+    def test_unique_aux_names(self):
+        expander = ControlExpander()
+        result = TransformResult()
+        expander.expand_clause(parse_term("p :- (a ; b)"), result)
+        expander.expand_clause(parse_term("q :- (c ; d)"), result)
+        names = {c.indicator for c in result.clauses
+                 if c.indicator[0].startswith("$dsj")}
+        assert len(names) == 2

@@ -1,0 +1,87 @@
+"""Writer tests including the reader/writer round-trip property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prolog import Atom, Struct, Var, make_list, parse_term
+from repro.prolog.writer import atom_needs_quotes, term_to_string
+
+
+class TestWriter:
+    def test_atom(self):
+        assert term_to_string(Atom("foo")) == "foo"
+
+    def test_quoted_atom(self):
+        assert term_to_string(Atom("hello world")) == "'hello world'"
+
+    def test_unquoted_mode(self):
+        assert term_to_string(Atom("hello world"), quoted=False) == "hello world"
+
+    def test_integer(self):
+        assert term_to_string(42) == "42"
+        assert term_to_string(-3) == "-3"
+
+    def test_list(self):
+        assert term_to_string(make_list([1, 2, 3])) == "[1,2,3]"
+
+    def test_partial_list(self):
+        assert term_to_string(Struct(".", (1, Var("T")))) == "[1|T]"
+
+    def test_operator_output(self):
+        term = Struct("+", (1, Struct("*", (2, 3))))
+        assert term_to_string(term) == "1 + 2 * 3"
+
+    def test_operator_needs_parens(self):
+        term = Struct("*", (Struct("+", (1, 2)), 3))
+        assert term_to_string(term) == "(1 + 2) * 3"
+
+    def test_clause(self):
+        term = Struct(":-", (Atom("h"), Atom("b")))
+        assert term_to_string(term) == "h :- b"
+
+    def test_negative_int_under_minus_functor(self):
+        # -(3) must not print as -3 (which would read back as an integer).
+        term = Struct("-", (3,))
+        assert parse_term(term_to_string(term)) == term
+
+    def test_atom_needing_quotes(self):
+        assert atom_needs_quotes("hello world")
+        assert atom_needs_quotes("Abc")
+        assert not atom_needs_quotes("foo")
+        assert not atom_needs_quotes("+")
+        assert not atom_needs_quotes("[]")
+
+
+# -- round-trip property -----------------------------------------------------
+
+_atom_names = st.one_of(
+    st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}", fullmatch=True),
+    st.sampled_from(["+", "-", "*", "is", "=", "foo bar", "it's", "[]"]),
+)
+
+_var_names = st.from_regex(r"[A-Z][a-zA-Z0-9_]{0,4}", fullmatch=True)
+
+
+def _terms(depth: int):
+    base = st.one_of(
+        st.integers(min_value=-1_000_000, max_value=1_000_000),
+        _atom_names.map(Atom),
+        _var_names.map(Var),
+    )
+    if depth == 0:
+        return base
+    sub = _terms(depth - 1)
+    compound = st.builds(
+        lambda name, args: Struct(name, tuple(args)),
+        st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True),
+        st.lists(sub, min_size=1, max_size=3),
+    )
+    lists = st.builds(lambda items: make_list(items), st.lists(sub, max_size=3))
+    return st.one_of(base, compound, lists)
+
+
+@given(_terms(3))
+@settings(max_examples=300, deadline=None)
+def test_write_parse_roundtrip(term):
+    """parse(write(t)) == t for generated ground-ish terms."""
+    assert parse_term(term_to_string(term)) == term

@@ -1,0 +1,61 @@
+"""Detailed MAP-tool tests over a controlled stats stream."""
+
+import pytest
+
+from repro.core import micro
+from repro.core.micro import BranchOp, Module, WFMode
+from repro.core.stats import StatsCollector
+from repro.tools.map import branch_analysis, module_analysis, routine_histogram, wf_analysis
+
+
+@pytest.fixture
+def stats():
+    collector = StatsCollector()
+    collector.module = Module.UNIFY
+    collector.emit(micro.R_UNIFY_DISPATCH, 10)
+    collector.module = Module.CONTROL
+    collector.emit(micro.R_CALL_SETUP, 5)
+    collector.module = Module.CUT
+    collector.emit(micro.R_CUT, 1)
+    return collector
+
+
+class TestBranchAnalysis:
+    def test_rows_cover_all_sixteen_ops(self, stats):
+        rows = branch_analysis(stats)
+        assert len(rows) == 16
+        assert sum(r.percent for r in rows) == pytest.approx(100.0)
+
+    def test_types_assigned(self, stats):
+        rows = {r.op: r for r in branch_analysis(stats)}
+        assert rows[BranchOp.GOTO2].branch_type == 2
+        assert rows[BranchOp.NOP3].branch_type == 3
+
+
+class TestWFAnalysis:
+    def test_source2_only_dual_port(self, stats):
+        rows = {r.mode: r for r in wf_analysis(stats)}
+        assert rows[WFMode.WF00_0F].source2 is not None
+        assert rows[WFMode.WF10_3F].source2 is None
+
+    def test_constant_has_no_dest(self, stats):
+        rows = {r.mode: r for r in wf_analysis(stats)}
+        assert rows[WFMode.CONSTANT].dest is None
+
+
+class TestModuleAnalysis:
+    def test_matches_collector(self, stats):
+        ratios = module_analysis(stats)
+        assert ratios[Module.CUT] > 0
+        assert sum(ratios.values()) == pytest.approx(100.0)
+
+
+class TestRoutineHistogram:
+    def test_counts_are_step_weighted(self, stats):
+        rows = routine_histogram(stats)
+        by_name = {(module, name): steps for module, name, steps in rows}
+        assert by_name[("unify", "unify.dispatch")] == \
+            10 * micro.R_UNIFY_DISPATCH.n_steps
+
+    def test_top_limits_output(self, stats):
+        assert len(routine_histogram(stats, top=2)) == 2

@@ -1,0 +1,54 @@
+"""Registry invariants across all workloads."""
+
+from repro.prolog import parse_program
+from repro.workloads import all_workloads, hardware_eval_workloads, table1_workloads
+
+
+class TestRegistryInvariants:
+    def test_all_sources_parse(self):
+        for workload in all_workloads().values():
+            clauses = parse_program(workload.source)
+            assert clauses, workload.name
+
+    def test_goals_parse(self):
+        from repro.prolog import parse_term
+        for workload in all_workloads().values():
+            parse_term(workload.goal)
+
+    def test_every_workload_described(self):
+        for workload in all_workloads().values():
+            assert workload.description, workload.name
+            assert workload.title, workload.name
+
+    def test_table1_order_matches_paper_ids(self):
+        ids = [w.paper_id for w in table1_workloads()]
+        assert ids == [f"({i})" for i in range(1, 20)]
+
+    def test_psi_only_flags(self):
+        psi_only = {w.name for w in all_workloads().values() if w.psi_only}
+        assert psi_only == {"window-1", "window-2", "window-3"}
+
+    def test_hardware_eval_runs_only_psi_capable_or_window(self):
+        for workload in hardware_eval_workloads():
+            assert workload.name.startswith("window") or not workload.psi_only
+
+    def test_goal_predicates_defined(self):
+        # Every goal's main functor must be defined by its source.
+        from repro.prolog import Atom, Struct, parse_term
+        from repro.prolog.transform import ControlExpander
+        for workload in all_workloads().values():
+            expander = ControlExpander()
+            result = expander.expand_program(parse_program(workload.source))
+            defined = {c.indicator for c in result.clauses}
+            goal = parse_term(workload.goal)
+            goals = [goal]
+            while goals:
+                g = goals.pop()
+                if isinstance(g, Struct) and g.functor == ",":
+                    goals.extend(g.args)
+                    continue
+                indicator = (g.name, 0) if isinstance(g, Atom) \
+                    else (g.functor, g.arity)
+                builtinish = indicator[0] in ("counter_inc", "counter_value")
+                assert builtinish or indicator in defined, (
+                    workload.name, indicator)

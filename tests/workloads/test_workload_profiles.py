@@ -1,0 +1,100 @@
+"""Profile-shape tests per workload: quick versions of the paper's
+characterisations, run on reduced goals so the whole file stays fast."""
+
+import pytest
+
+from repro.core import PSIMachine
+from repro.core.memory import Area
+from repro.core.micro import CacheCmd, Module
+from repro.workloads import get
+
+
+def run(name, goal=None):
+    w = get(name)
+    m = PSIMachine()
+    m.consult(w.source)
+    solution = m.run(goal or w.goal)
+    assert solution is not None or goal is not None
+    return m
+
+
+class TestWindowProfile:
+    def test_builtin_call_majority(self):
+        m = run("window-1", "run_window(3, 3, 0)")
+        calls = m.stats.inferences + m.stats.builtin_calls
+        assert m.stats.builtin_calls / calls > 0.5
+
+    def test_little_backtracking(self):
+        m = run("window-1", "run_window(3, 3, 0)")
+        assert m.stats.module_ratios()[Module.TRAIL] < 4.0
+
+    def test_cut_present(self):
+        m = run("window-1", "run_window(3, 3, 0)")
+        assert m.stats.module_ratios()[Module.CUT] > 1.0
+
+    def test_heap_writes_from_vectors(self):
+        m = run("window-1", "run_window(3, 3, 0)")
+        assert m.stats.mem_counts.get((CacheCmd.WRITE, Area.HEAP), 0) > 50
+
+
+class TestBupProfile:
+    def test_unification_heavy(self):
+        m = run("bup-2")
+        ratios = m.stats.module_ratios()
+        assert ratios[Module.UNIFY] > 30.0
+
+    def test_global_stack_prominent(self):
+        m = run("bup-2")
+        areas = m.stats.area_access_ratios()
+        assert areas[Area.GLOBAL] > 15.0
+
+    def test_builtin_call_rate_high(self):
+        m = run("bup-2")
+        calls = m.stats.inferences + m.stats.builtin_calls
+        assert m.stats.builtin_calls / calls > 0.4
+
+
+class TestHarmonizerProfile:
+    def test_unify_dominates(self):
+        m = run("harmonizer-1")
+        ratios = m.stats.module_ratios()
+        assert ratios[Module.UNIFY] == max(ratios.values())
+
+    def test_trail_activity_visible(self):
+        m = run("harmonizer-1")
+        assert m.stats.module_ratios()[Module.TRAIL] > 2.0
+
+
+class TestPuzzleProfile:
+    def test_no_cut(self):
+        m = run("puzzle8", "start_board(B, Bl), ids(B, Bl, 1, 4, M)")
+        assert m.stats.module_ratios()[Module.CUT] == 0.0
+
+    def test_builtins_and_arith_heavy(self):
+        m = run("puzzle8", "start_board(B, Bl), ids(B, Bl, 1, 4, M)")
+        ratios = m.stats.module_ratios()
+        assert ratios[Module.BUILT] + ratios[Module.GET_ARG] > 15.0
+
+
+class TestLcpProfile:
+    def test_lcp_cheaper_than_bup_per_word(self):
+        # The expert parser does far less work per sentence word.
+        lcp = run("lcp-2")
+        bup = run("bup-2")
+        assert lcp.stats.total_steps < bup.stats.total_steps
+
+    def test_lcp_deterministic_backtracking_low(self):
+        m = run("lcp-2")
+        assert m.stats.module_ratios()[Module.TRAIL] < 6.0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("small,big", [
+        ("bup-1", "bup-2"),
+        ("lcp-1", "lcp-2"),
+        ("harmonizer-1", "harmonizer-2"),
+    ])
+    def test_bigger_variant_costs_more(self, small, big):
+        a = run(small)
+        b = run(big)
+        assert b.stats.total_steps > a.stats.total_steps

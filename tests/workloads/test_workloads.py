@@ -1,0 +1,205 @@
+"""Workload correctness: every benchmark runs and computes the right answer,
+on the PSI machine and (where applicable) identically on the baseline."""
+
+import pytest
+
+from repro.baseline import WAMMachine
+from repro.core import PSIMachine
+from repro.prolog import Atom, Struct, is_cons, list_elements
+from repro.workloads import all_workloads, get, hardware_eval_workloads, table1_workloads
+
+# Keep test runtime sane: the heavy goals get a smaller stand-in goal
+# that exercises the same code.
+LIGHT_GOALS = {
+    "queens-all": "queens(6, Qs)",
+    "lisp-tarai": "eval_([tarai, 4, 2, 0], [], V)",
+    "lisp-fib": "run_fib(V)",
+    "harmonizer-3": "run_harmonizer2(Cs)",
+}
+
+
+def psi_for(name):
+    w = get(name)
+    m = PSIMachine()
+    m.consult(w.source)
+    return m, w
+
+
+def wam_for(name):
+    w = get(name)
+    m = WAMMachine()
+    m.consult(w.source)
+    return m, w
+
+
+class TestRegistry:
+    def test_table1_has_19_rows(self):
+        assert len(table1_workloads()) == 19
+
+    def test_hardware_eval_has_7_programs(self):
+        assert len(hardware_eval_workloads()) == 7
+
+    def test_paper_ids_unique(self):
+        ids = [w.paper_id for w in all_workloads().values()]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get("no-such-workload")
+
+
+class TestContestPrograms:
+    def test_nreverse_result(self):
+        m, w = psi_for("nreverse")
+        s = m.run(w.goal)
+        assert list_elements(s["R"]) == list(range(30, 0, -1))
+
+    def test_qsort_result(self):
+        m, w = psi_for("qsort")
+        values = list_elements(m.run(w.goal)["R"])
+        assert values == sorted(values)
+        assert len(values) == 50
+
+    def test_tree_result(self):
+        m, w = psi_for("tree")
+        assert m.run(w.goal)["N"] == 36
+
+    def test_lisp_tarai(self):
+        m, _ = psi_for("lisp-tarai")
+        assert m.run("eval_([tarai, 4, 2, 0], [], V)")["V"] == 4
+
+    def test_lisp_fib(self):
+        m, w = psi_for("lisp-fib")
+        assert m.run(w.goal)["V"] == 89
+
+    def test_lisp_nreverse(self):
+        m, w = psi_for("lisp-nreverse")
+        result = m.run(w.goal)["V"]
+        assert is_cons(result)
+        assert result.args[0] == 16     # reversed list starts with 16
+
+    def test_queens_one(self):
+        m, w = psi_for("queens-one")
+        qs = list_elements(m.run(w.goal)["Qs"])
+        assert sorted(qs) == list(range(1, 9))
+
+    def test_queens_all_count(self):
+        m, _ = psi_for("queens-all")
+        m.run("queens_all")
+        assert m.counters["solutions"] == 92
+
+    def test_reverse_function(self):
+        m, w = psi_for("reverse-function")
+        values = list_elements(m.run(w.goal)["R"])
+        assert values[0] == 400 and values[-1] == 1
+
+    def test_slow_reverse(self):
+        m, w = psi_for("slow-reverse")
+        assert list_elements(m.run(w.goal)["R"]) == [6, 5, 4, 3, 2, 1]
+
+
+class TestParsers:
+    def test_bup_parses(self):
+        m, w = psi_for("bup-2")
+        sem = m.run(w.goal)["Sem"]
+        assert isinstance(sem, Struct) and sem.functor == "sent"
+
+    def test_bup3_is_ambiguous(self):
+        m, w = psi_for("bup-3")
+        m.run(w.goal)
+        assert m.counters["parses"] >= 2
+
+    def test_bup_rejects_ungrammatical(self):
+        m, _ = psi_for("bup-1")
+        assert m.run("parse([man, the, saw], S)") is None
+
+    def test_lcp_parses(self):
+        m, w = psi_for("lcp-2")
+        tree = m.run(w.goal)["T"]
+        assert isinstance(tree, Struct) and tree.functor == "s"
+
+    def test_lcp_nearly_deterministic(self):
+        # The committed parse comes first; the per-category termination
+        # clauses leave at most a couple of residual re-derivations.
+        m, w = psi_for("lcp-1")
+        assert 1 <= m.solve(w.goal).count() <= 3
+
+
+class TestHarmonizer:
+    def test_harmonizes_and_cadences(self):
+        m, w = psi_for("harmonizer-1")
+        chords = list_elements(m.run(w.goal)["Cs"])
+        assert len(chords) == 8
+        final = chords[-1]
+        assert final.args[0] == Atom("i")       # ends on the tonic
+        penultimate = chords[-2]
+        assert penultimate.args[1] == 5          # after the dominant
+
+    def test_longer_melody_harmonizes(self):
+        m, w = psi_for("harmonizer-2")
+        assert len(list_elements(m.run(w.goal)["Cs"])) == 12
+
+    def test_backtracking_grows_with_length(self):
+        m1, w1 = psi_for("harmonizer-1")
+        m1.run(w1.goal)
+        m2, w2 = psi_for("harmonizer-2")
+        m2.run(w2.goal)
+        assert m2.stats.total_steps > 2 * m1.stats.total_steps
+
+
+class TestWindowAndPuzzle:
+    def test_window1_runs(self):
+        m, w = psi_for("window-1")
+        assert m.run(w.goal) is not None
+
+    def test_window_uses_heap_vectors(self):
+        from repro.core.memory import Area
+        from repro.core.micro import CacheCmd
+        m, w = psi_for("window-1")
+        m.run(w.goal)
+        writes = m.stats.mem_counts.get((CacheCmd.WRITE, Area.HEAP), 0)
+        assert writes > 100      # destructive vector updates hit the heap
+
+    def test_window_marked_psi_only(self):
+        assert get("window-2").psi_only
+
+    def test_puzzle_solves_in_8_moves(self):
+        m, w = psi_for("puzzle8")
+        moves = list_elements(m.run(w.goal)["Moves"])
+        assert len(moves) == 7
+
+    def test_puzzle_has_no_cut_steps(self):
+        from repro.core.micro import Module
+        m, w = psi_for("puzzle8")
+        m.run(w.goal)
+        assert m.stats.module_ratios()[Module.CUT] == 0.0
+
+
+class TestEngineAgreement:
+    """Differential testing: both engines must compute the same answers."""
+
+    @pytest.mark.parametrize("name", [
+        w.name for w in table1_workloads()
+    ])
+    def test_psi_and_wam_agree(self, name):
+        workload = get(name)
+        goal = LIGHT_GOALS.get(name, workload.goal)
+        psi, _ = psi_for(name)
+        wam, _ = wam_for(name)
+        psi_solution = psi.run(goal)
+        wam_solution = wam.run(goal)
+        assert (psi_solution is None) == (wam_solution is None)
+        if psi_solution is not None:
+            # Compare rendered terms: structural == on 400-deep lists
+            # exceeds Python's recursion limit.
+            from repro.prolog import term_to_string
+            psi_rendered = {k: term_to_string(v)
+                            for k, v in psi_solution.bindings.items()}
+            wam_rendered = {k: term_to_string(v)
+                            for k, v in wam_solution.bindings.items()}
+            assert psi_rendered == wam_rendered
+        psi_counters = {k: v for k, v in psi.counters.items()
+                        if not k.startswith("$")}
+        wam_counters = {k: v for k, v in wam.counters.items()
+                        if not k.startswith("$")}
+        assert psi_counters == wam_counters
