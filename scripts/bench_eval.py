@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Benchmark the evaluation pipeline: replay, parallelism, run cache.
+
+Times the three layers this harness optimises and writes the results to
+``BENCH_eval.json`` so the performance trajectory is tracked PR over PR:
+
+* **replay** — the Figure 1 + §4.2-ablation replay stage: one
+  ``simulate`` per configuration (the old per-config path, 15 full
+  trace decodes) vs one ``simulate_many`` pass (decode once, batched
+  accesses, miss-only counting).
+* **eval all** — wall-clock of ``psi-eval all`` as a subprocess:
+  serial without the disk cache (the from-scratch path), ``--jobs N``
+  cold (first parallel run, populates ``.psi-cache``), and ``--jobs N``
+  warm (disk cache hot — the steady state of repeated invocations).
+
+Usage::
+
+    python scripts/bench_eval.py              # full benchmark (~5 min)
+    python scripts/bench_eval.py --replay-only
+    python scripts/bench_eval.py --jobs 8 --output BENCH_eval.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def bench_replay() -> dict:
+    """Per-config simulate vs single-pass simulate_many, same 15 configs."""
+    from repro.eval.runner import run_psi
+    from repro.memsys import CacheConfig, WritePolicy
+    from repro.tools.pmms import FIGURE1_CAPACITIES, simulate, simulate_many
+
+    run = run_psi("window-1", record_trace=True)
+    trace = run.trace
+
+    base = CacheConfig()
+    configs = []
+    for capacity in FIGURE1_CAPACITIES:
+        ways = min(base.ways, max(1, capacity // base.block_words))
+        configs.append(replace(base, capacity_words=capacity, ways=ways))
+    configs += [
+        CacheConfig(capacity_words=8192, ways=2),    # assoc: two 4KW sets
+        CacheConfig(capacity_words=4096, ways=1),    # assoc: one 4KW set
+        base,                                        # policy: store-in
+        replace(base, policy=WritePolicy.STORE_THROUGH),
+    ]
+
+    t0 = time.perf_counter()
+    per_config = [simulate(trace, config) for config in configs]
+    t_per_config = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    single_pass = simulate_many(trace, configs)
+    t_single_pass = time.perf_counter() - t0
+
+    for old, new in zip(per_config, single_pass):
+        identical = (old.hits, old.misses, old.block_fetches, old.writebacks,
+                     old.through_writes) == (new.hits, new.misses,
+                                             new.block_fetches, new.writebacks,
+                                             new.through_writes)
+        if not identical:
+            raise AssertionError("single-pass replay diverged from per-config")
+
+    return {
+        "trace_entries": len(trace),
+        "configs": len(configs),
+        "per_config_s": round(t_per_config, 3),
+        "single_pass_s": round(t_single_pass, 3),
+        "speedup": round(t_per_config / t_single_pass, 2),
+    }
+
+
+def _run_all(cache_dir: str, *extra_args: str) -> float:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"),
+               PSI_CACHE_DIR=cache_dir)
+    t0 = time.perf_counter()
+    subprocess.run([sys.executable, "-m", "repro.eval.cli", "all",
+                    *extra_args],
+                   check=True, cwd=REPO, env=env,
+                   stdout=subprocess.DEVNULL)
+    return time.perf_counter() - t0
+
+
+def bench_eval_all(jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="psi-bench-cache-") as cache_dir:
+        serial_cold = _run_all(cache_dir, "--no-disk-cache")
+        jobs_cold = _run_all(cache_dir, "--jobs", str(jobs))
+        jobs_warm = _run_all(cache_dir, "--jobs", str(jobs))
+        serial_warm = _run_all(cache_dir)
+    return {
+        "jobs": jobs,
+        "serial_cold_s": round(serial_cold, 2),
+        "jobs_cold_s": round(jobs_cold, 2),
+        "jobs_warm_s": round(jobs_warm, 2),
+        "serial_warm_s": round(serial_warm, 2),
+        "speedup_jobs_warm": round(serial_cold / jobs_warm, 2),
+        "speedup_serial_warm": round(serial_cold / serial_warm, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="process count for the parallel stage (default 4)")
+    parser.add_argument("--replay-only", action="store_true",
+                        help="skip the (slow) psi-eval all stage")
+    parser.add_argument("--output", default=str(REPO / "BENCH_eval.json"),
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    results = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+    print("replay stage (Figure 1 + ablations, 15 configurations)...")
+    results["replay"] = bench_replay()
+    print(f"  per-config {results['replay']['per_config_s']}s  "
+          f"single-pass {results['replay']['single_pass_s']}s  "
+          f"speedup {results['replay']['speedup']}x")
+
+    if not args.replay_only:
+        print(f"psi-eval all (serial / --jobs {args.jobs} cold / warm)...")
+        results["eval_all"] = bench_eval_all(args.jobs)
+        ea = results["eval_all"]
+        print(f"  serial cold {ea['serial_cold_s']}s  "
+              f"jobs cold {ea['jobs_cold_s']}s  "
+              f"jobs warm {ea['jobs_warm_s']}s  "
+              f"(warm speedup {ea['speedup_jobs_warm']}x)")
+
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,11 @@ class TraceRecorder:
     Each entry is ``address << 2 | command_code`` in a C ``int64``
     array; :meth:`entries` decodes back to ``(CacheCmd, address)``.
     This is the COLLECT → PMMS hand-off format.
+
+    The packed array serialises losslessly via :meth:`tobytes` /
+    :meth:`frombytes` — that byte string is what run summaries carry
+    across process boundaries and what the persistent run cache stores
+    on disk.
     """
 
     def __init__(self) -> None:
@@ -97,8 +102,38 @@ class TraceRecorder:
         for packed in self.data:
             yield CODE_CMD[packed & 3], packed >> 2
 
+    def decoded(self) -> list:
+        """Decode the whole trace once into ``(CacheCmd, address)`` pairs.
+
+        Replaying one trace through many cache configurations pays the
+        unpacking cost once here instead of once per configuration (see
+        :func:`repro.tools.pmms.simulate_many`).
+        """
+        code_cmd = CODE_CMD
+        return [(code_cmd[packed & 3], packed >> 2) for packed in self.data]
+
     def clear(self) -> None:
         del self.data[:]
+
+    # -- serialisation ---------------------------------------------------------
+
+    def tobytes(self) -> bytes:
+        """The packed entries as native-endian int64 bytes."""
+        return self.data.tobytes()
+
+    @classmethod
+    def frombytes(cls, raw: bytes) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`tobytes` output."""
+        trace = cls()
+        trace.data.frombytes(raw)
+        return trace
+
+    def __getstate__(self) -> bytes:
+        return self.tobytes()
+
+    def __setstate__(self, raw: bytes) -> None:
+        self.data = array("q")
+        self.data.frombytes(raw)
 
 
 class MemorySystem:

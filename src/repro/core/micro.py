@@ -165,8 +165,20 @@ class MicroRoutine:
     def __repr__(self) -> str:
         return f"MicroRoutine({self.name!r}, {self.n_steps} steps)"
 
+    def __reduce__(self):
+        # Routines are registered singletons; pickling by name keeps run
+        # summaries compact and — crucially — makes counters keyed by
+        # routine objects merge correctly after crossing a process
+        # boundary (identity, not a copy, comes back).
+        return (_registered, (self.name,))
+
 
 _REGISTRY: dict[str, MicroRoutine] = {}
+
+
+def _registered(name: str) -> "MicroRoutine":
+    """Unpickling hook: resolve a routine name to the registry object."""
+    return _REGISTRY[name]
 
 
 def routine(name: str, steps: Iterable[MicroStep]) -> MicroRoutine:

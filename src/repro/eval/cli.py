@@ -2,10 +2,21 @@
 
 Usage::
 
-    psi-eval table1            # or table2..table7, figure1, ablations
+    psi-eval table1                  # or table2..table7, figure1, ablations
     psi-eval all
+    psi-eval all --jobs 4            # fan workload execution across processes
+    psi-eval table1 nreverse qsort
     psi-eval table1 --programs nreverse qsort
-    psi-eval run bup-2         # one workload, full machine report
+    psi-eval run bup-2               # one workload, full machine report
+    psi-eval run --programs bup-2    # same, flag form
+    psi-eval cache info              # persistent run cache statistics
+    psi-eval cache clear             # purge .psi-cache/
+    psi-eval all --no-disk-cache     # bypass the persistent run cache
+
+Workload runs are cached persistently under ``.psi-cache/`` (keyed by
+workload content + simulator code version), so repeated invocations
+skip re-interpretation.  ``--jobs N`` executes independent workloads on
+``N`` processes; outputs are byte-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -30,7 +41,15 @@ def _run_workload(args) -> str:
     from repro.eval.runner import run_psi
     from repro.tools.map import module_analysis, routine_histogram
     if not args.programs:
-        raise SystemExit("psi-eval run needs a workload name (--programs)")
+        raise SystemExit("psi-eval run needs a workload name "
+                         "(positional or via --programs)")
+    from repro.workloads import all_workloads
+    known = all_workloads()
+    unknown = [name for name in args.programs if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload{'s' if len(unknown) > 1 else ''}: "
+            f"{', '.join(unknown)}\navailable: {', '.join(sorted(known))}")
     lines = []
     for name in args.programs:
         run = run_psi(name)
@@ -51,6 +70,22 @@ def _run_workload(args) -> str:
     return "\n".join(lines)
 
 
+def _cache_admin(args) -> str:
+    from repro.eval.run_cache import RunCache
+    action = args.programs[0] if args.programs else "info"
+    cache = RunCache()
+    if action == "clear":
+        removed = cache.clear()
+        return f"run cache: removed {removed} entr{'y' if removed == 1 else 'ies'}"
+    if action == "info":
+        entries = cache.entries()
+        size = cache.size_bytes()
+        return (f"run cache at {cache.root}: {len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'}, "
+                f"{size / 1e6:.1f} MB")
+    raise SystemExit(f"unknown cache action {action!r} (use: clear, info)")
+
+
 _TARGETS = {
     "table1": lambda args: table1.render(table1.generate(args.programs or None)),
     "table2": lambda args: table2.render(table2.generate()),
@@ -62,7 +97,35 @@ _TARGETS = {
     "figure1": lambda args: figure1.render(figure1.generate()),
     "ablations": lambda args: ablations.render(ablations.generate()),
     "run": _run_workload,
+    "cache": _cache_admin,
 }
+
+
+def _target_workloads(target: str, args) -> list[str]:
+    """The PSI workloads a target will execute (for parallel pre-warm)."""
+    from repro.workloads import table1_workloads
+
+    if target == "table1":
+        names = [w.name for w in table1_workloads()]
+        if args.programs:
+            names = [n for n in names if n in args.programs]
+        return names
+    if target == "table2":
+        return list(table2.PROGRAMS.values())
+    if target in ("table3", "table4", "table5"):
+        return list(table3.HARDWARE_PROGRAMS.values())
+    if target == "table6":
+        return [table6.WORKLOAD]
+    if target == "table7":
+        return list(table7.PROGRAMS.values())
+    if target == "figure1":
+        return [figure1.WORKLOAD]
+    if target == "ablations":
+        return list(ablations.ASSOCIATIVITY_PROGRAMS.values()) + [
+            ablations.POLICY_PROGRAM]
+    if target == "run":
+        return list(args.programs or ())
+    return []
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,13 +134,37 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the tables and figures of the PSI paper.")
     parser.add_argument("target", choices=[*_TARGETS, "all"],
                         help="which artifact to regenerate")
-    parser.add_argument("programs", nargs="*", default=None, metavar="workload",
-                        help="workload names (for 'run' and 'table1')")
+    parser.add_argument("names", nargs="*", default=[], metavar="workload",
+                        help="workload names (for 'run' and 'table1') or the "
+                             "cache action ('clear'/'info')")
+    parser.add_argument("--programs", nargs="+", default=None,
+                        metavar="workload",
+                        help="workload names (same as the positional form)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run workloads on N processes (default: serial)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="bypass the persistent .psi-cache run cache")
     args = parser.parse_args(argv)
+    # Positional names and --programs are interchangeable; merge them so
+    # both `psi-eval run bup-2` and `psi-eval run --programs bup-2` work.
+    args.programs = [*args.names, *(args.programs or [])] or None
+
+    from repro.eval import runner
+    if args.no_disk_cache:
+        runner.set_disk_cache(False)
+
     if args.target == "all":
-        targets = [t for t in _TARGETS if t != "run"]
+        targets = [t for t in _TARGETS if t not in ("run", "cache")]
     else:
         targets = [args.target]
+
+    if args.jobs and args.jobs > 1:
+        prewarm: dict[str, None] = {}
+        for target in targets:
+            prewarm.update(dict.fromkeys(_target_workloads(target, args)))
+        if prewarm:
+            runner.run_many(prewarm, jobs=args.jobs)
+
     for name in targets:
         print(_TARGETS[name](args))
         print()

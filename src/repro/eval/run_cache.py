@@ -1,0 +1,169 @@
+"""Persistent on-disk cache of collected runs.
+
+Re-interpreting a workload is by far the most expensive step of the
+evaluation pipeline (minutes for the practical-scale programs), yet its
+outcome is fully determined by the workload definition, the machine
+configuration and the simulator code itself.  This module memoises
+:class:`~repro.tools.collect.RunSummary` objects under ``.psi-cache/``
+so repeated ``psi-eval`` invocations skip interpretation entirely.
+
+Keying and integrity:
+
+* The cache **key** is a SHA-256 content hash over the workload source,
+  goal, setup goals, solution mode, the machine and cache
+  configurations, and a **code version** hash covering every simulator
+  source file that can influence a run (``repro.core``,
+  ``repro.memsys``, ``repro.prolog``, ``repro.workloads``,
+  ``repro.tools``).  Editing any of those files changes the key, so
+  stale entries are never *matched* — they simply become garbage that
+  ``psi-eval cache clear`` removes.
+* Each entry file carries a header with the key and a SHA-256 digest of
+  the pickled payload.  A corrupted, truncated or tampered entry fails
+  the digest (or key) check and is treated as a miss and recomputed —
+  never trusted.
+
+The cache directory defaults to ``.psi-cache`` under the current
+working directory and can be redirected with the ``PSI_CACHE_DIR``
+environment variable (or per-instance via ``RunCache(root=...)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import logging
+import os
+import pathlib
+import pickle
+
+from repro.tools.collect import RunSummary
+
+logger = logging.getLogger(__name__)
+
+#: Bumped when the entry layout (header/payload format) changes.
+FORMAT_VERSION = 1
+
+_MAGIC = b"psi-run-cache\n"
+
+_CODE_PACKAGES = ("core", "memsys", "prolog", "workloads", "tools")
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every simulator source file that can influence a run.
+
+    Computed once per process over the ``repro`` sub-packages whose code
+    determines execution results (``eval`` rendering is deliberately
+    excluded — reformatting a table must not invalidate runs).
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for package in _CODE_PACKAGES:
+            for path in sorted((root / package).glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        digest.update(f"format:{FORMAT_VERSION}".encode())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def run_key(*, source: str, goal: str, setup_goals: tuple[str, ...],
+            all_solutions: bool, machine_config: object,
+            cache_config: object) -> str:
+    """Content hash identifying one deterministic run."""
+    digest = hashlib.sha256()
+    for part in (code_version(), source, goal, repr(tuple(setup_goals)),
+                 repr(bool(all_solutions)), repr(machine_config),
+                 repr(cache_config)):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def default_root() -> pathlib.Path:
+    return pathlib.Path(os.environ.get("PSI_CACHE_DIR", ".psi-cache"))
+
+
+class RunCache:
+    """Content-addressed store of pickled :class:`RunSummary` objects."""
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_root()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.run"
+
+    def load(self, key: str) -> RunSummary | None:
+        """Return the cached summary for ``key``, or None.
+
+        Any integrity failure — missing file, bad magic, key mismatch,
+        payload digest mismatch, unpicklable payload — is a miss.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            stream = io.BytesIO(raw)
+            if stream.readline() != _MAGIC:
+                raise ValueError("bad magic")
+            header_key = stream.readline().strip().decode()
+            payload_digest = stream.readline().strip().decode()
+            payload = stream.read()
+            if header_key != key:
+                raise ValueError("key mismatch")
+            if hashlib.sha256(payload).hexdigest() != payload_digest:
+                raise ValueError("payload digest mismatch")
+            summary = pickle.loads(payload)
+            if not isinstance(summary, RunSummary):
+                raise ValueError("payload is not a RunSummary")
+        except Exception as exc:
+            logger.warning("run cache: discarding invalid entry %s (%s)",
+                           path.name, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return summary
+
+    def store(self, key: str, summary: RunSummary) -> None:
+        """Persist ``summary`` under ``key`` (atomic rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = b"".join([
+            _MAGIC,
+            key.encode() + b"\n",
+            hashlib.sha256(payload).hexdigest().encode() + b"\n",
+            payload,
+        ])
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.run"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entries(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.run"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())

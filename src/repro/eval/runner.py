@@ -1,34 +1,169 @@
 """Shared run orchestration for the evaluation harness.
 
-Collected runs are cached per process so that e.g. Table 3, Table 4 and
-Table 5 (which analyse the same seven programs) execute each program
-once.  ``clear_cache`` exists for tests that need isolation.
+Three cache tiers keep re-interpretation — minutes per practical-scale
+workload — off the hot path:
+
+* **per-process**: Table 3, Table 4 and Table 5 analyse the same seven
+  programs; within one ``psi-eval`` invocation each executes once,
+* **on disk**: collected runs persist under ``.psi-cache/`` keyed by a
+  content hash of (workload source, goal, setup goals, machine config,
+  code version), so *repeated* invocations skip interpretation too
+  (``--no-disk-cache`` bypasses, ``psi-eval cache clear`` purges; see
+  :mod:`repro.eval.run_cache` for the integrity story),
+* **across processes**: :func:`run_many` fans independent workloads
+  over a ``ProcessPoolExecutor``; workers ship back picklable
+  :class:`~repro.tools.collect.RunSummary` objects that rebuild into
+  table-ready runs.
+
+``clear_cache`` exists for tests that need isolation.  ``CACHE_EVENTS``
+counts hits/misses/upgrades so callers (and tests) can observe what the
+tiers actually did.
 """
 
 from __future__ import annotations
 
+import logging
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+
 from repro.baseline import BaselineStats, WAMMachine
+from repro.eval.run_cache import RunCache, run_key
 from repro.tools.collect import CollectedRun, collect
-from repro.workloads import get
+from repro.workloads import Workload, get
+
+logger = logging.getLogger(__name__)
 
 _PSI_CACHE: dict[str, CollectedRun] = {}
 _BASELINE_CACHE: dict[str, BaselineStats] = {}
 
+_DISK_CACHE_ENABLED = True
+
+#: Observable cache behaviour: "disk_hit", "disk_miss", "trace_upgrade",
+#: "memory_hit".  Reset by :func:`clear_cache`.
+CACHE_EVENTS: Counter = Counter()
+
+
+def set_disk_cache(enabled: bool) -> None:
+    """Globally enable/disable the persistent run cache (``--no-disk-cache``)."""
+    global _DISK_CACHE_ENABLED
+    _DISK_CACHE_ENABLED = bool(enabled)
+
+
+def disk_cache_enabled() -> bool:
+    return _DISK_CACHE_ENABLED
+
+
+def _workload_key(workload: Workload) -> str:
+    from repro.core.machine import MachineConfig
+    from repro.memsys import CacheConfig
+
+    return run_key(source=workload.source, goal=workload.goal,
+                   setup_goals=workload.setup_goals,
+                   all_solutions=workload.all_solutions,
+                   machine_config=MachineConfig(),
+                   cache_config=CacheConfig())
+
 
 def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
-    """Run a workload on the PSI model (cached per process)."""
+    """Run a workload on the PSI model (memory- and disk-cached).
+
+    When the disk cache is enabled the trace is always recorded on a
+    real execution, so the stored variant satisfies later
+    ``record_trace=True`` callers without a second run.
+    """
     cached = _PSI_CACHE.get(name)
     if cached is not None and (cached.trace is not None or not record_trace):
+        CACHE_EVENTS["memory_hit"] += 1
         return cached
+    if cached is not None:
+        # A no-trace run was cached but the caller needs the memory
+        # trace: the workload has to execute again.  This used to be
+        # silent double work — make it visible.
+        CACHE_EVENTS["trace_upgrade"] += 1
+        logger.warning(
+            "run_psi(%r): cached run has no trace; re-running to record one "
+            "(call with record_trace=True first, or keep the disk cache "
+            "enabled, to avoid the double execution)", name)
+
     workload = get(name)
+    key = _workload_key(workload) if _DISK_CACHE_ENABLED else None
+    if key is not None:
+        summary = RunCache().load(key)
+        if summary is not None and (summary.trace_bytes is not None
+                                    or not record_trace):
+            CACHE_EVENTS["disk_hit"] += 1
+            run = summary.to_collected_run()
+            _PSI_CACHE[name] = run
+            return run
+        CACHE_EVENTS["disk_miss"] += 1
+
+    # Record the trace whenever the run will be persisted, so the disk
+    # entry is the traced variant and serves every future caller.
     run = collect(workload.source, workload.goal,
                   all_solutions=workload.all_solutions,
-                  record_trace=record_trace,
+                  record_trace=record_trace or key is not None,
                   setup_goals=workload.setup_goals)
     if not run.succeeded:
         raise RuntimeError(f"workload {name} failed on the PSI model")
+    if key is not None:
+        RunCache().store(key, run.to_summary())
     _PSI_CACHE[name] = run
     return run
+
+
+def _collect_summary(name: str, record_trace: bool, disk_cache: bool):
+    """Worker-process entry point: run one workload, return its summary."""
+    set_disk_cache(disk_cache)
+    run = run_psi(name, record_trace=record_trace)
+    return name, run.to_summary()
+
+
+def run_many(names, jobs: int | None = None,
+             record_trace: bool = True) -> dict[str, CollectedRun]:
+    """Run several workloads, optionally across ``jobs`` processes.
+
+    Returns ``{name: CollectedRun}`` in first-seen input order.  Cache
+    tiers are consulted first; only workloads that actually need
+    execution are fanned out.  Results land in the per-process cache,
+    so subsequent :func:`run_psi` calls (the table generators) are free.
+
+    Execution order never affects results — every workload runs on a
+    fresh machine — so the parallel path renders byte-identical tables
+    and figures to the serial one.
+    """
+    ordered = list(dict.fromkeys(names))
+    pending = []
+    for name in ordered:
+        cached = _PSI_CACHE.get(name)
+        if cached is not None and (cached.trace is not None or not record_trace):
+            continue
+        if _DISK_CACHE_ENABLED:
+            summary = RunCache().load(_workload_key(get(name)))
+            if summary is not None and (summary.trace_bytes is not None
+                                        or not record_trace):
+                CACHE_EVENTS["disk_hit"] += 1
+                _PSI_CACHE[name] = summary.to_collected_run()
+                continue
+        pending.append(name)
+
+    if pending and jobs and jobs > 1 and len(pending) > 1:
+        logger.info("run_many: executing %d workload(s) on %d processes",
+                    len(pending), jobs)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [pool.submit(_collect_summary, name, record_trace,
+                                   _DISK_CACHE_ENABLED)
+                       for name in pending]
+            for future in futures:
+                name, summary = future.result()
+                run = summary.to_collected_run()
+                # Workers store their own disk entries; the parent only
+                # needs the in-process tier.
+                _PSI_CACHE[name] = run
+    else:
+        for name in pending:
+            run_psi(name, record_trace=record_trace)
+
+    return {name: run_psi(name, record_trace=record_trace) for name in ordered}
 
 
 def run_baseline(name: str) -> BaselineStats:
@@ -52,6 +187,10 @@ def run_baseline(name: str) -> BaselineStats:
     return machine.stats
 
 
-def clear_cache() -> None:
+def clear_cache(disk: bool = False) -> None:
+    """Drop the per-process tiers; with ``disk=True`` purge ``.psi-cache`` too."""
     _PSI_CACHE.clear()
     _BASELINE_CACHE.clear()
+    CACHE_EVENTS.clear()
+    if disk:
+        RunCache().clear()

@@ -1,6 +1,7 @@
 """Memory-system simulation: the PMMS cache simulator and timing model."""
 
-from repro.memsys.cache import AreaCounts, Cache, CacheConfig, CacheStats, WritePolicy
+from repro.memsys.cache import (AreaCounts, Cache, CacheConfig, CacheStats,
+                                WritePolicy, count_entries)
 from repro.memsys.timing import (
     CYCLE_NS,
     MISS_NS,
@@ -16,6 +17,7 @@ PSI_CACHE = CacheConfig()
 
 __all__ = [
     "Cache", "CacheConfig", "CacheStats", "AreaCounts", "WritePolicy",
+    "count_entries",
     "PSI_CACHE",
     "TimingBreakdown", "execution_time", "time_without_cache",
     "improvement_ratio", "CYCLE_NS", "MISS_NS", "TRANSFER_NS",

@@ -104,20 +104,47 @@ class CacheStats:
         return self.per_area[area].hit_ratio
 
 
+def count_entries(entries) -> tuple[dict, dict]:
+    """Per-area and per-command access totals of a decoded trace.
+
+    One pass, shared by every configuration replaying the same trace:
+    :meth:`Cache.access_many` turns these totals plus its miss counts
+    into full hit/miss statistics without touching a counter on the
+    (overwhelmingly more frequent) hit path.
+    """
+    area_counts = dict.fromkeys(range(len(Area)), 0)
+    cmd_counts = dict.fromkeys(CacheCmd, 0)
+    shift = AREA_SHIFT
+    for cmd, address in entries:
+        cmd_counts[cmd] += 1
+        area_counts[address >> shift] += 1
+    return area_counts, cmd_counts
+
+
+#: Sentinel distinguishing "absent" from a stored False dirty bit.
+_ABSENT = object()
+
+
 class Cache:
     """One simulated cache (usable directly as a memory listener).
 
     Replacement is true LRU within each set.  Tags are full block
     numbers, so distinct areas never alias.
+
+    Each set is an insertion-ordered dict ``{block_number: dirty}``
+    whose key order *is* the LRU order (first = least recent): a hit
+    pops and re-inserts its block, eviction pops the first key.  Dict
+    sets keep both the per-access listener path (:meth:`access`) and
+    the batched replay path (:meth:`access_many`) free of Python-level
+    scan loops.
     """
 
     def __init__(self, config: CacheConfig | None = None):
         self.config = config or CacheConfig()
         self.stats = CacheStats()
         cfg = self.config
-        self._set_mask = cfg.sets - 1 if (cfg.sets & (cfg.sets - 1)) == 0 else None
-        # Each set: list of [block_number, dirty] in LRU order (front = MRU).
-        self._sets: list[list[list]] = [[] for _ in range(cfg.sets)]
+        # Each set: {block_number: dirty} in LRU order (first = LRU).
+        self._sets: list[dict[int, bool]] = [{} for _ in range(cfg.sets)]
         self._block_shift = (cfg.block_words - 1).bit_length() \
             if cfg.block_words > 1 else 0
         if 1 << self._block_shift != cfg.block_words:
@@ -128,27 +155,20 @@ class Cache:
     def access(self, cmd: CacheCmd, address: int) -> bool:
         """Simulate one access; returns True on hit."""
         block = address >> self._block_shift
-        index = block % self.config.sets
-        ways = self._sets[index]
+        ways = self._sets[block % self.config.sets]
         counts = self.stats.per_area[Area(address >> AREA_SHIFT)]
-        entry = None
-        for i, candidate in enumerate(ways):
-            if candidate[0] == block:
-                entry = candidate
-                if i:
-                    ways.pop(i)
-                    ways.insert(0, entry)
-                break
+        dirty = ways.pop(block, _ABSENT)
 
         is_write = cmd is not CacheCmd.READ
-        if entry is not None:
+        if dirty is not _ABSENT:
             counts.hits += 1
             self.stats.per_cmd_hits[cmd] += 1
             if is_write:
                 if self.config.policy == WritePolicy.STORE_IN:
-                    entry[1] = True
+                    dirty = True
                 else:
                     self.stats.through_writes += 1
+            ways[block] = dirty        # re-insert at the MRU end
             return True
 
         counts.misses += 1
@@ -166,12 +186,102 @@ class Cache:
                    and self.config.policy == WritePolicy.STORE_IN)
         return False
 
-    def _fill(self, ways: list, block: int, dirty: bool) -> None:
+    def access_many(self, entries, totals=None) -> None:
+        """Replay a whole ``(command, address)`` sequence in one call.
+
+        Semantically identical to calling :meth:`access` per entry, but
+        every per-access attribute lookup is hoisted out of the loop and
+        — the decisive part — the hot loop counts only *misses*: hits
+        fall out as ``totals - misses`` at the end.  ``totals`` is the
+        ``(area_counts, cmd_counts)`` pair from :func:`count_entries`;
+        pass it in when replaying one trace through many configurations
+        (:func:`repro.tools.pmms.simulate_many`) so it is computed once.
+        """
+        cfg = self.config
+        sets = self._sets
+        n_sets = cfg.sets
+        block_shift = self._block_shift
+        max_ways = cfg.ways
+        store_in = cfg.policy == WritePolicy.STORE_IN
+        ws_no_fetch = cfg.write_stack_no_fetch
+        read_cmd = CacheCmd.READ
+        ws_cmd = CacheCmd.WRITE_STACK
+        area_shift = AREA_SHIFT
+
+        if totals is None:
+            entries = list(entries)
+            totals = count_entries(entries)
+        area_totals, cmd_totals = totals
+
+        stats = self.stats
+        absent = _ABSENT
+        next_ = next
+        iter_ = iter
+        area_misses = dict.fromkeys(range(len(Area)), 0)
+        cmd_misses = dict.fromkeys(CacheCmd, 0)
+        block_fetches = 0
+        writebacks = 0
+
+        if store_in:
+            for cmd, address in entries:
+                block = address >> block_shift
+                ways = sets[block % n_sets]
+                dirty = ways.pop(block, absent)
+                if dirty is not absent:
+                    # Hit: re-insert at the MRU end; a write dirties.
+                    ways[block] = True if cmd is not read_cmd else dirty
+                    continue
+                area_misses[address >> area_shift] += 1
+                cmd_misses[cmd] += 1
+                if not (ws_no_fetch and cmd is ws_cmd):
+                    block_fetches += 1
+                if len(ways) >= max_ways:
+                    if ways.pop(next_(iter_(ways))):
+                        writebacks += 1
+                # Write-allocate: a write miss installs a dirty block.
+                ways[block] = cmd is not read_cmd
+            through_writes = 0
+        else:
+            # Store-through: every write (hit or miss) goes to memory,
+            # write misses do not allocate, and blocks are never dirty.
+            for cmd, address in entries:
+                block = address >> block_shift
+                ways = sets[block % n_sets]
+                if ways.pop(block, absent) is not absent:
+                    ways[block] = False
+                    continue
+                area_misses[address >> area_shift] += 1
+                cmd_misses[cmd] += 1
+                if cmd is not read_cmd:
+                    continue
+                block_fetches += 1
+                if len(ways) >= max_ways:
+                    ways.pop(next_(iter_(ways)))
+                ways[block] = False
+            through_writes = sum(n for cmd, n in cmd_totals.items()
+                                 if cmd is not read_cmd)
+
+        per_area = stats.per_area
+        for area in Area:
+            counts = per_area[area]
+            misses = area_misses[area]
+            counts.hits += area_totals[area] - misses
+            counts.misses += misses
+        per_cmd_hits = stats.per_cmd_hits
+        per_cmd_misses = stats.per_cmd_misses
+        for cmd in CacheCmd:
+            misses = cmd_misses[cmd]
+            per_cmd_hits[cmd] += cmd_totals[cmd] - misses
+            per_cmd_misses[cmd] += misses
+        stats.block_fetches += block_fetches
+        stats.writebacks += writebacks
+        stats.through_writes += through_writes
+
+    def _fill(self, ways: dict, block: int, dirty: bool) -> None:
         if len(ways) >= self.config.ways:
-            victim = ways.pop()
-            if victim[1]:
+            if ways.pop(next(iter(ways))):      # evict the LRU block
                 self.stats.writebacks += 1
-        ways.insert(0, [block, dirty])
+        ways[block] = dirty
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -179,16 +289,16 @@ class Cache:
         """Write back all dirty blocks; returns how many were dirty."""
         dirty = 0
         for ways in self._sets:
-            for entry in ways:
-                if entry[1]:
+            for block, is_dirty in ways.items():
+                if is_dirty:
                     dirty += 1
-                    entry[1] = False
+                    ways[block] = False
         self.stats.writebacks += dirty
         return dirty
 
     def reset(self) -> None:
         self.stats = CacheStats()
-        self._sets = [[] for _ in range(self.config.sets)]
+        self._sets = [{} for _ in range(self.config.sets)]
 
     @property
     def resident_blocks(self) -> int:

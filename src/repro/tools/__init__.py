@@ -1,6 +1,6 @@
 """Measurement tools: the COLLECT / MAP / PMMS equivalents (§4.1)."""
 
-from repro.tools.collect import CollectedRun, collect
+from repro.tools.collect import CollectedRun, RunSummary, collect
 from repro.tools.map import (
     BranchRow,
     WFRow,
@@ -16,15 +16,18 @@ from repro.tools.pmms import (
     capacity_sweep,
     compare_associativity,
     compare_write_policy,
+    improvement_from_stats,
     performance_improvement,
     simulate,
+    simulate_many,
 )
 
 __all__ = [
-    "collect", "CollectedRun",
+    "collect", "CollectedRun", "RunSummary",
     "branch_analysis", "wf_analysis", "module_analysis", "routine_histogram",
     "BranchRow", "WFRow",
-    "simulate", "capacity_sweep", "performance_improvement",
+    "simulate", "simulate_many", "capacity_sweep", "performance_improvement",
+    "improvement_from_stats",
     "compare_associativity", "compare_write_policy",
     "SweepPoint", "ComparisonResult", "FIGURE1_CAPACITIES",
 ]

@@ -19,12 +19,18 @@ from dataclasses import dataclass
 from repro.core.machine import MachineConfig, PSIMachine
 from repro.core.memory import TraceRecorder
 from repro.core.stats import StatsCollector
-from repro.memsys import Cache, CacheConfig, TimingBreakdown, execution_time
+from repro.memsys import Cache, CacheConfig, CacheStats, TimingBreakdown, execution_time
 
 
 @dataclass
 class CollectedRun:
-    """Everything COLLECT gathered from one run."""
+    """Everything COLLECT gathered from one run.
+
+    ``machine`` is ``None`` for runs rebuilt from a
+    :class:`RunSummary` (worker-process or disk-cache round trips):
+    all table/figure statistics live in ``stats``/``trace``/``cache``,
+    only interactive inspection of the live machine is lost.
+    """
 
     goal: str
     succeeded: bool
@@ -32,7 +38,7 @@ class CollectedRun:
     stats: StatsCollector
     trace: TraceRecorder | None
     cache: Cache | None
-    machine: PSIMachine
+    machine: PSIMachine | None
 
     @property
     def steps(self) -> int:
@@ -53,6 +59,50 @@ class CollectedRun:
         """Logical inferences per second at the modelled clock."""
         seconds = self.timing.total_ns / 1e9
         return self.stats.inferences / seconds if seconds else 0.0
+
+    def to_summary(self) -> "RunSummary":
+        """Shrink to the picklable hand-off form (drops the machine)."""
+        return RunSummary(
+            goal=self.goal,
+            succeeded=self.succeeded,
+            solutions=self.solutions,
+            stats=self.stats,
+            trace_bytes=self.trace.tobytes() if self.trace is not None else None,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            cache_config=self.cache.config if self.cache is not None else None,
+        )
+
+
+@dataclass
+class RunSummary:
+    """Picklable essence of a :class:`CollectedRun`.
+
+    This is what worker processes return to the parent and what the
+    persistent run cache stores: the stats counters (compact — routine
+    objects pickle by registry name), the packed trace bytes, and the
+    online cache's statistics.  The live machine is deliberately
+    dropped; it holds unpicklable interpreter state and none of the
+    paper's numbers need it.
+    """
+
+    goal: str
+    succeeded: bool
+    solutions: int
+    stats: StatsCollector
+    trace_bytes: bytes | None
+    cache_stats: CacheStats | None
+    cache_config: CacheConfig | None
+
+    def to_collected_run(self) -> CollectedRun:
+        """Rebuild a table-ready :class:`CollectedRun` (``machine=None``)."""
+        trace = (TraceRecorder.frombytes(self.trace_bytes)
+                 if self.trace_bytes is not None else None)
+        cache = None
+        if self.cache_stats is not None:
+            cache = Cache(self.cache_config or CacheConfig())
+            cache.stats = self.cache_stats
+        return CollectedRun(self.goal, self.succeeded, self.solutions,
+                            self.stats, trace, cache, machine=None)
 
 
 def collect(program: str, goal: str, *,

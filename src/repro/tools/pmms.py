@@ -6,9 +6,18 @@ the capacity/organisation studies of §4.2.  This module does exactly
 that over a :class:`~repro.core.memory.TraceRecorder`:
 
 * :func:`simulate` — one configuration over one trace,
+* :func:`simulate_many` — many configurations over one trace, decoding
+  the packed trace exactly once (the fast path all studies use),
 * :func:`capacity_sweep` — Figure 1's 8-word → 8K-word sweep,
 * :func:`compare_associativity` — the 1-set vs 2-set 4KW study,
 * :func:`compare_write_policy` — the store-in vs store-through study.
+
+Every multi-configuration study accepts either a
+:class:`~repro.core.memory.TraceRecorder` or an already-decoded list of
+``(CacheCmd, address)`` pairs (see ``TraceRecorder.decoded``), so a
+caller replaying one trace through several studies — e.g. the §4.2
+ablations, which run both comparisons on WINDOW — can pay the decode
+cost once.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from repro.memsys import (
     CacheConfig,
     CacheStats,
     WritePolicy,
+    count_entries,
     execution_time,
     improvement_ratio,
     time_without_cache,
@@ -30,13 +40,45 @@ from repro.memsys import (
 FIGURE1_CAPACITIES = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
 
 
+def _decoded(trace) -> list:
+    """Accept a TraceRecorder or an already-decoded entry list."""
+    if isinstance(trace, TraceRecorder):
+        return trace.decoded()
+    return trace
+
+
 def simulate(trace: TraceRecorder, config: CacheConfig | None = None) -> CacheStats:
-    """Replay ``trace`` through a fresh cache with ``config``."""
+    """Replay ``trace`` through a fresh cache with ``config``.
+
+    This is the reference implementation: one :meth:`Cache.access` call
+    per trace entry.  The batched path (:func:`simulate_many`) is tested
+    bit-identical against it.
+    """
     cache = Cache(config or CacheConfig())
     access = cache.access
     for cmd, address in trace.entries():
         access(cmd, address)
     return cache.stats
+
+
+def simulate_many(trace, configs) -> list[CacheStats]:
+    """Replay one trace through many configurations in a single pass.
+
+    The packed trace is decoded once and each configuration's cache
+    consumes the decoded list through the batched
+    :meth:`~repro.memsys.Cache.access_many` — for Figure 1's 11
+    capacities this removes 10 redundant decode passes and all
+    per-access attribute traffic.  Statistics are bit-identical to
+    running :func:`simulate` once per configuration.
+    """
+    entries = _decoded(trace)
+    totals = count_entries(entries)
+    stats = []
+    for config in configs:
+        cache = Cache(config)
+        cache.access_many(entries, totals)
+        stats.append(cache.stats)
+    return stats
 
 
 @dataclass(frozen=True)
@@ -48,16 +90,21 @@ class SweepPoint:
     improvement_percent: float
 
 
-def performance_improvement(trace: TraceRecorder, steps: int,
-                            config: CacheConfig) -> tuple[float, CacheStats]:
-    """The paper's metric: ((Tnc/Tc) - 1) x 100 for one configuration."""
-    stats = simulate(trace, config)
+def improvement_from_stats(steps: int, stats: CacheStats) -> float:
+    """The paper's metric ((Tnc/Tc) - 1) x 100 from replayed stats."""
     t_c = execution_time(steps, stats).total_ns
     t_nc = time_without_cache(steps, stats.accesses).total_ns
-    return improvement_ratio(t_nc, t_c), stats
+    return improvement_ratio(t_nc, t_c)
 
 
-def capacity_sweep(trace: TraceRecorder, steps: int,
+def performance_improvement(trace, steps: int,
+                            config: CacheConfig) -> tuple[float, CacheStats]:
+    """The paper's metric: ((Tnc/Tc) - 1) x 100 for one configuration."""
+    (stats,) = simulate_many(trace, [config])
+    return improvement_from_stats(steps, stats), stats
+
+
+def capacity_sweep(trace, steps: int,
                    capacities=FIGURE1_CAPACITIES,
                    base: CacheConfig | None = None) -> list[SweepPoint]:
     """Vary capacity with other parameters fixed at the PSI values.
@@ -66,15 +113,17 @@ def capacity_sweep(trace: TraceRecorder, steps: int,
     the way count is reduced to keep the geometry legal (the smallest
     point, 8 words, is two 4-word blocks in one set — as in the paper,
     which swept down to 8 words).
+
+    All capacities replay in one decode pass via :func:`simulate_many`.
     """
     base = base or CacheConfig()
-    points = []
+    configs = []
     for capacity in capacities:
         ways = min(base.ways, max(1, capacity // base.block_words))
-        config = replace(base, capacity_words=capacity, ways=ways)
-        improvement, stats = performance_improvement(trace, steps, config)
-        points.append(SweepPoint(capacity, stats.hit_ratio, improvement))
-    return points
+        configs.append(replace(base, capacity_words=capacity, ways=ways))
+    return [SweepPoint(capacity, stats.hit_ratio,
+                       improvement_from_stats(steps, stats))
+            for capacity, stats in zip(capacities, simulate_many(trace, configs))]
 
 
 @dataclass(frozen=True)
@@ -96,24 +145,28 @@ class ComparisonResult:
         return 100.0 * (self.improvement_a - self.improvement_b) / self.improvement_a
 
 
-def compare_associativity(trace: TraceRecorder, steps: int,
+def _compare(trace, steps: int, label_a: str, config_a: CacheConfig,
+             label_b: str, config_b: CacheConfig) -> ComparisonResult:
+    stats_a, stats_b = simulate_many(trace, [config_a, config_b])
+    return ComparisonResult(label_a, label_b,
+                            improvement_from_stats(steps, stats_a),
+                            improvement_from_stats(steps, stats_b))
+
+
+def compare_associativity(trace, steps: int,
                           set_capacity_words: int = 4096) -> ComparisonResult:
     """Two 4KW sets vs one 4KW set (§4.2: one set was only ~3% lower)."""
     two_set = CacheConfig(capacity_words=2 * set_capacity_words, ways=2)
     one_set = CacheConfig(capacity_words=set_capacity_words, ways=1)
-    improvement_two, _ = performance_improvement(trace, steps, two_set)
-    improvement_one, _ = performance_improvement(trace, steps, one_set)
-    return ComparisonResult("two 4KW sets", "one 4KW set",
-                            improvement_two, improvement_one)
+    return _compare(trace, steps, "two 4KW sets", two_set,
+                    "one 4KW set", one_set)
 
 
-def compare_write_policy(trace: TraceRecorder, steps: int,
+def compare_write_policy(trace, steps: int,
                          base: CacheConfig | None = None) -> ComparisonResult:
     """Store-in vs store-through (§4.2: store-in ~8% higher)."""
     base = base or CacheConfig()
     store_in = replace(base, policy=WritePolicy.STORE_IN)
     store_through = replace(base, policy=WritePolicy.STORE_THROUGH)
-    improvement_in, _ = performance_improvement(trace, steps, store_in)
-    improvement_through, _ = performance_improvement(trace, steps, store_through)
-    return ComparisonResult("store-in", "store-through",
-                            improvement_in, improvement_through)
+    return _compare(trace, steps, "store-in", store_in,
+                    "store-through", store_through)

@@ -1,0 +1,20 @@
+"""Shared fixtures: keep the persistent run cache out of the repo tree."""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    """Point ``.psi-cache`` at a session-scoped temp dir for every test.
+
+    Tests still exercise the disk-cache code paths (and benefit from
+    cross-test hits within one session), but never write into the
+    working tree or see entries from a previous session.  Session scope
+    guarantees the redirect is in place before any module-scoped
+    fixture collects a run.
+    """
+    patch = pytest.MonkeyPatch()
+    root = tmp_path_factory.getbasetemp() / "psi-run-cache"
+    patch.setenv("PSI_CACHE_DIR", str(root))
+    yield
+    patch.undo()
