@@ -12,6 +12,13 @@ Times the three layers this harness optimises and writes the results to
   serial without the disk cache (the from-scratch path), ``--jobs N``
   cold (first parallel run, populates ``.psi-cache``), and ``--jobs N``
   warm (disk cache hot — the steady state of repeated invocations).
+* **obs** — interpreter wall-clock with the observability layer
+  (:mod:`repro.obs`) disabled vs enabled, on one mid-size workload.
+  The disabled number is the one that matters: observability must be
+  zero-cost when off, so the script compares the new ``serial_cold_s``
+  against the previous ``BENCH_eval.json`` and **fails** if the
+  from-scratch pipeline regressed by more than ``--max-regress``
+  percent (default 2).
 
 Usage::
 
@@ -111,6 +118,41 @@ def bench_eval_all(jobs: int) -> dict:
     }
 
 
+def bench_obs(workload_name: str = "window-1", repeats: int = 3) -> dict:
+    """Observability overhead: same workload, obs disabled vs enabled.
+
+    Uses the best of ``repeats`` in-process runs each way.  The enabled
+    overhead is informational (tracing/profiling is opt-in); the
+    disabled path's cost is checked by the ``serial_cold_s`` regression
+    assertion in :func:`main`.
+    """
+    from repro import obs
+    from repro.tools.collect import collect
+    from repro.workloads import get
+
+    workload = get(workload_name)
+
+    def run_once() -> float:
+        t0 = time.perf_counter()
+        collect(workload.source, workload.goal,
+                all_solutions=workload.all_solutions,
+                record_trace=False,
+                setup_goals=workload.setup_goals)
+        return time.perf_counter() - t0
+
+    run_once()                       # warm-up: imports, code objects
+    disabled = min(run_once() for _ in range(repeats))
+    with obs.observed():
+        enabled = min(run_once() for _ in range(repeats))
+    obs.reset()
+    return {
+        "workload": workload_name,
+        "disabled_s": round(disabled, 3),
+        "enabled_s": round(enabled, 3),
+        "enabled_overhead_pct": round(100.0 * (enabled - disabled) / disabled, 1),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
@@ -119,7 +161,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the (slow) psi-eval all stage")
     parser.add_argument("--output", default=str(REPO / "BENCH_eval.json"),
                         help="where to write the results JSON")
+    parser.add_argument("--max-regress", type=float, default=2.0, metavar="PCT",
+                        help="fail if serial_cold_s regressed more than this "
+                             "percent vs the previous results file (default 2)")
     args = parser.parse_args(argv)
+
+    previous = None
+    previous_path = pathlib.Path(args.output)
+    if previous_path.exists():
+        try:
+            previous = json.loads(previous_path.read_text())
+        except (OSError, ValueError):
+            previous = None
 
     results = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -134,6 +187,13 @@ def main(argv: list[str] | None = None) -> int:
           f"single-pass {results['replay']['single_pass_s']}s  "
           f"speedup {results['replay']['speedup']}x")
 
+    print("obs stage (observability disabled vs enabled)...")
+    results["obs"] = bench_obs()
+    print(f"  disabled {results['obs']['disabled_s']}s  "
+          f"enabled {results['obs']['enabled_s']}s  "
+          f"(enabled overhead {results['obs']['enabled_overhead_pct']}%)")
+
+    regression = None
     if not args.replay_only:
         print(f"psi-eval all (serial / --jobs {args.jobs} cold / warm)...")
         results["eval_all"] = bench_eval_all(args.jobs)
@@ -142,10 +202,23 @@ def main(argv: list[str] | None = None) -> int:
               f"jobs cold {ea['jobs_cold_s']}s  "
               f"jobs warm {ea['jobs_warm_s']}s  "
               f"(warm speedup {ea['speedup_jobs_warm']}x)")
+        prev_cold = ((previous or {}).get("eval_all") or {}).get("serial_cold_s")
+        if prev_cold:
+            delta = 100.0 * (ea["serial_cold_s"] - prev_cold) / prev_cold
+            ea["vs_previous_serial_cold_pct"] = round(delta, 1)
+            print(f"  serial cold vs previous: {delta:+.1f}% "
+                  f"({prev_cold}s -> {ea['serial_cold_s']}s)")
+            if delta > args.max_regress:
+                regression = (f"serial_cold_s regressed {delta:+.1f}% "
+                              f"(limit {args.max_regress}%) — the disabled "
+                              f"observability path must stay free")
 
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
+    if regression is not None:
+        print(f"FAIL: {regression}", file=sys.stderr)
+        return 1
     return 0
 
 

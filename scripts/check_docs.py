@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Check internal references in the repo's Markdown documentation.
+
+Two reference classes are verified against the working tree:
+
+* Markdown links ``[text](target)`` whose target is not an external
+  URL or an in-page anchor — the target (with any ``#fragment``
+  stripped) must exist relative to the linking file;
+* backtick-quoted repo paths like ``docs/OBSERVABILITY.md`` or
+  ``scripts/bench_eval.py`` — these rot silently when files move (the
+  exact drift class this script exists to catch), so each must exist
+  relative to the repo root or the referencing file.
+
+Exit status 0 when everything resolves, 1 with a report otherwise.
+
+Usage::
+
+    python scripts/check_docs.py          # check the standard doc set
+    python scripts/check_docs.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: The user-facing documents checked by default (CI runs this set).
+DEFAULT_DOCS = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backticked tokens that look like repo file paths (must contain a
+#: slash or be a root-level doc, and end in a known text extension).
+_BACKTICK_PATH = re.compile(
+    r"`([A-Za-z0-9_\-./]+\.(?:md|py|json|txt|toml|yml))`")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced blocks — example output may contain path-like text."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _exists(target: str, doc: pathlib.Path) -> bool:
+    relative_to_doc = (doc.parent / target).resolve()
+    relative_to_repo = (REPO / target).resolve()
+    return relative_to_doc.exists() or relative_to_repo.exists()
+
+
+def check(doc: pathlib.Path) -> list[str]:
+    """All broken references in one document."""
+    text = _strip_code_blocks(doc.read_text())
+    problems: list[str] = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if path and not _exists(path, doc):
+            problems.append(f"broken link: ({target})")
+    for match in _BACKTICK_PATH.finditer(text):
+        target = match.group(1)
+        # Bare file names without a directory are only checked when
+        # they resolve nowhere at all AND name a doc-like file; module
+        # references such as `table1.py` inside prose stay informal.
+        if "/" not in target and not _exists(target, doc):
+            if target.endswith(".md"):
+                problems.append(f"missing document: `{target}`")
+            continue
+        if "/" in target and not _exists(target, doc):
+            problems.append(f"missing path: `{target}`")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = (argv if argv else None) or DEFAULT_DOCS
+    failures = 0
+    for name in names:
+        doc = (REPO / name) if not pathlib.Path(name).is_absolute() \
+            else pathlib.Path(name)
+        if not doc.exists():
+            print(f"{name}: file not found")
+            failures += 1
+            continue
+        problems = check(doc)
+        for problem in problems:
+            print(f"{name}: {problem}")
+        failures += len(problems)
+    if failures:
+        print(f"\n{failures} broken reference(s)")
+        return 1
+    print(f"ok: {len(names)} document(s), all internal references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

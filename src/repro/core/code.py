@@ -29,6 +29,7 @@ branch, which is how those branches show up in Table 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import PrologSyntaxError
 from repro.prolog.terms import Atom, Struct, Term, Var
@@ -222,6 +223,13 @@ class Procedure:
     @property
     def indicator(self) -> tuple[str, int]:
         return (self.functor, self.arity)
+
+    @cached_property
+    def label(self) -> str:
+        """The ``functor/arity`` string the machine publishes as its
+        predicate context (one stable object per procedure, so the
+        observability collector can compare by identity)."""
+        return f"{self.functor}/{self.arity}"
 
     def __repr__(self) -> str:
         return f"Procedure({self.functor}/{self.arity}, {len(self.clauses)} clauses)"

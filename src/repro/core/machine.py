@@ -90,16 +90,18 @@ class Env:
     """
 
     __slots__ = ("goals", "frame", "parent", "parent_index", "cut_barrier",
-                 "control_base")
+                 "control_base", "pred")
 
     def __init__(self, goals: tuple[Goal, ...], frame: Frame,
-                 parent: "Env | None", parent_index: int, cut_barrier: int):
+                 parent: "Env | None", parent_index: int, cut_barrier: int,
+                 pred: str = "(startup)"):
         self.goals = goals
         self.frame = frame
         self.parent = parent
         self.parent_index = parent_index
         self.cut_barrier = cut_barrier
         self.control_base = -1  # control-stack frame position once saved
+        self.pred = pred        # predicate label (observability context)
 
 
 class ChoicePoint:
@@ -298,6 +300,9 @@ class PSIMachine:
         if len(proc.clauses) > 1:
             self._push_choice_point(proc, args, parent_env, parent_index)
         barrier = len(self.cp_stack) - (1 if len(proc.clauses) > 1 else 0)
+        # Publish the predicate context (observability: profiler/tracer
+        # attribution; a plain attribute store when obs is disabled).
+        self.stats.predicate = proc.label
         return self._activate(proc.clauses[0], args, parent_env, parent_index,
                               barrier)
 
@@ -333,7 +338,8 @@ class PSIMachine:
             raise ResourceLimitExceeded(f"activation limit exceeded ({self.call_count})")
         self.mem.read(Area.HEAP, clause.heap_base)
         frame = self._allocate_frame(clause)
-        env = Env(clause.body, frame, parent_env, parent_index, cut_barrier)
+        env = Env(clause.body, frame, parent_env, parent_index, cut_barrier,
+                  stats.predicate)
         stats.module = Module.UNIFY
         for node, arg in zip(clause.head_args, args):
             if not self._match(node, arg, frame):
@@ -491,6 +497,7 @@ class PSIMachine:
                 self.mem.settop(Area.CONTROL, env.control_base)
         self.cur_env = parent
         self.cur_index = env.parent_index
+        stats.predicate = parent.pred
 
     # -- backtracking ---------------------------------------------------------
 
@@ -513,6 +520,7 @@ class PSIMachine:
             for i in range(CONTROL_RESUME_READS):
                 self.mem.read(Area.CONTROL, cp.control_base + i)
             clause = cp.proc.clauses[cp.next_clause]
+            stats.predicate = cp.proc.label
             cp.next_clause += 1
             if cp.next_clause >= len(cp.proc.clauses):
                 self.cp_stack.pop()

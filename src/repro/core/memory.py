@@ -150,6 +150,12 @@ class MemorySystem:
         self.word_limit = word_limit
         self.areas: dict[Area, list] = {area: [] for area in Area}
         self.listeners: list[MemoryListener] = []
+        #: Optional observability hook (``on_settop(area, offset, old_top)``):
+        #: receives stack truncations — the PSI's GC-free reclaim events —
+        #: when a :class:`repro.obs.session.StackObserver` is attached by
+        #: an observed run.  ``None`` (the default) costs one identity
+        #: check per ``settop``, nothing per word access.
+        self.observer = None
 
     # -- listener management -------------------------------------------------
 
@@ -176,6 +182,8 @@ class MemorySystem:
         words = self.areas[area]
         if offset > len(words):
             raise MachineError(f"settop beyond top of {area.label}")
+        if self.observer is not None:
+            self.observer.on_settop(area, offset, len(words))
         del words[offset:]
 
     def grow(self, area: Area, count: int, fill=None) -> int:

@@ -34,6 +34,13 @@ class StatsCollector:
 
     def __init__(self) -> None:
         self.module: Module = Module.CONTROL
+        #: The workload predicate currently being resolved
+        #: (``functor/arity``), published by the machine at call,
+        #: proceed and backtrack boundaries.  The base collector only
+        #: stores it; the observability layer
+        #: (:class:`repro.obs.session.ObservedStatsCollector`) reads it
+        #: on every emission to attribute microsteps per predicate.
+        self.predicate: str = "(startup)"
         self.routine_counts: Counter = Counter()       # (Module, MicroRoutine) -> n
         self.mem_counts: Counter = Counter()           # (CacheCmd, Area) -> n
         self.inferences = 0                            # user-predicate calls (LIPS)
@@ -190,6 +197,7 @@ class NullStats:
     """Stats stub that ignores everything (for semantics-only test runs)."""
 
     module: Module = Module.CONTROL
+    predicate: str = "(startup)"
     inferences: int = 0
     builtin_calls: int = 0
 

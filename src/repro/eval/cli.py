@@ -9,14 +9,21 @@ Usage::
     psi-eval table1 --programs nreverse qsort
     psi-eval run bup-2               # one workload, full machine report
     psi-eval run --programs bup-2    # same, flag form
+    psi-eval profile puzzle8         # flamegraph + Perfetto trace + top-N
+    psi-eval profile puzzle8 --out /tmp/psi-obs --top 5
     psi-eval cache info              # persistent run cache statistics
     psi-eval cache clear             # purge .psi-cache/
     psi-eval all --no-disk-cache     # bypass the persistent run cache
+    psi-eval table2 --obs            # print aggregate obs metrics after
 
 Workload runs are cached persistently under ``.psi-cache/`` (keyed by
 workload content + simulator code version), so repeated invocations
 skip re-interpretation.  ``--jobs N`` executes independent workloads on
 ``N`` processes; outputs are byte-identical to the serial path.
+
+``profile`` always executes its workload fresh (observability data is
+derived from execution and never cached); see ``docs/OBSERVABILITY.md``
+for the output formats and how to open them in Perfetto.
 """
 
 from __future__ import annotations
@@ -40,16 +47,7 @@ def _run_workload(args) -> str:
     from repro.core.micro import CacheCmd
     from repro.eval.runner import run_psi
     from repro.tools.map import module_analysis, routine_histogram
-    if not args.programs:
-        raise SystemExit("psi-eval run needs a workload name "
-                         "(positional or via --programs)")
-    from repro.workloads import all_workloads
-    known = all_workloads()
-    unknown = [name for name in args.programs if name not in known]
-    if unknown:
-        raise SystemExit(
-            f"unknown workload{'s' if len(unknown) > 1 else ''}: "
-            f"{', '.join(unknown)}\navailable: {', '.join(sorted(known))}")
+    _validate_workloads(args.programs, "run")
     lines = []
     for name in args.programs:
         run = run_psi(name)
@@ -67,6 +65,68 @@ def _run_workload(args) -> str:
         lines.append("hot routines: " + ", ".join(
             f"{name_}({steps})" for _, name_, steps in
             routine_histogram(stats, top=5)))
+    return "\n".join(lines)
+
+
+def _validate_workloads(names, command: str) -> None:
+    from repro.workloads import all_workloads
+    if not names:
+        raise SystemExit(f"psi-eval {command} needs a workload name "
+                         "(positional or via --programs)")
+    known = all_workloads()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload{'s' if len(unknown) > 1 else ''}: "
+            f"{', '.join(unknown)}\navailable: {', '.join(sorted(known))}")
+
+
+def _profile_workload(args) -> str:
+    """``psi-eval profile``: run observed, write trace + flamegraph files.
+
+    The workload executes fresh (no cache tier is read or written):
+    observability output is derived data, and a cached run carries
+    none.  Emits, per workload, under ``--out``:
+
+    * ``<name>.trace.json`` — Chrome ``trace_event`` JSON (open in
+      https://ui.perfetto.dev or chrome://tracing),
+    * ``<name>.trace.jsonl`` — the raw JSONL event log,
+    * ``<name>.collapsed.txt`` — collapsed stacks for flamegraph tools,
+
+    and prints the top-N ``(predicate × module)`` step attribution.
+    """
+    import pathlib
+
+    from repro import obs
+    from repro.tools.collect import collect
+    from repro.workloads import get
+
+    _validate_workloads(args.programs, "profile")
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for name in args.programs:
+        workload = get(name)
+        with obs.observed():
+            run = collect(workload.source, workload.goal,
+                          all_solutions=workload.all_solutions,
+                          record_trace=False,
+                          setup_goals=workload.setup_goals)
+        observation = run.observation
+        chrome_path = out_dir / f"{name}.trace.json"
+        jsonl_path = out_dir / f"{name}.trace.jsonl"
+        collapsed_path = out_dir / f"{name}.collapsed.txt"
+        with chrome_path.open("w") as fp:
+            observation.write_chrome(fp, name=f"PSI {name}")
+        with jsonl_path.open("w") as fp:
+            observation.write_jsonl(fp)
+        with collapsed_path.open("w") as fp:
+            observation.write_collapsed(fp, root=name)
+        lines.append(f"== {name} ==")
+        lines.append(f"{observation.total_steps} microsteps, "
+                     f"{len(observation.tracer)} trace events")
+        lines.append(observation.top_table(args.top))
+        lines.append(f"wrote {chrome_path}, {jsonl_path}, {collapsed_path}")
     return "\n".join(lines)
 
 
@@ -97,6 +157,7 @@ _TARGETS = {
     "figure1": lambda args: figure1.render(figure1.generate()),
     "ablations": lambda args: ablations.render(ablations.generate()),
     "run": _run_workload,
+    "profile": _profile_workload,
     "cache": _cache_admin,
 }
 
@@ -128,15 +189,17 @@ def _target_workloads(target: str, args) -> list[str]:
     return []
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``psi-eval`` argument parser (importable so documentation
+    examples can be parse-checked without executing workloads)."""
     parser = argparse.ArgumentParser(
         prog="psi-eval",
         description="Regenerate the tables and figures of the PSI paper.")
     parser.add_argument("target", choices=[*_TARGETS, "all"],
                         help="which artifact to regenerate")
     parser.add_argument("names", nargs="*", default=[], metavar="workload",
-                        help="workload names (for 'run' and 'table1') or the "
-                             "cache action ('clear'/'info')")
+                        help="workload names (for 'run', 'profile' and "
+                             "'table1') or the cache action ('clear'/'info')")
     parser.add_argument("--programs", nargs="+", default=None,
                         metavar="workload",
                         help="workload names (same as the positional form)")
@@ -144,7 +207,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="run workloads on N processes (default: serial)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="bypass the persistent .psi-cache run cache")
-    args = parser.parse_args(argv)
+    parser.add_argument("--obs", action="store_true",
+                        help="collect observability metrics during the run "
+                             "and print the aggregate registry afterwards")
+    parser.add_argument("--out", default="psi-obs", metavar="DIR",
+                        help="output directory for 'profile' artifacts "
+                             "(default: psi-obs/)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows in the 'profile' top-predicates table")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     # Positional names and --programs are interchangeable; merge them so
     # both `psi-eval run bup-2` and `psi-eval run --programs bup-2` work.
     args.programs = [*args.names, *(args.programs or [])] or None
@@ -152,9 +227,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.eval import runner
     if args.no_disk_cache:
         runner.set_disk_cache(False)
+    if args.obs:
+        from repro import obs
+        obs.enable()
 
     if args.target == "all":
-        targets = [t for t in _TARGETS if t not in ("run", "cache")]
+        targets = [t for t in _TARGETS if t not in ("run", "profile", "cache")]
     else:
         targets = [args.target]
 
@@ -167,6 +245,11 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in targets:
         print(_TARGETS[name](args))
+        print()
+
+    if args.obs:
+        print("== observability metrics ==")
+        print(obs.global_metrics().render())
         print()
     return 0
 

@@ -26,6 +26,7 @@ import logging
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import obs
 from repro.baseline import BaselineStats, WAMMachine
 from repro.eval.run_cache import RunCache, run_key
 from repro.tools.collect import CollectedRun, collect
@@ -67,9 +68,25 @@ def _workload_key(workload: Workload) -> str:
 def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
     """Run a workload on the PSI model (memory- and disk-cached).
 
-    When the disk cache is enabled the trace is always recorded on a
-    real execution, so the stored variant satisfies later
-    ``record_trace=True`` callers without a second run.
+    Cache semantics (see :mod:`repro.eval.run_cache` for the format):
+
+    * The disk key is a content hash over the workload source, goal,
+      setup goals, solution mode, machine and cache configurations,
+      and the simulator code version — editing simulator code or a
+      workload silently invalidates only the affected entries.  The
+      cache directory is ``.psi-cache/`` or ``$PSI_CACHE_DIR``.
+    * When the disk cache is enabled the trace is always recorded on a
+      real execution, so the stored variant satisfies later
+      ``record_trace=True`` callers without a second run.
+    * *Trace upgrade*: if the in-memory tier holds a no-trace run and
+      the caller needs the memory trace, the workload must execute
+      again — counted in ``CACHE_EVENTS["trace_upgrade"]`` and logged,
+      since it is otherwise silent double work.
+
+    Observability (:mod:`repro.obs`) is orthogonal: cached runs carry
+    no observation (obs artifacts are derived data and never stored);
+    a fresh execution with obs enabled attaches one to the returned
+    run and merges its metrics into the process-global registry.
     """
     cached = _PSI_CACHE.get(name)
     if cached is not None and (cached.trace is not None or not record_trace):
@@ -111,11 +128,24 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
     return run
 
 
-def _collect_summary(name: str, record_trace: bool, disk_cache: bool):
-    """Worker-process entry point: run one workload, return its summary."""
+def _collect_summary(name: str, record_trace: bool, disk_cache: bool,
+                     obs_config=None):
+    """Worker-process entry point: run one workload, return its summary.
+
+    ``obs_config`` is the parent's :class:`~repro.obs.ObsConfig` when
+    observability is enabled there (workers are fresh processes, so the
+    flag must travel explicitly).  The worker attaches its run's metrics
+    snapshot to the shipped summary — the one obs artifact that crosses
+    the process boundary; traces and profiles stay worker-local.
+    """
     set_disk_cache(disk_cache)
+    if obs_config is not None:
+        obs.enable(obs_config)
     run = run_psi(name, record_trace=record_trace)
-    return name, run.to_summary()
+    summary = run.to_summary()
+    if run.observation is not None:
+        summary.metrics = run.observation.metrics_snapshot
+    return name, summary
 
 
 def run_many(names, jobs: int | None = None,
@@ -129,7 +159,11 @@ def run_many(names, jobs: int | None = None,
 
     Execution order never affects results — every workload runs on a
     fresh machine — so the parallel path renders byte-identical tables
-    and figures to the serial one.
+    and figures to the serial one.  That extends to observability:
+    workers ship per-run metrics snapshots back with their summaries
+    and the parent merges them, so the process-global metrics equal a
+    serial run's (merging is commutative; runs served from a cache tier
+    contribute no metrics on either path).
     """
     ordered = list(dict.fromkeys(names))
     pending = []
@@ -149,12 +183,15 @@ def run_many(names, jobs: int | None = None,
     if pending and jobs and jobs > 1 and len(pending) > 1:
         logger.info("run_many: executing %d workload(s) on %d processes",
                     len(pending), jobs)
+        obs_config = obs.config() if obs.enabled() else None
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [pool.submit(_collect_summary, name, record_trace,
-                                   _DISK_CACHE_ENABLED)
+                                   _DISK_CACHE_ENABLED, obs_config)
                        for name in pending]
             for future in futures:
                 name, summary = future.result()
+                if summary.metrics is not None:
+                    obs.merge_snapshot(summary.metrics)
                 run = summary.to_collected_run()
                 # Workers store their own disk entries; the parent only
                 # needs the in-process tier.

@@ -103,6 +103,26 @@ class CacheStats:
     def area_hit_ratio(self, area: Area) -> float:
         return self.per_area[area].hit_ratio
 
+    def snapshot(self) -> dict:
+        """Plain-data summary of the statistics (JSON-serialisable).
+
+        Used by the observability layer (``psi.cache.*`` metrics) and
+        handy for ad-hoc inspection; cumulative totals only — windowed
+        hit ratios over time come from
+        :class:`repro.obs.session.CacheWindowSampler`, which samples a
+        live cache while the run executes.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "block_fetches": self.block_fetches,
+            "writebacks": self.writebacks,
+            "through_writes": self.through_writes,
+            "per_area": {area.name.lower(): {"hits": c.hits, "misses": c.misses}
+                         for area, c in self.per_area.items()},
+        }
+
 
 def count_entries(entries) -> tuple[dict, dict]:
     """Per-area and per-command access totals of a decoded trace.

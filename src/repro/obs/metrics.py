@@ -1,0 +1,235 @@
+"""Metrics registry: counters, gauges and histograms for PSI runs.
+
+Where the tracer (:mod:`repro.obs.trace`) answers "*when* did things
+happen inside a run", the metrics registry answers "*how much* of each
+thing happened" — in a form that is cheap to record, trivially
+picklable, and **mergeable**: per-run snapshots from ``run_many``
+worker processes fold into the parent's registry with plain addition,
+so a parallel evaluation reports exactly the same aggregate metrics as
+a serial one (under test in ``tests/obs/test_metrics.py``).
+
+Everything recorded here is deterministic — counts, microsteps,
+ratios derived from them — never wall-clock time, so snapshots compare
+equal across runs and across process topologies.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — last-written value plus min/max envelope (``set``);
+  merging keeps the envelope and sums the last values, which makes a
+  merged gauge read as "aggregate over runs" (e.g. total microsteps);
+* :class:`Histogram` — fixed-boundary bucket counts plus sum/count
+  (``observe``), the instrument behind "cache hit ratio over time
+  windows".
+
+The module-level conventions for what the session records per run are
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge_dict(self, data: dict) -> None:
+        self.value += data["value"]
+
+
+class Gauge:
+    """A point-in-time value with a min/max envelope.
+
+    ``merge_dict`` *sums* values and widens the envelope: a merged
+    gauge over N runs reads as the aggregate (its envelope still shows
+    the per-run extremes).
+    """
+
+    __slots__ = ("name", "value", "min", "max")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value,
+                "min": self.min, "max": self.max}
+
+    def merge_dict(self, data: dict) -> None:
+        self.value += data["value"]
+        for bound, pick in (("min", min), ("max", max)):
+            incoming = data.get(bound)
+            if incoming is None:
+                continue
+            current = getattr(self, bound)
+            setattr(self, bound,
+                    incoming if current is None else pick(current, incoming))
+
+
+#: Default histogram boundaries for percentage-valued observations.
+PERCENT_BUCKETS = (50.0, 80.0, 90.0, 95.0, 98.0, 99.0, 99.5, 100.0)
+
+
+class Histogram:
+    """Fixed-boundary bucket counts (upper-inclusive) plus sum/count.
+
+    ``boundaries`` are the inclusive upper edges of the first
+    ``len(boundaries)`` buckets; one overflow bucket catches the rest.
+    """
+
+    __slots__ = ("name", "boundaries", "buckets", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, boundaries=PERCENT_BUCKETS):
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("histogram boundaries must be sorted")
+        self.buckets = [0] * (len(self.boundaries) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first boundary >= value: upper-inclusive
+        # buckets, with index len(boundaries) as the overflow bucket.
+        self.buckets[bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "boundaries": list(self.boundaries),
+                "buckets": list(self.buckets),
+                "sum": self.sum, "count": self.count}
+
+    def merge_dict(self, data: dict) -> None:
+        if list(data["boundaries"]) != list(self.boundaries):
+            raise ValueError(
+                f"histogram {self.name!r}: boundary mismatch on merge")
+        for i, n in enumerate(data["buckets"]):
+            self.buckets[i] += n
+        self.sum += data["sum"]
+        self.count += data["count"]
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """A named collection of instruments with snapshot/merge semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # -- instrument accessors (create on first use) --------------------------
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered "
+                            f"as {type(metric).kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, boundaries=PERCENT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, boundaries=boundaries)
+
+    # -- introspection --------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def value(self, name: str):
+        """Shortcut: the scalar value of a counter/gauge."""
+        return self._metrics[name].value
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-data (picklable, JSON-able) copy of every metric."""
+        return {name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry (addition).
+
+        Unknown metrics are created with the snapshot's kind, so a
+        fresh parent registry absorbs worker snapshots verbatim.
+        """
+        for name, data in snapshot.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                cls = _KINDS[data["kind"]]
+                kwargs = ({"boundaries": tuple(data["boundaries"])}
+                          if cls is Histogram else {})
+                metric = self._metrics[name] = cls(name, **kwargs)
+            elif type(metric).kind != data["kind"]:
+                raise TypeError(f"metric {name!r}: kind mismatch on merge "
+                                f"({type(metric).kind} vs {data['kind']})")
+            metric.merge_dict(data)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(f"{name}: n={metric.count} mean={metric.mean:.3f}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name}: {metric.value:g} "
+                             f"[{metric.min:g}..{metric.max:g}]"
+                             if metric.min is not None
+                             else f"{name}: {metric.value:g}")
+            else:
+                lines.append(f"{name}: {metric.value}")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Profiling over the microinstruction stream.
+
+The PSI's firmware profile (Table 2) answers "which *interpreter
+module* consumes the steps"; what it cannot answer — and what the
+optimizer work queued behind this subsystem needs — is "which
+*workload predicate* makes that module hot".  This profiler attributes
+every microstep of a run to a ``(predicate, module)`` pair:
+
+* **predicate** — the workload procedure being resolved when the step
+  executed (``functor/arity``, e.g. ``ids/4``), maintained by the
+  machine as execution context (:attr:`StatsCollector.predicate`);
+* **module** — the firmware interpreter module (Table 2's axis:
+  control / unify / trail / get_arg / cut / built).
+
+Attribution happens inside
+:class:`~repro.obs.session.ObservedStatsCollector` on the routine
+*emission* path, weighted by each routine's precomputed step count, so
+it is exact: the profile total equals ``stats.total_steps`` (under
+test in ``tests/obs/test_profile.py``).  ``sample_interval > 1``
+switches to statistical sampling — every Nth emission is attributed
+with weight N — for minimum-overhead always-on profiling; totals then
+approximate rather than equal the step count.
+
+Outputs:
+
+* :meth:`MicroProfile.collapsed_stacks` — the collapsed-stack format
+  consumed by every flamegraph renderer (``flamegraph.pl``,
+  speedscope, inferno): one ``frame;frame value`` line per stack;
+* :meth:`MicroProfile.top_table` — a text top-N report for terminals
+  (the ``psi-eval profile`` output).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from typing import IO
+
+from repro.core.micro import Module
+
+#: Predicate label used before the first user-predicate dispatch.
+UNATTRIBUTED = "(startup)"
+
+
+class MicroProfile:
+    """Microstep attribution to (predicate, module) pairs."""
+
+    def __init__(self, sample_interval: int = 1):
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
+        self.sample_interval = sample_interval
+        self.samples: _Counter = _Counter()   # (predicate, module) -> steps
+        self._tick = 0                        # emission counter for sampling
+
+    # -- recording (called from ObservedStatsCollector) -----------------------
+
+    def add(self, predicate: str, module: Module, steps: int) -> None:
+        """Attribute ``steps`` microsteps (exact mode)."""
+        self.samples[(predicate, module)] += steps
+
+    def add_sampled(self, predicate: str, module: Module, steps: int) -> None:
+        """Attribute every Nth emission with weight N (sampling mode)."""
+        self._tick += 1
+        if self._tick >= self.sample_interval:
+            self._tick = 0
+            self.samples[(predicate, module)] += steps * self.sample_interval
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def total_steps(self) -> int:
+        return sum(self.samples.values())
+
+    def by_predicate(self) -> _Counter:
+        totals: _Counter = _Counter()
+        for (predicate, _module), steps in self.samples.items():
+            totals[predicate] += steps
+        return totals
+
+    def by_module(self) -> _Counter:
+        totals: _Counter = _Counter()
+        for (_predicate, module), steps in self.samples.items():
+            totals[module] += steps
+        return totals
+
+    def merge(self, other: "MicroProfile") -> None:
+        self.samples.update(other.samples)
+
+    # -- export ----------------------------------------------------------------
+
+    def collapsed_stacks(self, root: str | None = None) -> list[str]:
+        """Collapsed-stack lines: ``[root;]predicate;module steps``.
+
+        Deterministic order (sorted by stack name) so repeated runs of
+        the same workload produce identical files.
+        """
+        prefix = f"{root};" if root else ""
+        lines = [
+            f"{prefix}{predicate};{module.value} {steps}"
+            for (predicate, module), steps in self.samples.items() if steps
+        ]
+        return sorted(lines)
+
+    def write_collapsed(self, fp: IO[str], root: str | None = None) -> int:
+        lines = self.collapsed_stacks(root)
+        for line in lines:
+            fp.write(line + "\n")
+        return len(lines)
+
+    def top_table(self, top: int = 10) -> str:
+        """Text report: top-N predicates by steps, with module split."""
+        total = self.total_steps
+        if not total:
+            return "no samples"
+        per_pred: dict[str, _Counter] = {}
+        for (predicate, module), steps in self.samples.items():
+            per_pred.setdefault(predicate, _Counter())[module] += steps
+        ranked = sorted(per_pred.items(),
+                        key=lambda kv: (-sum(kv[1].values()), kv[0]))
+        width = max((len(p) for p, _ in ranked[:top]), default=9)
+        width = max(width, len("predicate"))
+        lines = [f"{'predicate':<{width}}  {'steps':>12}  {'%':>6}  modules"]
+        for predicate, modules in ranked[:top]:
+            steps = sum(modules.values())
+            split = ", ".join(
+                f"{module.value} {100.0 * n / steps:.0f}%"
+                for module, n in modules.most_common(3))
+            lines.append(f"{predicate:<{width}}  {steps:>12}  "
+                         f"{100.0 * steps / total:>5.1f}%  {split}")
+        shown = sum(sum(m.values()) for _, m in ranked[:top])
+        if len(ranked) > top:
+            lines.append(f"{'(other)':<{width}}  {total - shown:>12}  "
+                         f"{100.0 * (total - shown) / total:>5.1f}%")
+        lines.append(f"{'total':<{width}}  {total:>12}  100.0%")
+        return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Per-run observability session: the glue between machine and obs.
+
+One :class:`ObsSession` instruments exactly one collected run.  It
+owns the run's :class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.profile.MicroProfile` and per-run
+:class:`~repro.obs.metrics.MetricsRegistry`, and provides the three
+attachment points :func:`repro.tools.collect.collect` uses:
+
+* :attr:`ObsSession.collector` — an :class:`ObservedStatsCollector`
+  (drop-in for :class:`~repro.core.stats.StatsCollector`) that keeps a
+  deterministic microstep clock, attributes every emission to the
+  machine's current ``(predicate, module)`` context, traces predicate
+  slices and sampled microroutine emissions;
+* :meth:`ObsSession.cache_sampler` — a memory listener sampling the
+  online cache's hit ratio over fixed access windows;
+* :attr:`ObsSession.stack_observer` — a
+  :class:`~repro.core.memory.MemorySystem` observer recording
+  stack-area reclaim events (the PSI reclaims stacks by truncation on
+  proceed/TRO/backtrack — it has no garbage collector).
+
+When observability is disabled none of this is constructed: the
+machine runs on the plain collector and the only residue of the
+subsystem is a handful of attribute stores per *call* (never per
+step), measured by the ``obs`` stage of ``scripts/bench_eval.py``.
+
+The finished artifact is a :class:`RunObservation` — trace + profile +
+metrics snapshot — attached to the
+:class:`~repro.tools.collect.CollectedRun` but deliberately **not** to
+its :class:`~repro.tools.collect.RunSummary`: observability output is
+derived from execution and is never stored in the PR-1 disk cache
+(only the picklable metrics snapshot crosses the ``run_many`` worker
+boundary, to be merged into the parent's registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO
+
+from repro.core.stats import StatsCollector
+from repro.core.micro import MEM_ROUTINES, Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import MicroProfile
+from repro.obs.trace import (
+    TRACK_CACHE,
+    TRACK_CALLS,
+    TRACK_MICRO,
+    TRACK_STACKS,
+    Tracer,
+)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of one observability session (see ``docs/OBSERVABILITY.md``)."""
+
+    #: ring-buffer capacity per trace track
+    trace_capacity: int = 65536
+    #: record one microroutine span per this many emissions
+    micro_sample_interval: int = 512
+    #: sample the cache hit ratio once per this many memory accesses
+    cache_window: int = 8192
+    #: profiler attribution: 1 = exact, N > 1 = every Nth emission
+    profile_interval: int = 1
+
+
+class ObservedStatsCollector(StatsCollector):
+    """A stats collector that additionally feeds tracer and profiler.
+
+    The deterministic clock :attr:`now` is the cumulative microstep
+    count of everything emitted so far; all trace timestamps come from
+    it, which is why traces are reproducible bit-for-bit.
+    """
+
+    def __init__(self, tracer: Tracer, profile: MicroProfile,
+                 micro_sample_interval: int = 512):
+        super().__init__()
+        self.tracer = tracer
+        self.profile = profile
+        self.now = 0
+        self._open_pred: str | None = None
+        self._micro_interval = micro_sample_interval
+        self._micro_tick = 0
+        self._attribute = (profile.add if profile.sample_interval == 1
+                           else profile.add_sampled)
+
+    # -- recording overrides ---------------------------------------------------
+
+    def emit(self, routine, times: int = 1) -> None:
+        module = self.module
+        self.routine_counts[(module, routine)] += times
+        steps = routine.n_steps * times
+        pred = self.predicate
+        if pred is not self._open_pred:
+            self._open_pred = pred
+            self.tracer.begin_slice(TRACK_CALLS, pred, self.now)
+        self._attribute(pred, module, steps)
+        self.now += steps
+        self._micro_tick += times
+        if self._micro_tick >= self._micro_interval:
+            self._micro_tick = 0
+            self.tracer.complete(TRACK_MICRO, routine.name,
+                                 self.now - steps, steps,
+                                 {"module": module.value})
+
+    def emit_in(self, module, routine, times: int = 1) -> None:
+        self.routine_counts[(module, routine)] += times
+        steps = routine.n_steps * times
+        self._attribute(self.predicate, module, steps)
+        self.now += steps
+
+    def mem_access(self, cmd, area) -> None:
+        self.mem_counts[(cmd, area)] += 1
+        routine = MEM_ROUTINES[cmd]
+        module = self.module
+        self.routine_counts[(module, routine)] += 1
+        self._attribute(self.predicate, module, routine.n_steps)
+        self.now += routine.n_steps
+
+    def close(self) -> None:
+        """End the open predicate slice at the final clock value."""
+        self.tracer.finish(self.now)
+        self._open_pred = None
+
+
+class StackObserver:
+    """Records stack reclaim events (:meth:`MemorySystem.settop`).
+
+    The PSI frees stack space exclusively by truncation — on proceed,
+    tail-recursion reclaim and backtracking — so each ``settop`` that
+    shrinks an area is one "GC-free" deallocation event: a counter
+    sample of the new top plus the reclaimed word count.
+    """
+
+    __slots__ = ("tracer", "collector")
+
+    def __init__(self, tracer: Tracer, collector: ObservedStatsCollector):
+        self.tracer = tracer
+        self.collector = collector
+
+    def on_settop(self, area, offset: int, old_top: int) -> None:
+        if offset < old_top:
+            self.tracer.counter(TRACK_STACKS, f"top.{area.name.lower()}",
+                                self.collector.now, offset)
+
+
+class CacheWindowSampler:
+    """Memory listener sampling the online cache over access windows.
+
+    Attach *after* the cache listener so each window reflects the
+    cache's state including the access that completed the window.
+    Emits a windowed hit-ratio counter event on the ``cache`` track and
+    feeds the ``psi.cache.window_hit_ratio`` histogram.
+    """
+
+    __slots__ = ("cache", "tracer", "histogram", "collector", "window",
+                 "_n", "_hits", "_misses")
+
+    def __init__(self, cache, tracer: Tracer, histogram,
+                 collector: ObservedStatsCollector, window: int = 8192):
+        self.cache = cache
+        self.tracer = tracer
+        self.histogram = histogram
+        self.collector = collector
+        self.window = window
+        self._n = 0
+        self._hits = 0
+        self._misses = 0
+
+    def access(self, cmd, address) -> None:
+        self._n += 1
+        if self._n < self.window:
+            return
+        self._n = 0
+        stats = self.cache.stats
+        hits, misses = stats.hits, stats.misses
+        window_hits = hits - self._hits
+        window_misses = misses - self._misses
+        self._hits, self._misses = hits, misses
+        accesses = window_hits + window_misses
+        ratio = 100.0 * window_hits / accesses if accesses else 100.0
+        self.tracer.counter(TRACK_CACHE, "hit_ratio",
+                            self.collector.now, round(ratio, 3))
+        self.histogram.observe(ratio)
+
+
+@dataclass
+class RunObservation:
+    """The finished observability artifact of one collected run."""
+
+    goal: str
+    tracer: Tracer
+    profile: MicroProfile
+    metrics_snapshot: dict
+    total_steps: int
+
+    # -- export convenience -----------------------------------------------------
+
+    def write_jsonl(self, fp: IO[str]) -> int:
+        return self.tracer.to_jsonl(fp)
+
+    def write_chrome(self, fp: IO[str], name: str = "PSI") -> int:
+        return self.tracer.to_chrome(fp, process_name=name)
+
+    def write_collapsed(self, fp: IO[str], root: str | None = None) -> int:
+        return self.profile.write_collapsed(fp, root=root)
+
+    def top_table(self, top: int = 10) -> str:
+        return self.profile.top_table(top)
+
+
+class ObsSession:
+    """Instrumentation for one run; see the module docstring."""
+
+    def __init__(self, goal: str, config: ObsConfig | None = None):
+        self.goal = goal
+        self.config = config or ObsConfig()
+        self.tracer = Tracer(capacity=self.config.trace_capacity)
+        self.profile = MicroProfile(self.config.profile_interval)
+        self.metrics = MetricsRegistry()
+        self.collector = ObservedStatsCollector(
+            self.tracer, self.profile,
+            micro_sample_interval=self.config.micro_sample_interval)
+        self.stack_observer = StackObserver(self.tracer, self.collector)
+
+    def cache_sampler(self, cache) -> CacheWindowSampler | None:
+        if cache is None:
+            return None
+        histogram = self.metrics.histogram("psi.cache.window_hit_ratio")
+        return CacheWindowSampler(cache, self.tracer, histogram,
+                                  self.collector,
+                                  window=self.config.cache_window)
+
+    def finish(self, cache=None) -> RunObservation:
+        """Close the trace, derive the per-run metrics, build the artifact."""
+        collector = self.collector
+        collector.close()
+        metrics = self.metrics
+        metrics.counter("psi.runs").inc()
+        metrics.counter("psi.microsteps").inc(collector.total_steps)
+        metrics.counter("psi.inferences").inc(collector.inferences)
+        metrics.counter("psi.builtin_calls").inc(collector.builtin_calls)
+        metrics.counter("psi.mem.accesses").inc(collector.total_mem_accesses)
+        for cmd, count in collector.cache_command_counts().items():
+            metrics.counter(f"psi.mem.cmd.{cmd.value}").inc(count)
+        module_steps = collector.module_steps()
+        for module in Module:
+            metrics.counter(f"psi.module.{module.value}.steps").inc(
+                module_steps.get(module, 0))
+        for field, counts in collector.wf_field_counts().items():
+            for mode, count in counts.items():
+                metrics.counter(f"psi.wf.{field}.{mode.value}").inc(count)
+        if collector.inferences:
+            metrics.gauge("psi.steps_per_inference").set(
+                collector.total_steps / collector.inferences)
+        if cache is not None:
+            stats = cache.stats
+            metrics.counter("psi.cache.hits").inc(stats.hits)
+            metrics.counter("psi.cache.misses").inc(stats.misses)
+            metrics.counter("psi.cache.block_fetches").inc(stats.block_fetches)
+            metrics.counter("psi.cache.writebacks").inc(stats.writebacks)
+            metrics.gauge("psi.cache.hit_ratio").set(stats.hit_ratio)
+        metrics.counter("psi.trace.events").inc(len(self.tracer))
+        metrics.counter("psi.trace.dropped").inc(
+            sum(self.tracer.dropped.values()))
+        return RunObservation(
+            goal=self.goal,
+            tracer=self.tracer,
+            profile=self.profile,
+            metrics_snapshot=metrics.snapshot(),
+            total_steps=collector.total_steps,
+        )

@@ -1,0 +1,304 @@
+"""Structured event tracer: ring-buffered spans on a deterministic clock.
+
+The paper's console tools sampled the PSI's *microinstruction stream*;
+this tracer does the modern equivalent for the reproduction.  Events
+are timestamped in **cumulative microsteps** (the machine's own clock,
+see :class:`~repro.obs.session.ObservedStatsCollector`), never in
+wall-clock time, so two executions of the same workload produce
+byte-identical traces — observability output is a pure function of the
+run, which keeps it compatible with the PR-1 deterministic evaluation
+pipeline (traces are *derived* from execution; they are never stored in
+the run cache).
+
+Event kinds (the ``ph`` field follows the Chrome ``trace_event``
+phases so the export is mechanical):
+
+* ``"X"`` — a *complete span*: something was active from ``ts`` for
+  ``dur`` microsteps (goal-resolution slices per predicate, sampled
+  microroutine emissions);
+* ``"i"`` — an *instant*: a point event (stack reclaims, cache
+  writeback bursts);
+* ``"C"`` — a *counter* sample: a named value over time (windowed
+  cache hit ratio, stack tops).
+
+Events are buffered per track in fixed-capacity :class:`RingBuffer`\\ s
+so tracing arbitrarily long runs is O(capacity) memory; overflow drops
+the *oldest* events and counts them (``dropped``), which a trailing
+``metadata`` record reports.
+
+Exports:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per line, the schema
+  documented in ``docs/OBSERVABILITY.md`` (machine-consumable,
+  round-trips through :func:`read_jsonl`);
+* :meth:`Tracer.to_chrome` — a Chrome ``trace_event`` JSON object
+  (``{"traceEvents": [...]}``) loadable in Perfetto / chrome://tracing,
+  with one nanosecond of display time per :data:`STEP_NS` modelled
+  nanoseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.memsys.timing import CYCLE_NS
+
+#: Modelled nanoseconds per microstep (the PSI's 200 ns cycle).  Chrome
+#: trace timestamps are microseconds, so one microstep renders as
+#: ``CYCLE_NS / 1000`` µs of display time.
+STEP_NS = CYCLE_NS
+
+#: JSONL schema version, carried by the metadata record.
+SCHEMA_VERSION = 1
+
+
+class RingBuffer:
+    """Fixed-capacity event buffer; overflow evicts the oldest entry.
+
+    A plain preallocated list plus a write cursor — appends are O(1)
+    with no per-append allocation beyond the stored tuple, which is
+    what keeps enabled-mode tracing cheap enough to leave on for
+    practical-scale workloads.
+    """
+
+    __slots__ = ("capacity", "_slots", "_next", "_len", "dropped")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._slots: list = [None] * capacity
+        self._next = 0          # next write position
+        self._len = 0           # live entries (<= capacity)
+        self.dropped = 0        # evicted entries
+
+    def append(self, item) -> None:
+        if self._len == self.capacity:
+            self.dropped += 1
+        else:
+            self._len += 1
+        self._slots[self._next] = item
+        self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator:
+        """Yield live entries oldest-first."""
+        if self._len < self.capacity:
+            yield from self._slots[:self._len]
+        else:
+            yield from self._slots[self._next:]
+            yield from self._slots[:self._next]
+
+    def clear(self) -> None:
+        self._slots = [None] * self.capacity
+        self._next = 0
+        self._len = 0
+        self.dropped = 0
+
+
+class TraceEvent:
+    """One trace record.  ``ts``/``dur`` are in microsteps."""
+
+    __slots__ = ("ts", "dur", "ph", "track", "name", "args")
+
+    def __init__(self, ts: int, dur: int, ph: str, track: str, name: str,
+                 args: dict | None = None):
+        self.ts = ts
+        self.dur = dur
+        self.ph = ph
+        self.track = track
+        self.name = name
+        self.args = args
+
+    def to_dict(self) -> dict:
+        record = {"ts": self.ts, "ph": self.ph, "track": self.track,
+                  "name": self.name}
+        if self.ph == "X":
+            record["dur"] = self.dur
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceEvent":
+        return cls(record["ts"], record.get("dur", 0), record["ph"],
+                   record["track"], record["name"], record.get("args"))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent(ts={self.ts}, ph={self.ph!r}, "
+                f"track={self.track!r}, name={self.name!r})")
+
+
+#: The tracks the session instruments.  Anything may open new tracks;
+#: these names are the documented schema.
+TRACK_CALLS = "calls"        # goal-resolution predicate slices
+TRACK_MICRO = "micro"        # sampled microroutine emissions
+TRACK_CACHE = "cache"        # windowed cache transactions
+TRACK_STACKS = "stacks"      # stack-area growth / reclaim events
+
+
+class Tracer:
+    """Collects spans, instants and counter samples into ring buffers."""
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self._buffers: dict[str, RingBuffer] = {}
+        self._open: dict[str, tuple[int, str, dict | None]] = {}
+        self.enabled_tracks: set[str] | None = None   # None = all tracks
+
+    # -- recording -----------------------------------------------------------
+
+    def _buffer(self, track: str) -> RingBuffer:
+        buffer = self._buffers.get(track)
+        if buffer is None:
+            buffer = self._buffers[track] = RingBuffer(self.capacity)
+        return buffer
+
+    def complete(self, track: str, name: str, ts: int, dur: int,
+                 args: dict | None = None) -> None:
+        """Record a complete span (start ``ts``, length ``dur`` steps)."""
+        self._buffer(track).append(TraceEvent(ts, dur, "X", track, name, args))
+
+    def instant(self, track: str, name: str, ts: int,
+                args: dict | None = None) -> None:
+        self._buffer(track).append(TraceEvent(ts, 0, "i", track, name, args))
+
+    def counter(self, track: str, name: str, ts: int, value: float) -> None:
+        self._buffer(track).append(
+            TraceEvent(ts, 0, "C", track, name, {"value": value}))
+
+    def begin_slice(self, track: str, name: str, ts: int,
+                    args: dict | None = None) -> None:
+        """Open a slice on ``track``; implicitly ends any open slice.
+
+        Tracks used through this interface form a flat timeline of
+        back-to-back slices — exactly how the "which predicate is
+        resolving right now" strip is built.
+        """
+        self.end_slice(track, ts)
+        self._open[track] = (ts, name, args)
+
+    def end_slice(self, track: str, ts: int) -> None:
+        open_slice = self._open.pop(track, None)
+        if open_slice is None:
+            return
+        begin, name, args = open_slice
+        if ts > begin:
+            self.complete(track, name, begin, ts - begin, args)
+
+    def finish(self, ts: int) -> None:
+        """Close every open slice at ``ts`` (end of run)."""
+        for track in list(self._open):
+            self.end_slice(track, ts)
+
+    # -- inspection ----------------------------------------------------------
+
+    def events(self, track: str | None = None) -> list[TraceEvent]:
+        """Live events, oldest-first (one track, or all tracks by ts)."""
+        if track is not None:
+            buffer = self._buffers.get(track)
+            return list(buffer) if buffer is not None else []
+        merged = [event for buffer in self._buffers.values()
+                  for event in buffer]
+        merged.sort(key=lambda e: e.ts)
+        return merged
+
+    @property
+    def dropped(self) -> dict[str, int]:
+        return {track: buffer.dropped
+                for track, buffer in self._buffers.items() if buffer.dropped}
+
+    def __len__(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    # -- export --------------------------------------------------------------
+
+    def metadata(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "clock": "microsteps",
+            "step_ns": STEP_NS,
+            "events": len(self),
+            "dropped": self.dropped,
+        }
+
+    def to_jsonl(self, fp: IO[str]) -> int:
+        """Write every event as one JSON object per line.
+
+        The first line is a ``{"meta": {...}}`` header (schema version,
+        clock definition, drop counts); each following line is one
+        :meth:`TraceEvent.to_dict` record.  Returns the event count.
+        """
+        fp.write(json.dumps({"meta": self.metadata()},
+                            separators=(",", ":")) + "\n")
+        events = self.events()
+        for event in events:
+            fp.write(json.dumps(event.to_dict(), separators=(",", ":"),
+                                sort_keys=True) + "\n")
+        return len(events)
+
+    def to_chrome(self, fp: IO[str], process_name: str = "PSI") -> int:
+        """Write a Chrome ``trace_event`` JSON object for Perfetto.
+
+        Each track becomes one thread of pid 0 (named via ``M``
+        metadata events); microstep timestamps convert to microseconds
+        of modelled time (``STEP_NS`` per step).  Returns the event
+        count (excluding metadata events).
+        """
+        scale = STEP_NS / 1000.0     # steps -> trace microseconds
+        track_tids = {}
+        trace_events: list[dict] = [{
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        }]
+        events = self.events()
+        for event in events:
+            tid = track_tids.get(event.track)
+            if tid is None:
+                tid = track_tids[event.track] = len(track_tids) + 1
+                trace_events.append({
+                    "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                    "args": {"name": event.track},
+                })
+            record = {
+                "ph": event.ph,
+                "pid": 0, "tid": tid,
+                "ts": round(event.ts * scale, 3),
+                "name": event.name,
+                "cat": event.track,
+            }
+            if event.ph == "X":
+                record["dur"] = round(max(event.dur, 1) * scale, 3)
+            elif event.ph == "i":
+                record["s"] = "t"
+            if event.args:
+                record["args"] = event.args
+            trace_events.append(record)
+        json.dump({"traceEvents": trace_events,
+                   "displayTimeUnit": "ms",
+                   "metadata": self.metadata()}, fp)
+        return len(events)
+
+
+def read_jsonl(lines: Iterable[str]) -> tuple[dict, list[TraceEvent]]:
+    """Parse :meth:`Tracer.to_jsonl` output back into (metadata, events)."""
+    meta: dict = {}
+    events: list[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "meta" in record and "ph" not in record:
+            meta = record["meta"]
+        else:
+            events.append(TraceEvent.from_dict(record))
+    return meta, events

@@ -14,12 +14,14 @@ goal on :class:`~repro.core.machine.PSIMachine` with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.machine import MachineConfig, PSIMachine
 from repro.core.memory import TraceRecorder
 from repro.core.stats import StatsCollector
 from repro.memsys import Cache, CacheConfig, CacheStats, TimingBreakdown, execution_time
+from repro.obs.session import RunObservation
 
 
 @dataclass
@@ -39,6 +41,11 @@ class CollectedRun:
     trace: TraceRecorder | None
     cache: Cache | None
     machine: PSIMachine | None
+    #: Observability artifact (trace/profile/metrics) when the run was
+    #: collected with :func:`repro.obs.enabled` on; ``None`` otherwise.
+    #: Derived data — excluded from :meth:`to_summary` and therefore
+    #: never pickled to workers or the persistent run cache.
+    observation: RunObservation | None = field(default=None, compare=False)
 
     @property
     def steps(self) -> int:
@@ -61,16 +68,39 @@ class CollectedRun:
         return self.stats.inferences / seconds if seconds else 0.0
 
     def to_summary(self) -> "RunSummary":
-        """Shrink to the picklable hand-off form (drops the machine)."""
+        """Shrink to the picklable hand-off form (drops the machine).
+
+        Also drops the observability artifact and strips an
+        :class:`~repro.obs.session.ObservedStatsCollector` back to the
+        plain base class, so the bytes the persistent run cache stores
+        are identical whether or not the run was observed.
+        """
         return RunSummary(
             goal=self.goal,
             succeeded=self.succeeded,
             solutions=self.solutions,
-            stats=self.stats,
+            stats=_plain_stats(self.stats),
             trace_bytes=self.trace.tobytes() if self.trace is not None else None,
             cache_stats=self.cache.stats if self.cache is not None else None,
             cache_config=self.cache.config if self.cache is not None else None,
         )
+
+
+def _plain_stats(stats: StatsCollector) -> StatsCollector:
+    """Reduce a collector to the exact base class for serialisation.
+
+    An observed collector carries tracer/profiler references that must
+    never reach a pickle (worker hand-off or disk cache); the counters
+    themselves are identical to an unobserved run's, so the copy is
+    bit-for-bit what the plain collector would have held.
+    """
+    if type(stats) is StatsCollector:
+        return stats
+    plain = StatsCollector()
+    plain.merge(stats)
+    plain.module = stats.module
+    plain.predicate = stats.predicate
+    return plain
 
 
 @dataclass
@@ -92,6 +122,12 @@ class RunSummary:
     trace_bytes: bytes | None
     cache_stats: CacheStats | None
     cache_config: CacheConfig | None
+    #: Observability metrics snapshot (plain dict) when the producing
+    #: process ran with obs enabled.  Set only on summaries shipped
+    #: from ``run_many`` workers to the parent — :meth:`to_summary`
+    #: leaves it ``None``, so the persistent run cache (which stores
+    #: ``to_summary()`` output) never contains derived obs data.
+    metrics: dict | None = None
 
     def to_collected_run(self) -> CollectedRun:
         """Rebuild a table-ready :class:`CollectedRun` (``machine=None``)."""
@@ -122,8 +158,11 @@ def collect(program: str, goal: str, *,
     for setup in setup_goals:
         if machine.run(setup) is None:
             raise RuntimeError(f"setup goal failed: {setup}")
-    # Fresh collectors so measurement excludes loading and setup.
-    stats = StatsCollector()
+    # Fresh collectors so measurement excludes loading and setup.  The
+    # enabled() flag is consulted exactly once per run: when off, the
+    # machine gets the plain collector and no obs object exists.
+    session = obs.begin_run(goal) if obs.enabled() else None
+    stats = session.collector if session is not None else StatsCollector()
     machine.stats = stats
     machine.mem.stats = stats
     machine.wf.stats = stats
@@ -133,6 +172,13 @@ def collect(program: str, goal: str, *,
     cache = Cache(cache_config or CacheConfig()) if with_cache else None
     if cache is not None:
         machine.mem.attach(cache)
+    sampler = None
+    if session is not None:
+        machine.mem.observer = session.stack_observer
+        sampler = session.cache_sampler(cache)
+        if sampler is not None:
+            # After the cache, so windows see the completed access.
+            machine.mem.attach(sampler)
 
     solver = machine.solve(goal)
     if all_solutions:
@@ -143,8 +189,16 @@ def collect(program: str, goal: str, *,
         succeeded = solution is not None
         solutions = 1 if succeeded else 0
 
+    if sampler is not None:
+        machine.mem.detach(sampler)
     if trace is not None:
         machine.mem.detach(trace)
     if cache is not None:
         machine.mem.detach(cache)
-    return CollectedRun(goal, succeeded, solutions, stats, trace, cache, machine)
+    observation = None
+    if session is not None:
+        machine.mem.observer = None
+        observation = session.finish(cache)
+        obs.record_run(observation)
+    return CollectedRun(goal, succeeded, solutions, stats, trace, cache,
+                        machine, observation)

@@ -70,6 +70,13 @@ def simulate_many(trace, configs) -> list[CacheStats]:
     capacities this removes 10 redundant decode passes and all
     per-access attribute traffic.  Statistics are bit-identical to
     running :func:`simulate` once per configuration.
+
+    In the evaluation pipeline the trace usually arrives from the
+    persistent run cache (``RunSummary.trace_bytes`` rebuilt by
+    :func:`repro.eval.runner.run_psi`); replay is pure — deterministic
+    in (trace, config) and independent of how the trace was obtained —
+    which is what makes caching the trace instead of the replay results
+    safe.
     """
     entries = _decoded(trace)
     totals = count_entries(entries)

@@ -1,0 +1,144 @@
+"""Metrics registry tests, including parallel-merge == serial equality."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        other = Counter("n")
+        other.inc(2)
+        c.merge_dict(other.to_dict())
+        assert c.value == 7
+
+    def test_gauge_envelope(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.set(2.0)
+        g.set(3.0)
+        assert (g.value, g.min, g.max) == (3.0, 2.0, 5.0)
+
+    def test_gauge_merge_sums_and_widens(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(3.0)
+        b.set(10.0)
+        b.set(7.0)
+        a.merge_dict(b.to_dict())
+        assert (a.value, a.min, a.max) == (10.0, 3.0, 10.0)
+
+    def test_histogram_buckets_upper_inclusive(self):
+        h = Histogram("h", boundaries=(10.0, 20.0))
+        for value in (5.0, 10.0, 15.0, 20.0, 25.0):
+            h.observe(value)
+        assert h.buckets == [2, 2, 1]        # <=10, <=20, overflow
+        assert h.count == 5
+        assert h.mean == pytest.approx(15.0)
+
+    def test_histogram_merge_requires_same_boundaries(self):
+        a = Histogram("h", boundaries=(1.0,))
+        b = Histogram("h", boundaries=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_dict(b.to_dict())
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_kind_clash(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 1
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_merge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(97.0)
+        snapshot = reg.snapshot()
+
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+
+        # Merging the snapshot twice doubles every additive quantity.
+        rebuilt.merge(snapshot)
+        assert rebuilt.value("c") == 6
+        assert rebuilt.value("g") == 3.0
+        assert rebuilt.get("h").count == 2
+
+    def test_snapshot_is_plain_data(self):
+        import json
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(50.0)
+        json.dumps(reg.snapshot())       # must not raise
+
+
+WORKLOADS = ["nreverse", "qsort"]
+
+
+def _metrics_after(run_fn) -> dict:
+    """Global metrics snapshot after running WORKLOADS via ``run_fn``."""
+    from repro.eval import runner
+    runner.clear_cache()
+    runner.set_disk_cache(False)
+    obs.reset()
+    obs.enable()
+    try:
+        run_fn()
+        return obs.global_metrics().snapshot()
+    finally:
+        runner.set_disk_cache(True)
+        runner.clear_cache()
+        obs.reset()
+
+
+def test_parallel_worker_merge_equals_serial():
+    """run_many across processes must aggregate to the serial metrics."""
+    from repro.eval import runner
+
+    def serial():
+        for name in WORKLOADS:
+            runner.run_psi(name, record_trace=False)
+
+    def parallel():
+        runner.run_many(WORKLOADS, jobs=2, record_trace=False)
+
+    serial_snapshot = _metrics_after(serial)
+    parallel_snapshot = _metrics_after(parallel)
+    assert serial_snapshot == parallel_snapshot
+    assert serial_snapshot["psi.runs"]["value"] == len(WORKLOADS)
+    assert serial_snapshot["psi.microsteps"]["value"] > 0
+
+
+def test_cached_runs_contribute_no_metrics(tmp_path, monkeypatch):
+    """A disk-cache hit skips execution, so it adds nothing to metrics."""
+    from repro.eval import runner
+
+    monkeypatch.setenv("PSI_CACHE_DIR", str(tmp_path))
+    runner.clear_cache()
+    runner.set_disk_cache(True)
+    obs.reset()
+    obs.enable()
+    try:
+        runner.run_psi("nreverse")          # miss: executes, records
+        assert obs.global_metrics().value("psi.runs") == 1
+        runner.clear_cache()                # drop the in-memory tier only
+        run = runner.run_psi("nreverse")    # disk hit: no execution
+        assert run.observation is None
+        assert obs.global_metrics().value("psi.runs") == 1
+    finally:
+        runner.clear_cache()
+        obs.reset()
