@@ -18,13 +18,21 @@ Times the three layers this harness optimises and writes the results to
   zero-cost when off, so the script compares the new ``serial_cold_s``
   against the previous ``BENCH_eval.json`` and **fails** if the
   from-scratch pipeline regressed by more than ``--max-regress``
-  percent (default 2).
+  percent (default 2).  The enabled path has a budget too:
+  ``--max-obs-overhead`` (default 60%) fails the run when tracing +
+  profiling cost more than that on top of the disabled interpreter.
+
+Results also **append** to the run-history store
+(``results/history/history.jsonl``, disable with ``--no-history``), so
+``psi-eval history show`` charts the trajectory while
+``BENCH_eval.json`` stays the latest-snapshot view.
 
 Usage::
 
     python scripts/bench_eval.py              # full benchmark (~5 min)
     python scripts/bench_eval.py --replay-only
     python scripts/bench_eval.py --jobs 8 --output BENCH_eval.json
+    python scripts/bench_eval.py --max-obs-overhead 50 --no-history
 """
 
 from __future__ import annotations
@@ -164,6 +172,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regress", type=float, default=2.0, metavar="PCT",
                         help="fail if serial_cold_s regressed more than this "
                              "percent vs the previous results file (default 2)")
+    parser.add_argument("--max-obs-overhead", type=float, default=60.0,
+                        metavar="PCT",
+                        help="fail if the obs-enabled interpreter overhead "
+                             "exceeds this percent of the disabled run "
+                             "(default 60) — the enabled-cost budget beside "
+                             "the zero-cost-when-disabled guarantee")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append the results to the run-history "
+                             "store (results/history/)")
     args = parser.parse_args(argv)
 
     previous = None
@@ -193,7 +210,11 @@ def main(argv: list[str] | None = None) -> int:
           f"enabled {results['obs']['enabled_s']}s  "
           f"(enabled overhead {results['obs']['enabled_overhead_pct']}%)")
 
-    regression = None
+    failures = []
+    overhead = results["obs"]["enabled_overhead_pct"]
+    if overhead > args.max_obs_overhead:
+        failures.append(f"obs enabled overhead {overhead:+.1f}% exceeds the "
+                        f"budget ({args.max_obs_overhead}%)")
     if not args.replay_only:
         print(f"psi-eval all (serial / --jobs {args.jobs} cold / warm)...")
         results["eval_all"] = bench_eval_all(args.jobs)
@@ -209,17 +230,28 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  serial cold vs previous: {delta:+.1f}% "
                   f"({prev_cold}s -> {ea['serial_cold_s']}s)")
             if delta > args.max_regress:
-                regression = (f"serial_cold_s regressed {delta:+.1f}% "
-                              f"(limit {args.max_regress}%) — the disabled "
-                              f"observability path must stay free")
+                failures.append(
+                    f"serial_cold_s regressed {delta:+.1f}% "
+                    f"(limit {args.max_regress}%) — the disabled "
+                    f"observability path must stay free")
 
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
-    if regression is not None:
-        print(f"FAIL: {regression}", file=sys.stderr)
-        return 1
-    return 0
+
+    if not args.no_history:
+        # BENCH_eval.json stays the latest-snapshot view; the history
+        # store keeps the trend (`psi-eval history show`).
+        from repro.eval.history import HistoryStore
+        store = HistoryStore()
+        store.append("bench", {"bench": {
+            key: results[key] for key in ("replay", "obs", "eval_all")
+            if key in results}})
+        print(f"appended bench entry to {store.path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

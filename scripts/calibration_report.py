@@ -3,8 +3,16 @@
 
 Development tool used while calibrating microroutine weights and the
 DEC cost table; the same output is available per-artifact through
-``psi-eval``.  The committed snapshot lives in results/eval_report.txt.
+``psi-eval``.  The committed snapshot lives in results/eval_report.txt
+and is regenerated in CI with ``--output results/eval_report.txt``
+(the job fails on an uncommitted diff, so the checked-in report can
+never go stale).
 """
+
+import argparse
+import io
+import pathlib
+import sys
 
 from repro.eval import (
     ablations,
@@ -19,7 +27,7 @@ from repro.eval import (
 )
 
 
-def main() -> None:
+def render_report(stream) -> None:
     sections = [
         ("table1", lambda: table1.render(table1.generate())),
         ("table2", lambda: table2.render(table2.generate())),
@@ -32,9 +40,26 @@ def main() -> None:
         ("ablations", lambda: ablations.render(ablations.generate())),
     ]
     for name, render in sections:
-        print(f"== {name} ==", flush=True)
-        print(render())
-        print()
+        print(f"== {name} ==", file=stream, flush=True)
+        print(render(), file=stream)
+        print(file=stream)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout "
+                             "(e.g. results/eval_report.txt)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        render_report(sys.stdout)
+        return
+    buffer = io.StringIO()
+    render_report(buffer)
+    path = pathlib.Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buffer.getvalue())
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,16 @@ Usage::
     psi-eval cache clear             # purge .psi-cache/
     psi-eval all --no-disk-cache     # bypass the persistent run cache
     psi-eval table2 --obs            # print aggregate obs metrics after
+    psi-eval fidelity                # paper-drift score, all tables
+    psi-eval fidelity table2 figure1 --json
+    psi-eval fidelity --max-drift 30 # exit 1 when overall drift exceeds 30
+    psi-eval fidelity --append-history
+    psi-eval history show --last 10  # the run-history time series
+    psi-eval history compare -2 -1   # fidelity/bench deltas between entries
+    psi-eval history export out.csv  # flatten the series for plotting
+    psi-eval diff a.profile.json b.profile.json   # differential profile
+    psi-eval diff -2 -1              # same verbs on two history entries
+    psi-eval report --html           # self-contained dashboard (psi-report.html)
 
 Workload runs are cached persistently under ``.psi-cache/`` (keyed by
 workload content + simulator code version), so repeated invocations
@@ -92,12 +102,15 @@ def _profile_workload(args) -> str:
       https://ui.perfetto.dev or chrome://tracing),
     * ``<name>.trace.jsonl`` — the raw JSONL event log,
     * ``<name>.collapsed.txt`` — collapsed stacks for flamegraph tools,
+    * ``<name>.profile.json`` — the profile snapshot ``psi-eval diff``
+      consumes for differential profiling,
 
     and prints the top-N ``(predicate × module)`` step attribution.
     """
     import pathlib
 
     from repro import obs
+    from repro.obs import diffprof
     from repro.tools.collect import collect
     from repro.workloads import get
 
@@ -116,17 +129,20 @@ def _profile_workload(args) -> str:
         chrome_path = out_dir / f"{name}.trace.json"
         jsonl_path = out_dir / f"{name}.trace.jsonl"
         collapsed_path = out_dir / f"{name}.collapsed.txt"
+        snapshot_path = out_dir / f"{name}.profile.json"
         with chrome_path.open("w") as fp:
             observation.write_chrome(fp, name=f"PSI {name}")
         with jsonl_path.open("w") as fp:
             observation.write_jsonl(fp)
         with collapsed_path.open("w") as fp:
             observation.write_collapsed(fp, root=name)
+        diffprof.write_snapshot(snapshot_path, name, observation)
         lines.append(f"== {name} ==")
         lines.append(f"{observation.total_steps} microsteps, "
                      f"{len(observation.tracer)} trace events")
         lines.append(observation.top_table(args.top))
-        lines.append(f"wrote {chrome_path}, {jsonl_path}, {collapsed_path}")
+        lines.append(f"wrote {chrome_path}, {jsonl_path}, {collapsed_path}, "
+                     f"{snapshot_path}")
     return "\n".join(lines)
 
 
@@ -146,6 +162,120 @@ def _cache_admin(args) -> str:
     raise SystemExit(f"unknown cache action {action!r} (use: clear, info)")
 
 
+def _selected_tables(args):
+    """Fidelity table selection: positional names or ``--tables``."""
+    return args.tables or args.programs or None
+
+
+def _fidelity(args):
+    """``psi-eval fidelity``: score every published cell, gate on drift.
+
+    Exits non-zero when overall drift exceeds ``--max-drift`` — the CI
+    fidelity gate.  ``--json`` emits the machine-readable document
+    (schema in ``docs/OBSERVABILITY.md``); ``--append-history`` stores
+    the bounded digest as a run-history entry.
+    """
+    import json
+
+    from repro.obs import fidelity
+
+    report = fidelity.collect(tables=_selected_tables(args),
+                              threshold=args.max_drift
+                              if args.max_drift is not None
+                              else fidelity.DEFAULT_MAX_DRIFT)
+    if args.append_history:
+        from repro.eval.history import HistoryStore
+        store = HistoryStore()
+        store.append("fidelity", {"fidelity": report.history_digest()})
+        print(f"appended fidelity entry to {store.path}", file=sys.stderr)
+    text = (json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            if args.json else report.render())
+    return text, 0 if report.passed else 1
+
+
+def _history(args) -> str:
+    """``psi-eval history show|compare|export``."""
+    from repro.eval import export
+    from repro.eval.history import HistoryStore
+
+    store = HistoryStore()
+    action, *rest = args.programs or ["show"]
+    if action == "show":
+        return store.render(last=args.last)
+    if action == "compare":
+        base = rest[0] if rest else "-2"
+        current = rest[1] if len(rest) > 1 else "-1"
+        try:
+            return store.compare(base, current)
+        except LookupError as exc:
+            raise SystemExit(f"psi-eval history compare: {exc}")
+    if action == "export":
+        if not rest:
+            raise SystemExit("psi-eval history export needs an output path")
+        rows = export.history_to_rows(store.entries())
+        export.write_csv(rows, rest[0])
+        return f"wrote {len(rows)} history row(s) to {rest[0]}"
+    raise SystemExit(f"unknown history action {action!r} "
+                     "(use: show, compare, export)")
+
+
+def _diff(args) -> str:
+    """``psi-eval diff A B``: differential profile between two saved
+    profile snapshots, or fidelity/bench deltas between two history
+    entries — whichever the operands name."""
+    from repro.obs import diffprof
+
+    operands = args.programs or []
+    if len(operands) != 2:
+        raise SystemExit("psi-eval diff needs exactly two operands: two "
+                         "profile snapshot files (psi-eval profile writes "
+                         "<name>.profile.json) or two history entry specs")
+    base, current = operands
+    if diffprof.is_snapshot_file(base) and diffprof.is_snapshot_file(current):
+        return diffprof.diff_snapshot_files(base, current)
+    from repro.eval.history import HistoryStore, render_entry_diff
+    store = HistoryStore()
+    try:
+        return render_entry_diff(store.resolve(base), store.resolve(current),
+                                 base_label=str(base),
+                                 current_label=str(current))
+    except LookupError as exc:
+        raise SystemExit(f"psi-eval diff: {exc} (operands must both be "
+                         "profile snapshot files or history entry specs)")
+
+
+def _report(args):
+    """``psi-eval report [--html]``: the fidelity report, and with
+    ``--html`` the self-contained dashboard written to ``--output``."""
+    import pathlib
+    import time
+
+    from repro.obs import fidelity
+
+    selected = _selected_tables(args)
+    report = fidelity.collect(tables=selected, threshold=args.max_drift
+                              if args.max_drift is not None
+                              else fidelity.DEFAULT_MAX_DRIFT)
+    status = 0 if report.passed else 1
+    if not args.html:
+        return report.render(), status
+
+    from repro.eval.history import HistoryStore
+    from repro.eval.htmlreport import build_dashboard
+
+    wants_figure1 = "figure1" in (selected or fidelity.TABLES)
+    figure1_result = figure1.generate() if wants_figure1 else None
+    html = build_dashboard(
+        report, figure1_result=figure1_result,
+        history_entries=HistoryStore().entries(),
+        generated=time.strftime("%Y-%m-%dT%H:%M:%S"))
+    out = pathlib.Path(args.output)
+    out.write_text(html)
+    return (f"wrote {out} ({len(html)} bytes; overall fidelity score "
+            f"{report.overall_score:.1f}, "
+            f"{'PASS' if report.passed else 'FAIL'})"), status
+
+
 _TARGETS = {
     "table1": lambda args: table1.render(table1.generate(args.programs or None)),
     "table2": lambda args: table2.render(table2.generate()),
@@ -159,7 +289,14 @@ _TARGETS = {
     "run": _run_workload,
     "profile": _profile_workload,
     "cache": _cache_admin,
+    "fidelity": _fidelity,
+    "history": _history,
+    "diff": _diff,
+    "report": _report,
 }
+
+#: Targets ``psi-eval all`` does not expand to (admin/meta commands).
+_NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff", "report")
 
 
 def _target_workloads(target: str, args) -> list[str]:
@@ -186,6 +323,13 @@ def _target_workloads(target: str, args) -> list[str]:
             ablations.POLICY_PROGRAM]
     if target == "run":
         return list(args.programs or ())
+    if target in ("fidelity", "report"):
+        from repro.obs.fidelity import TABLES
+        sub_args = argparse.Namespace(**{**vars(args), "programs": None})
+        names: dict[str, None] = {}
+        for sub in (_selected_tables(args) or TABLES):
+            names.update(dict.fromkeys(_target_workloads(sub, sub_args)))
+        return list(names)
     return []
 
 
@@ -215,6 +359,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: psi-obs/)")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="rows in the 'profile' top-predicates table")
+    parser.add_argument("--json", action="store_true",
+                        help="'fidelity': emit the machine-readable JSON "
+                             "document instead of the text table")
+    parser.add_argument("--max-drift", type=float, default=None,
+                        metavar="PCT",
+                        help="'fidelity'/'report': fail (exit 1) when "
+                             "overall drift exceeds PCT (default: "
+                             "repro.obs.fidelity.DEFAULT_MAX_DRIFT)")
+    parser.add_argument("--tables", nargs="+", default=None, metavar="table",
+                        help="'fidelity'/'report': score only these tables "
+                             "(table1..table7, figure1; same as the "
+                             "positional form)")
+    parser.add_argument("--append-history", action="store_true",
+                        help="'fidelity': append the scored digest to the "
+                             "run-history store (results/history/)")
+    parser.add_argument("--html", action="store_true",
+                        help="'report': write the self-contained HTML "
+                             "dashboard to --output")
+    parser.add_argument("--output", default="psi-report.html", metavar="FILE",
+                        help="'report --html' output path "
+                             "(default: psi-report.html)")
+    parser.add_argument("--last", type=int, default=None, metavar="N",
+                        help="'history show': only the newest N entries")
     return parser
 
 
@@ -232,7 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         obs.enable()
 
     if args.target == "all":
-        targets = [t for t in _TARGETS if t not in ("run", "profile", "cache")]
+        targets = [t for t in _TARGETS if t not in _NON_ALL]
     else:
         targets = [args.target]
 
@@ -243,15 +410,22 @@ def main(argv: list[str] | None = None) -> int:
         if prewarm:
             runner.run_many(prewarm, jobs=args.jobs)
 
+    # Handlers return a string, or (string, exit_code) when the command
+    # carries a gate verdict (fidelity/report); the worst code wins.
+    status = 0
     for name in targets:
-        print(_TARGETS[name](args))
+        result = _TARGETS[name](args)
+        if isinstance(result, tuple):
+            result, code = result
+            status = max(status, code)
+        print(result)
         print()
 
     if args.obs:
         print("== observability metrics ==")
         print(obs.global_metrics().render())
         print()
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -111,6 +111,36 @@ def ablations_to_dict(results: AblationResults) -> dict:
     }
 
 
+def history_to_rows(entries: list[dict]) -> list[dict]:
+    """Flatten run-history entries into a CSV-able time series.
+
+    One row per entry: the stamp columns plus the fidelity overall
+    score/drift and the headline benchmark numbers (absent sections
+    stay empty) — the shape plotting tools want for trend lines.
+    """
+    rows = []
+    for i, entry in enumerate(entries):
+        overall = (entry.get("fidelity") or {}).get("overall") or {}
+        bench = entry.get("bench") or {}
+        eval_all = bench.get("eval_all") or {}
+        obs = bench.get("obs") or {}
+        replay = bench.get("replay") or {}
+        rows.append({
+            "index": i,
+            "ts": entry.get("ts", ""),
+            "kind": entry.get("kind", ""),
+            "git_sha": (entry.get("git_sha") or "")[:12],
+            "code_version": entry.get("code_version", ""),
+            "fidelity_score": overall.get("score", ""),
+            "fidelity_drift": overall.get("drift", ""),
+            "serial_cold_s": eval_all.get("serial_cold_s", ""),
+            "jobs_warm_s": eval_all.get("jobs_warm_s", ""),
+            "obs_overhead_pct": obs.get("enabled_overhead_pct", ""),
+            "replay_speedup": replay.get("speedup", ""),
+        })
+    return rows
+
+
 def write_json(data, path: str | pathlib.Path) -> None:
     """Write any of the ``*_to_dict`` results as JSON."""
     pathlib.Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))

@@ -1,0 +1,380 @@
+"""Self-contained HTML evaluation dashboard (``psi-eval report --html``).
+
+One file, inline CSS and SVG only — no scripts, no external fonts,
+images or stylesheets — so the artifact CI uploads renders anywhere,
+forever, offline (under test: the parsed document must contain zero
+external ``src=``/``href=`` references).  Sections:
+
+* a fidelity **scorecard** — the overall score as the hero figure plus
+  one stat tile per table (score, cells in band, status chip);
+* per table, **paper-vs-measured bar pairs** for the worst-drifting
+  cells, with the full cell set behind a table view;
+* the **Figure 1 cache sweep** as a line chart with the paper's
+  saturation capacity marked;
+* **history sparklines** — fidelity score and benchmark wall-clock
+  over the run-history entries.
+
+Charts follow fixed mark specs (thin bars with rounded data-ends, 2px
+lines, hairline solid gridlines, 2px surface gaps/rings, a legend for
+the two series, selective direct labels) and a colorblind-validated
+palette declared once as CSS custom properties with a dark-mode
+variant; every plotted value is also reachable through the table
+views, so color and hover are never the only channel.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+#: Measured and paper series take categorical slots 1 and 2 (the pair
+#: is CVD-validated in both modes); status colors are the reserved
+#: palette and never reused for series.
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --measured: #2a78d6; --paper: #eb6834;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+  max-width: 980px; margin: 0 auto;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --measured: #3987e5; --paper: #d95926;
+  }
+  :root:where(:not([data-theme="light"])) body { background: #0d0d0d; }
+}
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 15px; font-weight: 600; margin: 28px 0 8px; }
+.sub { color: var(--ink-2); font-size: 13px; margin: 0 0 16px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 12px 0;
+}
+.hero-row { display: flex; gap: 16px; align-items: stretch; flex-wrap: wrap; }
+.hero { flex: 1 1 220px; }
+.hero .value { font-size: 52px; font-weight: 600; line-height: 1.1; }
+.hero .label, .tile .label {
+  color: var(--ink-2); font-size: 13px; margin-bottom: 4px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; min-width: 120px;
+}
+.tile .value { font-size: 24px; font-weight: 600; }
+.tile .detail { color: var(--muted); font-size: 12px; margin-top: 2px; }
+.chip { font-size: 12px; margin-top: 6px; }
+.chip.good    { color: var(--status-good); }
+.chip.warning { color: var(--status-warning); }
+.chip.serious { color: var(--status-serious); }
+.chip.critical{ color: var(--status-critical); }
+.legend { display: flex; gap: 16px; font-size: 12px; color: var(--ink-2);
+          margin: 4px 0 8px; }
+.legend .key { display: inline-block; width: 10px; height: 10px;
+               border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+details { margin-top: 8px; }
+summary { color: var(--ink-2); font-size: 12px; cursor: pointer; }
+table.cells { border-collapse: collapse; font-size: 12px; margin-top: 8px; }
+table.cells th, table.cells td {
+  padding: 3px 10px; text-align: right;
+  font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid);
+}
+table.cells th { color: var(--ink-2); font-weight: 600; }
+table.cells td:first-child, table.cells th:first-child,
+table.cells td:nth-child(2), table.cells th:nth-child(2) { text-align: left; }
+.out-of-band td { color: var(--status-critical); }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+footer { color: var(--muted); font-size: 12px; margin-top: 24px; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value))
+
+
+def _status(score: float) -> tuple[str, str, str]:
+    """(css class, glyph, label) for a fidelity score — icon + label so
+    the state never rides on color alone."""
+    if score >= 80.0:
+        return "good", "&#9679;", "in band"
+    if score >= 50.0:
+        return "warning", "&#9650;", "drifting"
+    return "critical", "&#10007;", "off paper"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 10000:
+        return str(int(value))
+    return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
+
+
+def _round_bar(x: float, y: float, width: float, height: float,
+               fill: str, title: str) -> str:
+    """Horizontal bar: square at the baseline (left), 3px rounded
+    data-end (right); a <title> child is the native hover tooltip."""
+    r = min(3.0, width / 2, height / 2)
+    d = (f"M{x:.1f},{y:.1f} h{max(width - r, 0):.1f} "
+         f"q{r:.1f},0 {r:.1f},{r:.1f} v{max(height - 2 * r, 0):.1f} "
+         f"q0,{r:.1f} -{r:.1f},{r:.1f} h-{max(width - r, 0):.1f} z")
+    return (f'<path d="{d}" fill="{fill}">'
+            f'<title>{_esc(title)}</title></path>')
+
+
+def _legend() -> str:
+    return ('<div class="legend">'
+            '<span><span class="key" style="background:var(--measured)">'
+            '</span>measured</span>'
+            '<span><span class="key" style="background:var(--paper)">'
+            '</span>paper</span></div>')
+
+
+def _table_section(table) -> str:
+    """One fidelity table: paired bars for the worst cells + full table."""
+    cells = sorted(table.cells, key=lambda c: -c.drift)
+    shown = cells[:12]
+    label_w, bar_w, row_h = 210, 380, 32
+    height = len(shown) * row_h + 8
+    peak = max((max(c.measured, c.paper) for c in shown), default=1.0)
+    peak = peak or 1.0
+    scale = bar_w / (peak * 1.08)
+    parts = [f'<svg role="img" width="640" height="{height}" '
+             f'viewBox="0 0 640 {height}" '
+             f'aria-label="{_esc(table.name)} paper vs measured">']
+    for i, cell in enumerate(shown):
+        y = i * row_h + 6
+        name = f"{cell.row} · {cell.col}"
+        parts.append(f'<text x="{label_w - 8}" y="{y + 14}" '
+                     f'text-anchor="end" font-size="12" '
+                     f'fill="var(--ink-2)">{_esc(name)}</text>')
+        # 2px surface gap between the pair: 10px bars, 2px apart.
+        parts.append(_round_bar(label_w, y, cell.measured * scale, 10,
+                                "var(--measured)",
+                                f"{name} measured {cell.measured:g}"))
+        parts.append(_round_bar(label_w, y + 12, cell.paper * scale, 10,
+                                "var(--paper)",
+                                f"{name} paper {cell.paper:g}"))
+        tip = label_w + cell.measured * scale + 6
+        parts.append(f'<text x="{tip:.1f}" y="{y + 9}" font-size="11" '
+                     f'fill="var(--ink-2)">{_fmt(cell.measured)}</text>')
+        parts.append(f'<line x1="{label_w}" y1="{y + 24}" x2="630" '
+                     f'y2="{y + 24}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>' if i < len(shown) - 1 else "")
+    parts.append(f'<line x1="{label_w}" y1="2" x2="{label_w}" '
+                 f'y2="{height - 4}" stroke="var(--axis)" '
+                 f'stroke-width="1"/>')
+    parts.append("</svg>")
+
+    note = (f"showing the {len(shown)} worst-drifting of "
+            f"{len(cells)} cells" if len(cells) > len(shown)
+            else f"all {len(cells)} cells, worst drift first")
+    rows = "".join(
+        f'<tr class="{"" if c.within else "out-of-band"}">'
+        f"<td>{_esc(c.row)}</td><td>{_esc(c.col)}</td>"
+        f"<td>{c.paper:g}</td><td>{c.measured:g}</td>"
+        f"<td>{c.error:.3f}</td><td>{c.drift:.2f}</td>"
+        f"<td>{'yes' if c.within else 'NO'}</td></tr>"
+        for c in cells)
+    status_class, glyph, label = _status(table.score)
+    return (
+        f'<div class="card"><h2 style="margin-top:0">{_esc(table.name)}'
+        f' &mdash; score {table.score:.1f}'
+        f' <span class="chip {status_class}">{glyph} {label}</span></h2>'
+        f'<p class="sub">{table.kind} band, tolerance {table.tolerance:g};'
+        f" {table.within}/{len(table.cells)} cells in band; {note}</p>"
+        f"{_legend()}{''.join(parts)}"
+        f"<details><summary>table view (every cell)</summary>"
+        f'<table class="cells"><tr><th>row</th><th>col</th><th>paper</th>'
+        f"<th>measured</th><th>error</th><th>drift</th><th>in band</th></tr>"
+        f"{rows}</table></details></div>")
+
+
+def _figure1_section(result, paper_saturation: int) -> str:
+    points = result.points
+    if not points:
+        return ""
+    width, height, pad_l, pad_b, pad_t = 640, 240, 56, 36, 14
+    plot_w, plot_h = width - pad_l - 12, height - pad_b - pad_t
+    peak = max(p.improvement_percent for p in points) or 1.0
+    top = peak * 1.1
+    step = plot_w / max(len(points) - 1, 1)
+
+    def xy(i: int, value: float) -> tuple[float, float]:
+        return pad_l + i * step, pad_t + plot_h * (1 - value / top)
+
+    parts = [f'<svg role="img" width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" '
+             f'aria-label="Figure 1 cache sweep">']
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = pad_t + plot_h * (1 - frac)
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" '
+                     f'x2="{width - 12}" y2="{y:.1f}" '
+                     f'stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end" font-size="11" '
+                     f'fill="var(--muted)">{top * frac:.0f}</text>')
+    for i, point in enumerate(points):
+        x, _ = xy(i, 0)
+        parts.append(f'<text x="{x:.1f}" y="{height - 18}" '
+                     f'text-anchor="middle" font-size="11" '
+                     f'fill="var(--muted)">{point.capacity_words}</text>')
+        if point.capacity_words == paper_saturation:
+            parts.append(f'<line x1="{x:.1f}" y1="{pad_t}" x2="{x:.1f}" '
+                         f'y2="{pad_t + plot_h}" stroke="var(--axis)" '
+                         f'stroke-width="1"/>')
+            parts.append(f'<text x="{x + 4:.1f}" y="{pad_t + 12}" '
+                         f'font-size="11" fill="var(--ink-2)">paper '
+                         f"saturation</text>")
+    coords = [xy(i, p.improvement_percent) for i, p in enumerate(points)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    parts.append(f'<polyline points="{polyline}" fill="none" '
+                 f'stroke="var(--measured)" stroke-width="2" '
+                 f'stroke-linejoin="round" stroke-linecap="round"/>')
+    for (x, y), point in zip(coords, points):
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                     f'fill="var(--measured)" stroke="var(--surface-1)" '
+                     f'stroke-width="2"><title>{point.capacity_words} words: '
+                     f"{point.improvement_percent:.1f}% improvement, "
+                     f"{point.hit_ratio:.1f}% hit ratio</title></circle>")
+    x_end, y_end = coords[-1]
+    parts.append(f'<text x="{x_end - 6:.1f}" y="{y_end - 10:.1f}" '
+                 f'text-anchor="end" font-size="11" fill="var(--ink-2)">'
+                 f"{points[-1].improvement_percent:.1f}%</text>")
+    parts.append(f'<line x1="{pad_l}" y1="{pad_t + plot_h}" '
+                 f'x2="{width - 12}" y2="{pad_t + plot_h}" '
+                 f'stroke="var(--axis)" stroke-width="1"/>')
+    parts.append(f'<text x="{width - 12}" y="{height - 2}" '
+                 f'text-anchor="end" font-size="11" fill="var(--muted)">'
+                 f"cache capacity (words)</text>")
+    parts.append("</svg>")
+    rows = "".join(
+        f"<tr><td>{p.capacity_words}</td><td>{p.hit_ratio:.1f}</td>"
+        f"<td>{p.improvement_percent:.1f}</td></tr>" for p in points)
+    return (
+        f'<div class="card"><h2 style="margin-top:0">Figure 1 &mdash; '
+        f"improvement vs cache capacity (WINDOW)</h2>"
+        f'<p class="sub">measured sweep; saturates at '
+        f"~{result.saturation_capacity} words (paper: near "
+        f"{paper_saturation})</p>{''.join(parts)}"
+        f"<details><summary>table view</summary>"
+        f'<table class="cells"><tr><th>capacity (words)</th>'
+        f"<th>hit ratio %</th><th>improvement %</th></tr>{rows}</table>"
+        f"</details></div>")
+
+
+def _sparkline(values: list[float], label: str, unit: str = "") -> str:
+    if not values:
+        return ""
+    shown = values[-24:]
+    width, height, pad = 220, 48, 6
+    low, high = min(shown), max(shown)
+    span = (high - low) or 1.0
+    step = (width - 2 * pad) / max(len(shown) - 1, 1)
+
+    def xy(i: int, value: float) -> tuple[float, float]:
+        return (pad + i * step,
+                pad + (height - 2 * pad) * (1 - (value - low) / span))
+
+    coords = [xy(i, v) for i, v in enumerate(shown)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    x_end, y_end = coords[-1]
+    return (
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" aria-label="{_esc(label)}">'
+        f'<polyline points="{polyline}" fill="none" stroke="var(--muted)" '
+        f'stroke-width="2" stroke-linejoin="round" '
+        f'stroke-linecap="round"/>'
+        f'<circle cx="{x_end:.1f}" cy="{y_end:.1f}" r="4" '
+        f'fill="var(--measured)" stroke="var(--surface-1)" '
+        f'stroke-width="2"/></svg>'
+        f'<div class="detail">latest {_fmt(shown[-1])}{unit} '
+        f"over {len(shown)} entr{'y' if len(shown) == 1 else 'ies'}</div>"
+        f"</div>")
+
+
+def _history_section(entries: list[dict]) -> str:
+    scores = [((e.get("fidelity") or {}).get("overall") or {}).get("score")
+              for e in entries]
+    scores = [s for s in scores if isinstance(s, (int, float))]
+    colds = [((e.get("bench") or {}).get("eval_all") or {})
+             .get("serial_cold_s") for e in entries]
+    colds = [c for c in colds if isinstance(c, (int, float))]
+    overheads = [((e.get("bench") or {}).get("obs") or {})
+                 .get("enabled_overhead_pct") for e in entries]
+    overheads = [o for o in overheads if isinstance(o, (int, float))]
+    sparks = "".join(filter(None, (
+        _sparkline(scores, "fidelity score"),
+        _sparkline(colds, "eval all, serial cold", " s"),
+        _sparkline(overheads, "obs enabled overhead", " %"))))
+    if not sparks:
+        return ""
+    return (f'<div class="card"><h2 style="margin-top:0">history</h2>'
+            f'<p class="sub">trajectory over the run-history entries '
+            f"(results/history)</p>"
+            f'<div class="tiles">{sparks}</div></div>')
+
+
+def build_dashboard(report, figure1_result=None,
+                    history_entries: list[dict] | None = None,
+                    generated: str | None = None) -> str:
+    """Assemble the full dashboard document as one HTML string."""
+    from repro.eval import paper_data
+
+    tiles = []
+    for table in report.tables:
+        status_class, glyph, label = _status(table.score)
+        tiles.append(
+            f'<div class="tile"><div class="label">{_esc(table.name)}</div>'
+            f'<div class="value">{table.score:.0f}</div>'
+            f'<div class="detail">{table.within}/{len(table.cells)} cells '
+            f"in band</div>"
+            f'<div class="chip {status_class}">{glyph} {label}</div></div>')
+    verdict_class, verdict_glyph, _ = _status(report.overall_score)
+    verdict = ("PASS" if report.passed else "FAIL")
+    sections = [
+        f'<div class="card hero-row"><div class="hero">'
+        f'<div class="label">overall fidelity score</div>'
+        f'<div class="value">{report.overall_score:.1f}</div>'
+        f'<div class="detail sub">{report.total_within}/{report.total_cells} '
+        f"cells in band &middot; drift {report.overall_drift:.1f} vs "
+        f"threshold {report.threshold:g} &middot; "
+        f'<span class="chip {verdict_class}">{verdict_glyph} {verdict}'
+        f"</span></div></div>"
+        f'<div class="tiles">{"".join(tiles)}</div></div>']
+    if history_entries:
+        sections.append(_history_section(history_entries))
+    for table in report.tables:
+        sections.append(_table_section(table))
+    if figure1_result is not None:
+        sections.append(_figure1_section(
+            figure1_result, paper_data.FIGURE1_SATURATION_WORDS))
+    stamp = f" &middot; generated {_esc(generated)}" if generated else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        "<title>PSI reproduction fidelity</title>"
+        f"<style>{_CSS}</style></head>"
+        f'<body><div class="viz-root">'
+        f"<h1>PSI reproduction &mdash; fidelity dashboard</h1>"
+        f'<p class="sub">measured vs the paper\'s Tables 1&ndash;7 and '
+        f"Figure 1; score = percent of published cells the reproduction "
+        f"lands inside the tolerance band{stamp}</p>"
+        f"{''.join(sections)}"
+        f"<footer>self-contained artifact: inline CSS/SVG only, no "
+        f"scripts, no external references.</footer>"
+        f"</div></body></html>\n")

@@ -154,3 +154,27 @@ MULTIWAY_RATE_RANGE = (13.0, 14.0)
 
 #: §3.2: builtin call rate among all predicate calls.
 BUILTIN_CALL_RATE = {"window": 82.0, "bup": 65.0}
+
+# -- Fidelity tolerance bands (consumed by repro.obs.fidelity) ----------------
+#
+# Per-table drift judgement: ``kind`` selects the error formula —
+# ``"ratio"`` is relative error against the paper's value (unitless
+# quantities like Table 1's DEC/PSI ratios or Table 5's hit ratios,
+# where the paper value's magnitude is the natural yardstick), and
+# ``"percent"`` is the absolute percentage-point difference (the
+# exact-count frequency tables, where 2% vs 4% is a 2-point miss, not a
+# 100% one).  ``tolerance`` is the error at which a cell counts as
+# drifted: a cell's drift is ``error / tolerance``, so 1.0 is the band
+# edge.  The bands are calibration targets, not guarantees — tighten
+# them as the reproduction closes on the paper.
+
+FIDELITY_BANDS = {
+    "table1": {"kind": "ratio", "tolerance": 0.25},
+    "table2": {"kind": "percent", "tolerance": 10.0},
+    "table3": {"kind": "percent", "tolerance": 6.0},
+    "table4": {"kind": "percent", "tolerance": 10.0},
+    "table5": {"kind": "ratio", "tolerance": 0.05},
+    "table6": {"kind": "percent", "tolerance": 8.0},
+    "table7": {"kind": "percent", "tolerance": 5.0},
+    "figure1": {"kind": "ratio", "tolerance": 1.0},
+}

@@ -27,11 +27,18 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 def _cell(value: object) -> str:
     if isinstance(value, float):
-        if value == 0:
+        # Format the magnitude, then re-apply the sign: negatives get
+        # exactly the positive rendering plus "-", and anything that
+        # rounds to zero collapses to "0.0" (never "-0.00").
+        magnitude = abs(value)
+        if magnitude < 0.005:
             return "0.0"
-        if abs(value) < 0.1:
-            return f"{value:.2f}"
-        return f"{value:.1f}" if abs(value) < 1000 else f"{value:.0f}"
+        if magnitude < 0.1:
+            text = f"{magnitude:.2f}"
+        else:
+            text = (f"{magnitude:.1f}" if magnitude < 1000
+                    else f"{magnitude:.0f}")
+        return f"-{text}" if value < 0 else text
     if value is None:
         return "-"
     return str(value)

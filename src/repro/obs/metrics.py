@@ -28,6 +28,8 @@ documented in ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import json
+import pathlib
 from bisect import bisect_left
 
 
@@ -122,6 +124,39 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimated value at/below which ``q``% of observations fall.
+
+        Bucket-based (Prometheus-style): linear interpolation inside
+        the containing bucket, with the first bucket's lower edge
+        clamped to 0 for positive scales (or to the bucket's own upper
+        edge when that is negative), and the overflow bucket reported
+        as the largest boundary — the estimator cannot see past it.
+        Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return None
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if cumulative + n >= target:
+                if i >= len(self.boundaries):      # overflow bucket
+                    return (float(self.boundaries[-1])
+                            if self.boundaries else self.mean)
+                upper = float(self.boundaries[i])
+                lower = (float(self.boundaries[i - 1]) if i
+                         else min(0.0, upper))
+                fraction = max(target - cumulative, 0.0) / n
+                return lower + (upper - lower) * fraction
+            cumulative += n
+        # q == 0 with all mass above the first occupied bucket's start.
+        return (float(self.boundaries[-1])
+                if self.boundaries else self.mean)
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, "boundaries": list(self.boundaries),
                 "buckets": list(self.buckets),
@@ -214,6 +249,17 @@ class MetricsRegistry:
         registry = cls()
         registry.merge(snapshot)
         return registry
+
+    def save(self, path) -> None:
+        """Persist the snapshot as JSON (for ``psi-eval diff``)."""
+        pathlib.Path(path).write_text(json.dumps(
+            {"kind": "metrics", "schema": 1, "metrics": self.snapshot()},
+            indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "MetricsRegistry":
+        data = json.loads(pathlib.Path(path).read_text())
+        return cls.from_snapshot(data["metrics"])
 
     def clear(self) -> None:
         self._metrics.clear()

@@ -32,6 +32,8 @@ Outputs:
 
 from __future__ import annotations
 
+import json
+import pathlib
 from collections import Counter as _Counter
 from typing import IO
 
@@ -84,6 +86,35 @@ class MicroProfile:
 
     def merge(self, other: "MicroProfile") -> None:
         self.samples.update(other.samples)
+
+    # -- snapshot (differential profiling, `psi-eval diff`) --------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot: sorted ``[predicate, module, steps]``
+        triples plus the total, losslessly invertible by :meth:`from_dict`."""
+        samples = sorted(
+            ([predicate, module.value, steps]
+             for (predicate, module), steps in self.samples.items() if steps),
+        )
+        return {"kind": "micro_profile", "schema": 1,
+                "sample_interval": self.sample_interval,
+                "total_steps": self.total_steps,
+                "samples": samples}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MicroProfile":
+        profile = cls(data.get("sample_interval", 1))
+        for predicate, module_value, steps in data["samples"]:
+            profile.samples[(predicate, Module(module_value))] += steps
+        return profile
+
+    def save(self, path) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "MicroProfile":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
     # -- export ----------------------------------------------------------------
 

@@ -10,6 +10,19 @@ class TestCellFormatting:
         assert _cell(1234.5) == "1234"
         assert _cell(0.0) == "0.0"
 
+    def test_negative_floats_mirror_positives(self):
+        # Drift deltas are often small and negative: a negative must
+        # render exactly as its positive counterpart plus the sign.
+        for value in (0.04, 0.07, 3.14159, 1234.5):
+            assert _cell(-value) == "-" + _cell(value)
+
+    def test_tiny_values_collapse_to_zero_without_sign(self):
+        # Anything that would round to zero is plain "0.0" — never the
+        # "-0.00" the old per-branch formatting produced.
+        assert _cell(-0.004) == "0.0"
+        assert _cell(0.004) == "0.0"
+        assert _cell(-0.0) == "0.0"
+
     def test_none_renders_dash(self):
         assert _cell(None) == "-"
 

@@ -54,6 +54,77 @@ class TestInstruments:
             a.merge_dict(b.to_dict())
 
 
+class TestHistogramPercentile:
+    def test_empty_histogram_returns_none(self):
+        h = Histogram("h")
+        assert h.percentile(50) is None
+        assert h.percentile(0) is None
+
+    def test_out_of_range_quantile_raises(self):
+        h = Histogram("h")
+        h.observe(50.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+
+    def test_single_sample_stays_inside_its_bucket(self):
+        h = Histogram("h", boundaries=(10.0, 20.0))
+        h.observe(15.0)                     # lands in (10, 20]
+        for q in (0, 50, 100):
+            p = h.percentile(q)
+            assert 10.0 <= p <= 20.0
+
+    def test_single_sample_in_first_bucket_clamps_at_zero(self):
+        h = Histogram("h", boundaries=(10.0, 20.0))
+        h.observe(5.0)
+        assert 0.0 <= h.percentile(50) <= 10.0
+
+    def test_overflow_bucket_reports_largest_boundary(self):
+        # The estimator cannot see past the last boundary.
+        h = Histogram("h", boundaries=(10.0,))
+        h.observe(1000.0)
+        assert h.percentile(99) == 10.0
+
+    def test_boundaryless_histogram_falls_back_to_mean(self):
+        h = Histogram("h", boundaries=())
+        h.observe(3.0)
+        h.observe(5.0)
+        assert h.percentile(50) == pytest.approx(4.0)
+
+    def test_interpolation_is_monotonic(self):
+        h = Histogram("h", boundaries=(10.0, 20.0, 30.0))
+        for value in (5.0, 12.0, 15.0, 22.0, 28.0, 29.0):
+            h.observe(value)
+        quantiles = [h.percentile(q) for q in (10, 25, 50, 75, 90, 100)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] <= 30.0
+
+    def test_merged_snapshot_percentiles_match_union(self):
+        # run_many folds worker snapshots into the parent registry; a
+        # percentile of the merged histogram must equal the percentile
+        # of one histogram fed every observation directly.
+        parts = ([12.0, 55.0, 81.0], [91.0, 97.0, 99.2], [50.0, 85.0])
+        workers = []
+        for values in parts:
+            h = Histogram("h")
+            for value in values:
+                h.observe(value)
+            workers.append(h)
+
+        merged = Histogram("h")
+        for worker in workers:
+            merged.merge_dict(worker.to_dict())
+        direct = Histogram("h")
+        for values in parts:
+            for value in values:
+                direct.observe(value)
+
+        assert merged.to_dict() == direct.to_dict()
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert merged.percentile(q) == pytest.approx(direct.percentile(q))
+
+
 class TestRegistry:
     def test_create_on_first_use_and_kind_clash(self):
         reg = MetricsRegistry()
