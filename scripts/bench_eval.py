@@ -12,6 +12,12 @@ Times the three layers this harness optimises and writes the results to
   serial without the disk cache (the from-scratch path), ``--jobs N``
   cold (first parallel run, populates ``.psi-cache``), and ``--jobs N``
   warm (disk cache hot — the steady state of repeated invocations).
+* **throughput** — interpreter steps per second (obs off and on) on a
+  cheap workload.  A *rate*, so it tracks the emission hot path's cost
+  per step independent of workload-set changes; the run **fails** when
+  the obs-off rate drops more than ``--max-regress`` percent below the
+  previous ``BENCH_eval.json``.  ``--throughput-only`` runs just this
+  stage — the CI perf-smoke mode.
 * **obs** — interpreter wall-clock with the observability layer
   (:mod:`repro.obs`) disabled vs enabled, on one mid-size workload.
   The disabled number is the one that matters: observability must be
@@ -19,7 +25,7 @@ Times the three layers this harness optimises and writes the results to
   against the previous ``BENCH_eval.json`` and **fails** if the
   from-scratch pipeline regressed by more than ``--max-regress``
   percent (default 2).  The enabled path has a budget too:
-  ``--max-obs-overhead`` (default 60%) fails the run when tracing +
+  ``--max-obs-overhead`` (default 45%) fails the run when tracing +
   profiling cost more than that on top of the disabled interpreter.
 
 Results also **append** to the run-history store
@@ -31,6 +37,7 @@ Usage::
 
     python scripts/bench_eval.py              # full benchmark (~5 min)
     python scripts/bench_eval.py --replay-only
+    python scripts/bench_eval.py --throughput-only   # CI perf smoke
     python scripts/bench_eval.py --jobs 8 --output BENCH_eval.json
     python scripts/bench_eval.py --max-obs-overhead 50 --no-history
 """
@@ -161,22 +168,64 @@ def bench_obs(workload_name: str = "window-1", repeats: int = 3) -> dict:
     }
 
 
+def bench_throughput(workload_name: str = "qsort", repeats: int = 5) -> dict:
+    """Interpreter throughput: microinstruction steps emitted per second.
+
+    Unlike the wall-clock stages this is a *rate*, so it is comparable
+    across PRs even when the workload set changes: the step count is a
+    property of the modelled machine (pinned by the golden-digest
+    tests), so steps/s moves only when the hot path's real cost per
+    emitted step moves.  Measured obs-off and obs-on (best of
+    ``repeats``), on a cheap workload so the CI perf-smoke job stays
+    fast.
+    """
+    from repro import obs
+    from repro.tools.collect import collect
+    from repro.workloads import get
+
+    workload = get(workload_name)
+
+    def run_once() -> tuple[float, int]:
+        t0 = time.perf_counter()
+        run = collect(workload.source, workload.goal,
+                      all_solutions=workload.all_solutions,
+                      record_trace=False,
+                      setup_goals=workload.setup_goals)
+        return time.perf_counter() - t0, run.stats.total_steps
+
+    run_once()                       # warm-up: imports, code objects
+    disabled_s, steps = min(run_once() for _ in range(repeats))
+    with obs.observed():
+        enabled_s, _ = min(run_once() for _ in range(repeats))
+    obs.reset()
+    return {
+        "workload": workload_name,
+        "steps": steps,
+        "disabled_steps_per_sec": round(steps / disabled_s),
+        "enabled_steps_per_sec": round(steps / enabled_s),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
                         help="process count for the parallel stage (default 4)")
     parser.add_argument("--replay-only", action="store_true",
                         help="skip the (slow) psi-eval all stage")
+    parser.add_argument("--throughput-only", action="store_true",
+                        help="run only the steps/s stage and its floor "
+                             "check — the CI perf-smoke mode; does not "
+                             "rewrite the snapshot file")
     parser.add_argument("--output", default=str(REPO / "BENCH_eval.json"),
                         help="where to write the results JSON")
     parser.add_argument("--max-regress", type=float, default=2.0, metavar="PCT",
                         help="fail if serial_cold_s regressed more than this "
                              "percent vs the previous results file (default 2)")
-    parser.add_argument("--max-obs-overhead", type=float, default=60.0,
+    parser.add_argument("--max-obs-overhead", type=float, default=45.0,
                         metavar="PCT",
                         help="fail if the obs-enabled interpreter overhead "
                              "exceeds this percent of the disabled run "
-                             "(default 60) — the enabled-cost budget beside "
+                             "(default 45) — the enabled-cost budget beside "
                              "the zero-cost-when-disabled guarantee")
     parser.add_argument("--no-history", action="store_true",
                         help="do not append the results to the run-history "
@@ -198,6 +247,32 @@ def main(argv: list[str] | None = None) -> int:
         "cpus": os.cpu_count(),
     }
 
+    failures = []
+
+    print("throughput stage (interpreter steps/s, obs off vs on)...")
+    results["throughput"] = bench_throughput()
+    tp = results["throughput"]
+    print(f"  disabled {tp['disabled_steps_per_sec']:,} steps/s  "
+          f"enabled {tp['enabled_steps_per_sec']:,} steps/s  "
+          f"({tp['steps']:,} steps, workload {tp['workload']})")
+    prev_tp = ((previous or {}).get("throughput") or {}) \
+        .get("disabled_steps_per_sec")
+    if prev_tp:
+        delta = 100.0 * (tp["disabled_steps_per_sec"] - prev_tp) / prev_tp
+        tp["vs_previous_pct"] = round(delta, 1)
+        print(f"  disabled steps/s vs previous: {delta:+.1f}% "
+              f"({prev_tp:,} -> {tp['disabled_steps_per_sec']:,})")
+        if delta < -args.max_regress:
+            failures.append(
+                f"disabled throughput dropped {delta:+.1f}% below the "
+                f"recorded floor (limit -{args.max_regress}%) — the "
+                f"emission hot path slowed down")
+
+    if args.throughput_only:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
     print("replay stage (Figure 1 + ablations, 15 configurations)...")
     results["replay"] = bench_replay()
     print(f"  per-config {results['replay']['per_config_s']}s  "
@@ -210,7 +285,6 @@ def main(argv: list[str] | None = None) -> int:
           f"enabled {results['obs']['enabled_s']}s  "
           f"(enabled overhead {results['obs']['enabled_overhead_pct']}%)")
 
-    failures = []
     overhead = results["obs"]["enabled_overhead_pct"]
     if overhead > args.max_obs_overhead:
         failures.append(f"obs enabled overhead {overhead:+.1f}% exceeds the "
@@ -245,7 +319,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval.history import HistoryStore
         store = HistoryStore()
         store.append("bench", {"bench": {
-            key: results[key] for key in ("replay", "obs", "eval_all")
+            key: results[key]
+            for key in ("throughput", "replay", "obs", "eval_all")
             if key in results}})
         print(f"appended bench entry to {store.path}")
 

@@ -54,8 +54,63 @@ from repro.prolog.terms import Atom, Struct, Term, Var, term_variables
 
 _REF = Tag.REF
 _UNDEF = Tag.UNDEF
+_HEAP = int(Area.HEAP)
+_GLOBAL = int(Area.GLOBAL)
 _LOCAL = int(Area.LOCAL)
+_CONTROL = int(Area.CONTROL)
+_TRAIL = int(Area.TRAIL)
 _NO_CELLS: list[int] = []
+
+# Hot-path aliases: one global load instead of a module + attribute
+# chain per emission site.  Same objects — billing is unchanged.
+_M_CONTROL = Module.CONTROL
+_M_UNIFY = Module.UNIFY
+_M_TRAIL = Module.TRAIL
+_M_CUT = Module.CUT
+_M_BUILT = Module.BUILT
+_M_GET_ARG = Module.GET_ARG
+_R_GOAL_FETCH = micro.R_GOAL_FETCH
+_R_CALL_SETUP = micro.R_CALL_SETUP
+_R_BUILTIN_STEP = micro.R_BUILTIN_STEP
+_R_PROC_LOOKUP = micro.R_PROC_LOOKUP
+_R_CP_PUSH = micro.R_CP_PUSH
+_R_WF_GENERAL = micro.R_WF_GENERAL
+_R_CLAUSE_TRY = micro.R_CLAUSE_TRY
+_R_FRAME_ALLOC = micro.R_FRAME_ALLOC
+_R_FRAME_INIT_SLOT = micro.R_FRAME_INIT_SLOT
+_R_BUILD_VAR = micro.R_BUILD_VAR
+_R_BUILD_CELL = micro.R_BUILD_CELL
+_R_TRAIL_PUSH = micro.R_TRAIL_PUSH
+_R_TRAIL_BUF = micro.R_TRAIL_BUF
+_R_TRAIL_SKIP = micro.R_TRAIL_SKIP
+_R_UNTRAIL_ENTRY = micro.R_UNTRAIL_ENTRY
+_R_ENV_PUSH = micro.R_ENV_PUSH
+_R_ENV_POP = micro.R_ENV_POP
+_R_PROCEED = micro.R_PROCEED
+_R_TRO = micro.R_TRO
+_R_BACKTRACK = micro.R_BACKTRACK
+_R_FAIL_DISPATCH = micro.R_FAIL_DISPATCH
+_R_CP_RESTORE = micro.R_CP_RESTORE
+_R_CUT = micro.R_CUT
+_R_CUT_POP_CP = micro.R_CUT_POP_CP
+_R_DEREF_STEP = micro.R_DEREF_STEP
+_R_BIND = micro.R_BIND
+_R_UNIFY_DISPATCH = micro.R_UNIFY_DISPATCH
+_R_UNIFY_CONST = micro.R_UNIFY_CONST
+_R_UNIFY_LIST = micro.R_UNIFY_LIST
+_R_UNIFY_STRUCT = micro.R_UNIFY_STRUCT
+_R_UNIFY_RETURN = micro.R_UNIFY_RETURN
+_R_DECODE = micro.R_DECODE
+_R_DECODE_PACKED = micro.R_DECODE_PACKED
+_R_DECODE_OPCODE = micro.R_DECODE_OPCODE
+_R_GET_ARG = micro.R_GET_ARG
+_R_GET_ARG_PACKED = micro.R_GET_ARG_PACKED
+_R_GET_ARG_VAR_MEM = micro.R_GET_ARG_VAR_MEM
+_R_GET_ARG_VAR_BUF = micro.R_GET_ARG_VAR_BUF
+_R_GET_ARG_VAR_BUF_BASE = micro.R_GET_ARG_VAR_BUF_BASE
+_R_PUT_ARG = micro.R_PUT_ARG
+_R_BUILTIN_ENTRY = micro.R_BUILTIN_ENTRY
+_R_BUILTIN_EXIT = micro.R_BUILTIN_EXIT
 
 
 class Frame:
@@ -132,6 +187,8 @@ class ChoicePoint:
 CONTROL_FRAME_WORDS = 10
 #: Words re-read from a control frame when resuming / restoring.
 CONTROL_RESUME_READS = 4
+#: The placeholder image of one control frame, pushed as a block.
+_CONTROL_FRAME_IMAGE = tuple((Tag.INT, i) for i in range(CONTROL_FRAME_WORDS))
 
 
 @dataclass
@@ -229,6 +286,8 @@ class PSIMachine:
     def _run(self) -> bool:
         """Drive execution until success (continuation empty) or failure."""
         stats = self.stats
+        emit = stats.emit
+        mem_read = self.mem.read
         while True:
             env = self.cur_env
             if env is None:
@@ -238,9 +297,9 @@ class PSIMachine:
                 continue
             goal = env.goals[self.cur_index]
             self.cur_index += 1
-            stats.module = Module.CONTROL
-            stats.emit(micro.R_GOAL_FETCH)
-            self.mem.read(Area.HEAP, goal.addr)
+            stats.module = _M_CONTROL
+            emit(_R_GOAL_FETCH)
+            mem_read(_HEAP, goal.addr)
             kind = goal.__class__
             if kind is CallGoal:
                 if not self._dispatch_call(goal, env):
@@ -268,8 +327,8 @@ class PSIMachine:
 
     def _dispatch_call(self, goal: CallGoal, env: Env) -> bool:
         stats = self.stats
-        stats.emit(micro.R_CALL_SETUP)
-        stats.emit(micro.R_BUILTIN_STEP, self.config.call_overhead_steps // 2 or 1)
+        stats.emit(_R_CALL_SETUP)
+        stats.emit(_R_BUILTIN_STEP, self.config.call_overhead_steps // 2 or 1)
         stats.inferences += 1
         proc = goal.proc
         if proc is None:
@@ -277,12 +336,14 @@ class PSIMachine:
             if proc is None:
                 raise ExistenceError(goal.functor, goal.arity)
             goal.proc = proc
-        stats.emit(micro.R_PROC_LOOKUP)
-        self.mem.read(Area.HEAP, proc.descriptor_base)
+        stats.emit(_R_PROC_LOOKUP)
+        self.mem.read(_HEAP, proc.descriptor_base)
         # Evaluate arguments into registers (call machinery: control).
-        args = tuple(self._put_arg(node, env.frame, Module.CONTROL)
-                     for node in goal.args)
-        stats.module = Module.CONTROL
+        frame = env.frame
+        put_arg = self._put_arg
+        args = tuple([put_arg(node, frame, _M_CONTROL)
+                      for node in goal.args])
+        stats.module = _M_CONTROL
         if goal.is_last:
             parent = env.parent
             parent_index = env.parent_index
@@ -309,18 +370,18 @@ class PSIMachine:
     def _push_choice_point(self, proc: Procedure, args: tuple,
                            parent_env: Env | None, parent_index: int) -> None:
         stats = self.stats
-        stats.emit(micro.R_CP_PUSH)
-        stats.emit(micro.R_WF_GENERAL)
-        control_base = self.mem.top(Area.CONTROL)
+        stats.emit(_R_CP_PUSH)
+        stats.emit(_R_WF_GENERAL)
+        mem = self.mem
+        control_base = mem.top(_CONTROL)
         cp = ChoicePoint(
             proc, 1, args, parent_env, parent_index,
             trail_top=len(self.trail),
-            global_top=self.mem.top(Area.GLOBAL),
-            local_top=self.mem.top(Area.LOCAL),
+            global_top=mem.top(_GLOBAL),
+            local_top=mem.top(_LOCAL),
             control_base=control_base,
         )
-        for i in range(CONTROL_FRAME_WORDS):
-            self.mem.write_stack(Area.CONTROL, (Tag.INT, i))
+        mem.write_stack_block(_CONTROL, _CONTROL_FRAME_IMAGE)
         self.cp_stack.append(cp)
 
     def _activate(self, clause: Clause, args: tuple, parent_env: Env | None,
@@ -331,18 +392,19 @@ class PSIMachine:
         the trail/choice-point machinery to undo.
         """
         stats = self.stats
-        stats.module = Module.CONTROL
-        stats.emit(micro.R_CLAUSE_TRY)
+        stats.module = _M_CONTROL
+        stats.emit(_R_CLAUSE_TRY)
         self.call_count += 1
         if self.call_count > self.config.max_calls:
             raise ResourceLimitExceeded(f"activation limit exceeded ({self.call_count})")
-        self.mem.read(Area.HEAP, clause.heap_base)
+        self.mem.read(_HEAP, clause.heap_base)
         frame = self._allocate_frame(clause)
         env = Env(clause.body, frame, parent_env, parent_index, cut_barrier,
                   stats.predicate)
-        stats.module = Module.UNIFY
+        stats.module = _M_UNIFY
+        match = self._match
         for node, arg in zip(clause.head_args, args):
-            if not self._match(node, arg, frame):
+            if not match(node, arg, frame):
                 return False
         self.cur_env = env
         self.cur_index = 0
@@ -352,24 +414,24 @@ class PSIMachine:
         stats = self.stats
         mem = self.mem
         nlocals = clause.nlocals
-        base = mem.top(Area.LOCAL)
+        base = mem.top(_LOCAL)
         frame = Frame(base, nlocals, clause.nglobals)
         if nlocals:
-            stats.emit(micro.R_FRAME_ALLOC)
+            stats.emit(_R_FRAME_ALLOC)
             buffer_id = self.wf.acquire(frame)
             frame.buffer_id = buffer_id
+            lo = _LOCAL << AREA_SHIFT
             if buffer_id is not None:
                 # Slots live in the WF buffer: init is register traffic only.
-                mem.grow(Area.LOCAL, 0)
-                for i in range(nlocals):
-                    off = mem.grow(Area.LOCAL, 1)
-                    mem.poke(Area.LOCAL, off, (_UNDEF, (_LOCAL << AREA_SHIFT) | off))
-                    stats.emit(micro.R_FRAME_INIT_SLOT)
+                off = mem.grow(_LOCAL, nlocals)
+                words = mem.areas[Area.LOCAL]
+                for off in range(off, off + nlocals):
+                    words[off] = (_UNDEF, lo | off)
+                stats.emit(_R_FRAME_INIT_SLOT, nlocals)
             else:
-                for _ in range(nlocals):
-                    off = mem.top(Area.LOCAL)
-                    mem.write_stack(Area.LOCAL,
-                                    (_UNDEF, (_LOCAL << AREA_SHIFT) | off))
+                mem.write_stack_block(
+                    _LOCAL, [(_UNDEF, lo | off)
+                             for off in range(base, base + nlocals)])
         return frame
 
     def _global_cell(self, frame: Frame, slot: int) -> int:
@@ -381,34 +443,33 @@ class PSIMachine:
         """
         cell = frame.gcells[slot]
         if cell < 0:
-            off = self.mem.top(Area.GLOBAL)
-            cell = encode_address(Area.GLOBAL, off)
-            self.mem.write_stack(Area.GLOBAL, (_UNDEF, cell))
-            self.stats.emit(micro.R_BUILD_VAR)
+            mem = self.mem
+            off = mem.top(_GLOBAL)
+            cell = (_GLOBAL << AREA_SHIFT) | off
+            mem.write_stack(_GLOBAL, (_UNDEF, cell))
+            self.stats.emit(_R_BUILD_VAR)
             frame.gcells[slot] = cell
             if self.cp_stack:
-                self.stats.emit_in(Module.TRAIL, micro.R_TRAIL_PUSH)
-                self.mem.write_stack(Area.TRAIL, (Tag.INT, slot))
+                self.stats.emit_in(_M_TRAIL, _R_TRAIL_PUSH)
+                mem.write_stack(_TRAIL, (Tag.INT, slot))
                 self.trail.append((frame, slot))
                 if len(self.trail) % 8 == 0:
-                    self.stats.emit_in(Module.TRAIL, micro.R_TRAIL_BUF)
+                    self.stats.emit_in(_M_TRAIL, _R_TRAIL_BUF)
         return cell
 
     def _save_env(self, env: Env) -> None:
         """Persist ``env`` before a non-last call: flush the frame to the
         local stack and write a 10-word environment frame if new."""
         stats = self.stats
-        stats.emit(micro.R_ENV_PUSH)
+        stats.emit(_R_ENV_PUSH)
         frame = env.frame
+        mem = self.mem
         if frame.buffered:
-            for i in range(frame.nlocals):
-                self.mem.write_stack_at(Area.LOCAL, frame.base + i,
-                                        self.mem.peek(Area.LOCAL, frame.base + i))
+            mem.flush_stack_block(_LOCAL, frame.base, frame.nlocals)
             self.wf.release(frame)
         if env.control_base < 0:
-            env.control_base = self.mem.top(Area.CONTROL)
-            for i in range(CONTROL_FRAME_WORDS):
-                self.mem.write_stack(Area.CONTROL, (Tag.INT, i))
+            env.control_base = mem.top(_CONTROL)
+            mem.write_stack_block(_CONTROL, _CONTROL_FRAME_IMAGE)
 
     def _reclaim_for_tro(self, env: Env, args: tuple) -> tuple:
         """Last-call optimisation: discard the env, reclaim its stacks.
@@ -420,26 +481,25 @@ class PSIMachine:
         stack instead (it may be read again after backtracking).
         """
         stats = self.stats
-        stats.emit(micro.R_TRO)
+        stats.emit(_R_TRO)
         frame = env.frame
+        mem = self.mem
         protect = self.cp_stack[-1].local_top if self.cp_stack else 0
         reclaimable = (frame.base >= protect
-                       and frame.base <= self.mem.top(Area.LOCAL))
+                       and frame.base <= mem.top(_LOCAL))
         if reclaimable:
             if frame.nlocals:
                 args = self._globalize_unsafe(frame, args)
             self.wf.release(frame)
-            self.mem.settop(Area.LOCAL, frame.base)
+            mem.settop(_LOCAL, frame.base)
         else:
             if frame.buffered:
-                for i in range(frame.nlocals):
-                    self.mem.write_stack_at(Area.LOCAL, frame.base + i,
-                                            self.mem.peek(Area.LOCAL, frame.base + i))
+                mem.flush_stack_block(_LOCAL, frame.base, frame.nlocals)
             self.wf.release(frame)
         if env.control_base >= 0:
             cprotect = self.cp_stack[-1].control_top if self.cp_stack else 0
             if env.control_base >= cprotect:
-                self.mem.settop(Area.CONTROL, env.control_base)
+                mem.settop(_CONTROL, env.control_base)
         return args
 
     def _globalize_unsafe(self, frame: Frame, args: tuple) -> tuple:
@@ -464,7 +524,7 @@ class PSIMachine:
                 cell = (_REF, encode_address(Area.GLOBAL, off))
                 self.mem.write_stack(Area.GLOBAL,
                                      (_UNDEF, encode_address(Area.GLOBAL, off)))
-                stats.emit(micro.R_BUILD_VAR)
+                stats.emit(_R_BUILD_VAR)
                 # Any aliases chase the local cell into the new global.
                 self._write_cell(target[1], cell)
                 moved[target[1]] = cell
@@ -476,25 +536,25 @@ class PSIMachine:
     def _proceed(self, env: Env) -> None:
         """Clause body complete: return to the parent continuation."""
         stats = self.stats
-        stats.module = Module.CONTROL
+        stats.module = _M_CONTROL
         parent = env.parent
         if parent is None:
-            stats.emit(micro.R_PROCEED)
+            stats.emit(_R_PROCEED)
             self.cur_env = None
             return
-        stats.emit(micro.R_ENV_POP)
+        stats.emit(_R_ENV_POP)
+        mem = self.mem
         if parent.control_base >= 0:
-            for i in range(CONTROL_RESUME_READS):
-                self.mem.read(Area.CONTROL, parent.control_base + i)
+            mem.read_block(_CONTROL, parent.control_base, CONTROL_RESUME_READS)
         frame = env.frame
         self.wf.release(frame)
         protect = self.cp_stack[-1].local_top if self.cp_stack else 0
-        if frame.base >= protect and frame.base <= self.mem.top(Area.LOCAL):
-            self.mem.settop(Area.LOCAL, frame.base)
+        if frame.base >= protect and frame.base <= mem.top(_LOCAL):
+            mem.settop(_LOCAL, frame.base)
         if env.control_base >= 0:
             cprotect = self.cp_stack[-1].control_top if self.cp_stack else 0
             if env.control_base >= cprotect:
-                self.mem.settop(Area.CONTROL, env.control_base)
+                mem.settop(_CONTROL, env.control_base)
         self.cur_env = parent
         self.cur_index = env.parent_index
         stats.predicate = parent.pred
@@ -505,29 +565,29 @@ class PSIMachine:
         """Restore to the latest choice point and retry; loops until an
         activation succeeds or the choice point stack is exhausted."""
         stats = self.stats
+        mem = self.mem
         while self.cp_stack:
-            stats.module = Module.CONTROL
-            stats.emit(micro.R_BACKTRACK)
-            stats.emit(micro.R_FAIL_DISPATCH)
+            stats.module = _M_CONTROL
+            stats.emit(_R_BACKTRACK)
+            stats.emit(_R_FAIL_DISPATCH)
             cp = self.cp_stack[-1]
             self._untrail_to(cp.trail_top)
-            stats.module = Module.CONTROL
-            self.mem.settop(Area.GLOBAL, cp.global_top)
-            self.mem.settop(Area.LOCAL, cp.local_top)
-            self.mem.settop(Area.TRAIL, cp.trail_top)
+            stats.module = _M_CONTROL
+            mem.settop(_GLOBAL, cp.global_top)
+            mem.settop(_LOCAL, cp.local_top)
+            mem.settop(_TRAIL, cp.trail_top)
             self.wf.reset()
-            stats.emit(micro.R_CP_RESTORE)
-            for i in range(CONTROL_RESUME_READS):
-                self.mem.read(Area.CONTROL, cp.control_base + i)
+            stats.emit(_R_CP_RESTORE)
+            mem.read_block(_CONTROL, cp.control_base, CONTROL_RESUME_READS)
             clause = cp.proc.clauses[cp.next_clause]
             stats.predicate = cp.proc.label
             cp.next_clause += 1
             if cp.next_clause >= len(cp.proc.clauses):
                 self.cp_stack.pop()
-                self.mem.settop(Area.CONTROL, cp.control_base)
+                mem.settop(_CONTROL, cp.control_base)
                 barrier = len(self.cp_stack)
             else:
-                self.mem.settop(Area.CONTROL, cp.control_top)
+                mem.settop(_CONTROL, cp.control_top)
                 barrier = len(self.cp_stack) - 1
             if self._activate(clause, cp.args, cp.parent_env, cp.parent_index,
                               barrier):
@@ -536,12 +596,14 @@ class PSIMachine:
 
     def _untrail_to(self, mark: int) -> None:
         stats = self.stats
-        stats.module = Module.TRAIL
+        stats.module = _M_TRAIL
         trail = self.trail
+        mem_read = self.mem.read
+        emit = stats.emit
         while len(trail) > mark:
             entry = trail.pop()
-            stats.emit(micro.R_UNTRAIL_ENTRY)
-            self.mem.read(Area.TRAIL, len(trail))
+            emit(_R_UNTRAIL_ENTRY)
+            mem_read(_TRAIL, len(trail))
             if type(entry) is int:
                 self._write_cell(entry, (_UNDEF, entry))
             else:
@@ -551,8 +613,8 @@ class PSIMachine:
 
     def _cut(self, env: Env) -> None:
         stats = self.stats
-        stats.module = Module.CUT
-        stats.emit(micro.R_CUT)
+        stats.module = _M_CUT
+        stats.emit(_R_CUT)
         barrier = env.cut_barrier
         if len(self.cp_stack) <= barrier:
             return
@@ -564,7 +626,7 @@ class PSIMachine:
         while len(self.cp_stack) > barrier:
             cp = self.cp_stack.pop()
             lowest_mark = cp.trail_top
-            stats.emit(micro.R_CUT_POP_CP)
+            stats.emit(_R_CUT_POP_CP)
         self._tidy_trail(lowest_mark)
 
     def _tidy_trail(self, mark: int) -> None:
@@ -584,13 +646,13 @@ class PSIMachine:
         survivor = self.cp_stack[-1] if self.cp_stack else None
         kept = []
         for entry in trail[mark:]:
-            stats.emit(micro.R_CUT_POP_CP)  # tidy scan step
+            stats.emit(_R_CUT_POP_CP)  # tidy scan step
             if survivor is None:
                 continue
             if type(entry) is int:
                 area = entry >> AREA_SHIFT
                 off = entry & OFFSET_MASK
-                needed = ((area == Area.GLOBAL and off < survivor.global_top)
+                needed = ((area == _GLOBAL and off < survivor.global_top)
                           or (area == _LOCAL and off < survivor.local_top))
                 if needed:
                     kept.append(entry)
@@ -616,8 +678,8 @@ class PSIMachine:
             frame = self.wf.owner_of_local(off)
             if frame is not None:
                 self.wf.read_slot(off - frame.base)
-                return self.mem.peek(Area.LOCAL, off)
-        return self.mem.read(Area(area), off)
+                return self.mem.peek(_LOCAL, off)
+        return self.mem.read(area, off)
 
     def _write_cell(self, addr: int, word) -> None:
         area = addr >> AREA_SHIFT
@@ -626,44 +688,45 @@ class PSIMachine:
             frame = self.wf.owner_of_local(off)
             if frame is not None:
                 self.wf.write_slot(off - frame.base)
-                self.mem.poke(Area.LOCAL, off, word)
+                self.mem.poke(_LOCAL, off, word)
                 return
-        self.mem.write(Area(area), off, word)
+        self.mem.write(area, off, word)
 
     def deref(self, word):
         """Follow REF chains to a value word or an UNDEF (unbound) word."""
-        stats = self.stats
+        emit = self.stats.emit
+        read_cell = self._read_cell
         while word[0] == _REF:
-            stats.emit(micro.R_DEREF_STEP)
-            word = self._read_cell(word[1])
+            emit(_R_DEREF_STEP)
+            word = read_cell(word[1])
         return word
 
     def bind(self, addr: int, word) -> None:
         """Bind the unbound cell at ``addr`` to ``word`` (a value or REF),
         trailing the binding when an older choice point requires it."""
         stats = self.stats
-        stats.emit(micro.R_BIND)
+        stats.emit(_R_BIND)
         self._write_cell(addr, word)
         if self.cp_stack:
             cp = self.cp_stack[-1]
             area = addr >> AREA_SHIFT
             off = addr & OFFSET_MASK
-            needs_trail = ((area == Area.GLOBAL and off < cp.global_top)
+            needs_trail = ((area == _GLOBAL and off < cp.global_top)
                            or (area == _LOCAL and off < cp.local_top))
         else:
             needs_trail = False
         if needs_trail:
             previous = stats.module
-            stats.module = Module.TRAIL
-            stats.emit(micro.R_TRAIL_PUSH)
-            self.mem.write_stack(Area.TRAIL, (_REF, addr))
+            stats.module = _M_TRAIL
+            stats.emit(_R_TRAIL_PUSH)
+            self.mem.write_stack(_TRAIL, (_REF, addr))
             self.trail.append(addr)
             if len(self.trail) % 8 == 0:
                 # Trail-buffer spill through @WFAR2 (blockwise).
-                stats.emit(micro.R_TRAIL_BUF)
+                stats.emit(_R_TRAIL_BUF)
             stats.module = previous
         else:
-            stats.emit(micro.R_TRAIL_SKIP)
+            stats.emit(_R_TRAIL_SKIP)
 
     def _bind_vars(self, a_addr: int, b_addr: int) -> None:
         """Bind two unbound variables, younger cell pointing at older.
@@ -673,8 +736,8 @@ class PSIMachine:
         """
         if a_addr == b_addr:
             return
-        a_rank = ((a_addr >> AREA_SHIFT) != Area.GLOBAL, a_addr & OFFSET_MASK)
-        b_rank = ((b_addr >> AREA_SHIFT) != Area.GLOBAL, b_addr & OFFSET_MASK)
+        a_rank = ((a_addr >> AREA_SHIFT) != _GLOBAL, a_addr & OFFSET_MASK)
+        b_rank = ((b_addr >> AREA_SHIFT) != _GLOBAL, b_addr & OFFSET_MASK)
         if a_rank > b_rank:
             self.bind(a_addr, (_REF, b_addr))
         else:
@@ -687,12 +750,15 @@ class PSIMachine:
     def unify(self, w1, w2) -> bool:
         """General unification of two runtime words (no occur check)."""
         stats = self.stats
+        emit = stats.emit
+        deref = self.deref
+        read_cell = self._read_cell
         stack = [(w1, w2)]
         while stack:
             a, b = stack.pop()
-            a = self.deref(a)
-            b = self.deref(b)
-            stats.emit(micro.R_UNIFY_DISPATCH)
+            a = deref(a)
+            b = deref(b)
+            emit(_R_UNIFY_DISPATCH)
             ta = a[0]
             tb = b[0]
             if ta == _UNDEF:
@@ -708,33 +774,33 @@ class PSIMachine:
             if ta != tb:
                 return False
             if ta == Tag.INT or ta == Tag.ATOM:
-                stats.emit(micro.R_UNIFY_CONST)
+                emit(_R_UNIFY_CONST)
                 if a[1] != b[1]:
                     return False
             elif ta == Tag.NIL:
-                stats.emit(micro.R_UNIFY_CONST)
+                emit(_R_UNIFY_CONST)
             elif ta == Tag.LIST:
-                stats.emit(micro.R_UNIFY_LIST)
+                emit(_R_UNIFY_LIST)
                 if a[1] != b[1]:
-                    stack.append((self._read_cell(a[1] + 1), self._read_cell(b[1] + 1)))
-                    stack.append((self._read_cell(a[1]), self._read_cell(b[1])))
+                    stack.append((read_cell(a[1] + 1), read_cell(b[1] + 1)))
+                    stack.append((read_cell(a[1]), read_cell(b[1])))
             elif ta == Tag.STRUCT:
-                stats.emit(micro.R_UNIFY_STRUCT)
+                emit(_R_UNIFY_STRUCT)
                 if a[1] == b[1]:
                     continue
-                fa = self._read_cell(a[1])
-                fb = self._read_cell(b[1])
+                fa = read_cell(a[1])
+                fb = read_cell(b[1])
                 if fa[1] != fb[1]:
                     return False
                 _, arity = self.symbols.functor_name(fa[1])
                 for i in range(arity, 0, -1):
-                    stack.append((self._read_cell(a[1] + i), self._read_cell(b[1] + i)))
+                    stack.append((read_cell(a[1] + i), read_cell(b[1] + i)))
             elif ta == Tag.VECT:
                 if a[1] != b[1]:
                     return False
             else:
                 return False
-        stats.emit(micro.R_UNIFY_RETURN)
+        emit(_R_UNIFY_RETURN)
         return True
 
     # ------------------------------------------------------------------
@@ -748,14 +814,14 @@ class PSIMachine:
         word follows the STRUCT code word.
         """
         stats = self.stats
-        self.mem.read(Area.HEAP, node.addr)
+        self.mem.read(_HEAP, node.addr)
         if node.packed and packed_ok:
-            stats.emit(micro.R_DECODE_PACKED)
+            stats.emit(_R_DECODE_PACKED)
         else:
-            stats.emit(micro.R_DECODE)
+            stats.emit(_R_DECODE)
         if node.__class__ is CStruct:
-            self.mem.read(Area.HEAP, node.addr)
-            stats.emit(micro.R_DECODE_OPCODE)
+            self.mem.read(_HEAP, node.addr)
+            stats.emit(_R_DECODE_OPCODE)
 
     def _match(self, node: CTerm, word, frame: Frame) -> bool:
         """Unify one head-argument code term with a runtime word."""
@@ -767,7 +833,7 @@ class PSIMachine:
             if value[0] == _UNDEF:
                 self.bind(value[1], node.word)
                 return True
-            stats.emit(micro.R_UNIFY_CONST)
+            stats.emit(_R_UNIFY_CONST)
             return value == node.word
         if cls is CVar:
             if node.is_global:
@@ -782,15 +848,15 @@ class PSIMachine:
                         self.bind(cell, value)
                     return True
                 return self.unify((_REF, cell), word)
-            slot_addr = encode_address(Area.LOCAL, frame.base + node.slot)
+            slot_addr = (_LOCAL << AREA_SHIFT) | (frame.base + node.slot)
             if node.is_first:
-                stats.emit(micro.R_BUILD_VAR)
+                stats.emit(_R_BUILD_VAR)
                 value = word if word[0] != _UNDEF else (_REF, word[1])
                 if frame.buffered:
                     self.wf.write_slot(node.slot, base_relative=True)
-                    self.mem.poke(Area.LOCAL, frame.base + node.slot, value)
+                    self.mem.poke(_LOCAL, frame.base + node.slot, value)
                 else:
-                    self.mem.write(Area.LOCAL, frame.base + node.slot, value)
+                    self.mem.write(_LOCAL, frame.base + node.slot, value)
                 return True
             return self.unify((_REF, slot_addr), word)
         if cls is CVoid:
@@ -803,7 +869,7 @@ class PSIMachine:
                 return True
             if value[0] != Tag.LIST:
                 return False
-            stats.emit(micro.R_UNIFY_LIST)
+            stats.emit(_R_UNIFY_LIST)
             head_word = self._read_cell(value[1])
             if not self._match(node.head, head_word, frame):
                 return False
@@ -817,7 +883,7 @@ class PSIMachine:
                 return True
             if value[0] != Tag.STRUCT:
                 return False
-            stats.emit(micro.R_UNIFY_STRUCT)
+            stats.emit(_R_UNIFY_STRUCT)
             functor_word = self._read_cell(value[1])
             if functor_word[1] != node.functor_id:
                 return False
@@ -837,34 +903,35 @@ class PSIMachine:
         if cls is CConst:
             return node.word
         if cls is CVar:
-            stats.emit(micro.R_BUILD_VAR)
+            stats.emit(_R_BUILD_VAR)
             if node.is_global:
                 return (_REF, self._global_cell(frame, node.slot))
             # Locals never occur nested (classification globalises them);
             # a local can only be built at top level of put_arg.
-            return (_REF, encode_address(Area.LOCAL, frame.base + node.slot))
+            return (_REF, (_LOCAL << AREA_SHIFT) | (frame.base + node.slot))
+        mem = self.mem
+        g_hi = _GLOBAL << AREA_SHIFT
         if cls is CVoid:
-            off = self.mem.top(Area.GLOBAL)
-            self.mem.write_stack(Area.GLOBAL,
-                                 (_UNDEF, encode_address(Area.GLOBAL, off)))
-            stats.emit(micro.R_BUILD_VAR)
-            return (_REF, encode_address(Area.GLOBAL, off))
+            off = mem.top(_GLOBAL)
+            mem.write_stack(_GLOBAL, (_UNDEF, g_hi | off))
+            stats.emit(_R_BUILD_VAR)
+            return (_REF, g_hi | off)
         if cls is CList:
             head_word = self._build(node.head, frame)
             tail_word = self._build(node.tail, frame)
-            stats.emit(micro.R_BUILD_CELL)
-            base = self.mem.top(Area.GLOBAL)
-            self.mem.write_stack(Area.GLOBAL, head_word)
-            self.mem.write_stack(Area.GLOBAL, tail_word)
-            return (Tag.LIST, encode_address(Area.GLOBAL, base))
+            stats.emit(_R_BUILD_CELL)
+            base = mem.top(_GLOBAL)
+            mem.write_stack(_GLOBAL, head_word)
+            mem.write_stack(_GLOBAL, tail_word)
+            return (Tag.LIST, g_hi | base)
         if cls is CStruct:
             arg_words = [self._build(arg, frame) for arg in node.args]
-            stats.emit(micro.R_BUILD_CELL)
-            base = self.mem.top(Area.GLOBAL)
-            self.mem.write_stack(Area.GLOBAL, (Tag.FUNC, node.functor_id))
+            stats.emit(_R_BUILD_CELL)
+            base = mem.top(_GLOBAL)
+            mem.write_stack(_GLOBAL, (Tag.FUNC, node.functor_id))
             for word in arg_words:
-                self.mem.write_stack(Area.GLOBAL, word)
-            return (Tag.STRUCT, encode_address(Area.GLOBAL, base))
+                mem.write_stack(_GLOBAL, word)
+            return (Tag.STRUCT, g_hi | base)
         raise MachineError(f"unexpected code node {node!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -881,47 +948,41 @@ class PSIMachine:
         """
         stats = self.stats
         stats.module = module
-        self.mem.read(Area.HEAP, node.addr)
+        self.mem.read(_HEAP, node.addr)
         cls = node.__class__
         if cls is CConst:
-            if node.packed:
-                stats.emit(micro.R_GET_ARG_PACKED)
-            else:
-                stats.emit(micro.R_GET_ARG)
+            stats.emit(_R_GET_ARG_PACKED if node.packed else _R_GET_ARG)
             return node.word
         if cls is CVar:
-            if node.packed:
-                stats.emit(micro.R_GET_ARG_PACKED)
-            else:
-                stats.emit(micro.R_GET_ARG)
+            stats.emit(_R_GET_ARG_PACKED if node.packed else _R_GET_ARG)
             if node.is_global:
-                stats.emit(micro.R_GET_ARG_VAR_MEM)
+                stats.emit(_R_GET_ARG_VAR_MEM)
                 return (_REF, self._global_cell(frame, node.slot))
             off = frame.base + node.slot
             if frame.buffered:
                 if node.slot < 32 and node.slot % 8 == 0:
-                    stats.emit(micro.R_GET_ARG_VAR_BUF_BASE)
+                    stats.emit(_R_GET_ARG_VAR_BUF_BASE)
                 else:
-                    stats.emit(micro.R_GET_ARG_VAR_BUF)
-                value = self.mem.peek(Area.LOCAL, off)
+                    stats.emit(_R_GET_ARG_VAR_BUF)
+                value = self.mem.peek(_LOCAL, off)
             else:
-                stats.emit(micro.R_GET_ARG_VAR_MEM)
-                value = self.mem.read(Area.LOCAL, off)
+                stats.emit(_R_GET_ARG_VAR_MEM)
+                value = self.mem.read(_LOCAL, off)
             if value[0] == _UNDEF:
                 return (_REF, value[1])
             return value
         if cls is CVoid:
-            stats.emit(micro.R_GET_ARG)
-            off = self.mem.top(Area.GLOBAL)
-            self.mem.write_stack(Area.GLOBAL,
-                                 (_UNDEF, encode_address(Area.GLOBAL, off)))
-            return (_REF, encode_address(Area.GLOBAL, off))
+            stats.emit(_R_GET_ARG)
+            off = self.mem.top(_GLOBAL)
+            cell = (_GLOBAL << AREA_SHIFT) | off
+            self.mem.write_stack(_GLOBAL, (_UNDEF, cell))
+            return (_REF, cell)
         # Compound argument: construct it (structure copying).
-        stats.emit(micro.R_GET_ARG)
-        stats.module = Module.UNIFY
+        stats.emit(_R_GET_ARG)
+        stats.module = _M_UNIFY
         word = self._build(node, frame)
         stats.module = module
-        stats.emit(micro.R_PUT_ARG)
+        stats.emit(_R_PUT_ARG)
         return word
 
     # ------------------------------------------------------------------
@@ -931,27 +992,29 @@ class PSIMachine:
     def _dispatch_builtin(self, goal: BuiltinGoal, env: Env) -> bool:
         stats = self.stats
         stats.builtin_calls += 1
-        args = [self._put_arg(node, env.frame) for node in goal.args]
-        stats.module = Module.BUILT
-        stats.emit(micro.R_BUILTIN_ENTRY)
+        frame = env.frame
+        put_arg = self._put_arg
+        args = [put_arg(node, frame) for node in goal.args]
+        stats.module = _M_BUILT
+        stats.emit(_R_BUILTIN_ENTRY)
         builtin: Builtin = goal.builtin
         if builtin.weight:
-            stats.emit(micro.R_BUILTIN_STEP, builtin.weight)
+            stats.emit(_R_BUILTIN_STEP, builtin.weight)
         result = builtin.fn(self, args)
         if result is True or result is False:
-            stats.module = Module.BUILT
-            stats.emit(micro.R_BUILTIN_EXIT)
+            stats.module = _M_BUILT
+            stats.emit(_R_BUILTIN_EXIT)
             return result
         # Meta-call request: ("call", functor, arity, arg_words)
         _, functor, arity, call_args = result
-        stats.emit(micro.R_BUILTIN_EXIT)
-        stats.module = Module.CONTROL
+        stats.emit(_R_BUILTIN_EXIT)
+        stats.module = _M_CONTROL
         stats.inferences += 1
         proc = self.program.procedure(functor, arity)
         if proc is None:
             raise ExistenceError(functor, arity)
-        stats.emit(micro.R_PROC_LOOKUP)
-        self.mem.read(Area.HEAP, proc.descriptor_base)
+        stats.emit(_R_PROC_LOOKUP)
+        self.mem.read(_HEAP, proc.descriptor_base)
         self._save_env(env)
         return self._call_procedure(proc, tuple(call_args), env, self.cur_index)
 
@@ -998,7 +1061,7 @@ class PSIMachine:
         raise MachineError(f"cannot decode word {word!r}")
 
     def _peek_addr(self, addr: int):
-        return self.mem.peek(Area(addr >> AREA_SHIFT), addr & OFFSET_MASK)
+        return self.mem.peek(addr >> AREA_SHIFT, addr & OFFSET_MASK)
 
     def _peek_deref(self, word):
         while word[0] == _REF:
@@ -1014,10 +1077,7 @@ class PSIMachine:
         clause = self.program.add_clause(term)
         self._load_pending()
         # Bill the code words written into the heap.
-        for i in range(clause.heap_size):
-            offset = clause.heap_base + i
-            self.mem.write_stack_at(Area.HEAP, offset,
-                                    self.mem.peek(Area.HEAP, offset))
+        self.mem.flush_stack_block(_HEAP, clause.heap_base, clause.heap_size)
 
     def retract_fact(self, word) -> bool:
         """Remove the first fact whose head unifies with ``word``."""

@@ -17,6 +17,16 @@ which
   outcome rather than an assumption), and
 * forwards ``(command, address)`` to any attached listeners — the
   online cache model and/or a trace recorder for the PMMS simulator.
+
+Hot-path notes: the accounted accessors are fully inlined (no
+``_touch`` indirection).  The listener fan-out is precomputed into
+:attr:`MemorySystem._notify` — ``None`` for no listeners, the single
+listener's bound ``access`` method for one, a loop closure for more —
+and rebuilt only on :meth:`attach`/:meth:`detach`.  Statically-known
+access sequences (control-frame pushes, frame flushes, resume reads)
+go through the block accessors, which bill once via
+``stats.mem_access_n`` and notify per word in the exact reference
+order, keeping the trace byte stream bit-identical.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from array import array
 from enum import IntEnum
 from typing import Protocol
 
-from repro.core.micro import CacheCmd
+from repro.core.micro import CMD_BY_CODE, CacheCmd
 from repro.errors import MachineError
 
 AREA_SHIFT = 24
@@ -54,6 +64,10 @@ _AREA_LABELS = {
     Area.TRAIL: "trail stack",
 }
 
+#: Area members by value, for O(1) decode without ``Area(...)`` calls.
+AREAS = tuple(Area)
+N_AREAS = len(AREAS)
+
 
 def encode_address(area: Area, offset: int) -> int:
     """Pack (area, offset) into one flat logical address."""
@@ -62,7 +76,7 @@ def encode_address(area: Area, offset: int) -> int:
 
 def decode_address(address: int) -> tuple[Area, int]:
     """Unpack a flat logical address into (area, offset)."""
-    return Area(address >> AREA_SHIFT), address & OFFSET_MASK
+    return AREAS[address >> AREA_SHIFT], address & OFFSET_MASK
 
 
 class MemoryListener(Protocol):
@@ -72,8 +86,10 @@ class MemoryListener(Protocol):
 
 
 #: Encoding of cache commands into 2 bits for compact trace recording.
-CMD_CODE = {CacheCmd.READ: 0, CacheCmd.WRITE: 1, CacheCmd.WRITE_STACK: 2}
-CODE_CMD = {code: cmd for cmd, code in CMD_CODE.items()}
+#: Identical to ``CacheCmd.code`` / ``CMD_BY_CODE`` (guarded by a test);
+#: kept as dicts for existing consumers.
+CMD_CODE = {cmd: cmd.code for cmd in CacheCmd}
+CODE_CMD = {cmd.code: cmd for cmd in CacheCmd}
 
 
 class TraceRecorder:
@@ -81,7 +97,11 @@ class TraceRecorder:
 
     Each entry is ``address << 2 | command_code`` in a C ``int64``
     array; :meth:`entries` decodes back to ``(CacheCmd, address)``.
-    This is the COLLECT → PMMS hand-off format.
+    This is the COLLECT → PMMS hand-off format.  Replay consumers
+    should prefer :meth:`decoded` (one bulk decode) or the raw
+    :attr:`data` array (packed ints, no decode at all — see
+    :meth:`repro.memsys.cache.Cache.access_many_packed`) over the
+    per-entry generator.
 
     The packed array serialises losslessly via :meth:`tobytes` /
     :meth:`frombytes` — that byte string is what run summaries carry
@@ -89,18 +109,21 @@ class TraceRecorder:
     on disk.
     """
 
+    __slots__ = ("data",)
+
     def __init__(self) -> None:
         self.data = array("q")
 
     def access(self, cmd: CacheCmd, address: int) -> None:
-        self.data.append((address << 2) | CMD_CODE[cmd])
+        self.data.append((address << 2) | cmd.code)
 
     def __len__(self) -> int:
         return len(self.data)
 
     def entries(self):
+        by_code = CMD_BY_CODE
         for packed in self.data:
-            yield CODE_CMD[packed & 3], packed >> 2
+            yield by_code[packed & 3], packed >> 2
 
     def decoded(self) -> list:
         """Decode the whole trace once into ``(CacheCmd, address)`` pairs.
@@ -109,8 +132,8 @@ class TraceRecorder:
         unpacking cost once here instead of once per configuration (see
         :func:`repro.tools.pmms.simulate_many`).
         """
-        code_cmd = CODE_CMD
-        return [(code_cmd[packed & 3], packed >> 2) for packed in self.data]
+        by_code = CMD_BY_CODE
+        return [(by_code[packed & 3], packed >> 2) for packed in self.data]
 
     def clear(self) -> None:
         del self.data[:]
@@ -136,6 +159,11 @@ class TraceRecorder:
         self.data.frombytes(raw)
 
 
+_READ = CacheCmd.READ
+_WRITE = CacheCmd.WRITE
+_WRITE_STACK = CacheCmd.WRITE_STACK
+
+
 class MemorySystem:
     """The five word areas plus access accounting.
 
@@ -143,13 +171,27 @@ class MemorySystem:
     push (``write_stack``), truncation on backtracking, and top
     queries.  ``stats`` is the machine's stats collector (may be a
     no-op stub in unit tests); listeners receive raw accesses.
+
+    Area arguments are accepted as :class:`Area` members or raw ints
+    (``Area`` is an ``IntEnum``); the machine's inner loops pass ints.
     """
 
+    __slots__ = ("_stats", "_mem_access", "_mem_access_n", "word_limit",
+                 "areas", "_words", "listeners", "_notify", "observer")
+
     def __init__(self, stats, word_limit: int = 1 << 22):
-        self.stats = stats
+        self._stats = stats
+        self._mem_access = stats.mem_access
+        self._mem_access_n = getattr(stats, "mem_access_n", None) \
+            or _fallback_access_n(stats.mem_access)
         self.word_limit = word_limit
         self.areas: dict[Area, list] = {area: [] for area in Area}
+        #: The same per-area lists as :attr:`areas`, indexed by int
+        #: area value.  All mutations are in-place, so both views stay
+        #: consistent by construction.
+        self._words: list[list] = [self.areas[area] for area in AREAS]
         self.listeners: list[MemoryListener] = []
+        self._notify = None
         #: Optional observability hook (``on_settop(area, offset, old_top)``):
         #: receives stack truncations — the PSI's GC-free reclaim events —
         #: when a :class:`repro.obs.session.StackObserver` is attached by
@@ -157,33 +199,71 @@ class MemorySystem:
         #: check per ``settop``, nothing per word access.
         self.observer = None
 
+    # -- stats rebinding -------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self._stats
+
+    @stats.setter
+    def stats(self, stats) -> None:
+        self._stats = stats
+        self._mem_access = stats.mem_access
+        self._mem_access_n = getattr(stats, "mem_access_n", None) \
+            or _fallback_access_n(stats.mem_access)
+
     # -- listener management -------------------------------------------------
 
     def attach(self, listener: MemoryListener) -> None:
         self.listeners.append(listener)
+        self._rebuild_notify()
 
     def detach(self, listener: MemoryListener) -> None:
         self.listeners.remove(listener)
+        self._rebuild_notify()
+
+    def _rebuild_notify(self) -> None:
+        listeners = self.listeners
+        if not listeners:
+            self._notify = None
+        elif len(listeners) == 1:
+            self._notify = listeners[0].access
+        elif len(listeners) == 2:
+            first, second = (listener.access for listener in listeners)
+
+            def pair(cmd, address, _first=first, _second=second):
+                _first(cmd, address)
+                _second(cmd, address)
+
+            self._notify = pair
+        else:
+            accessors = tuple(listener.access for listener in listeners)
+
+            def fanout(cmd, address, _accessors=accessors):
+                for access in _accessors:
+                    access(cmd, address)
+
+            self._notify = fanout
 
     # -- raw accessors (no accounting; loader/debug use) ----------------------
 
     def peek(self, area: Area, offset: int):
-        return self.areas[area][offset]
+        return self._words[area][offset]
 
     def poke(self, area: Area, offset: int, word) -> None:
-        self.areas[area][offset] = word
+        self._words[area][offset] = word
 
     def top(self, area: Area) -> int:
         """Current top offset (next free slot) of an area."""
-        return len(self.areas[area])
+        return len(self._words[area])
 
     def settop(self, area: Area, offset: int) -> None:
         """Truncate a stack area down to ``offset`` (backtracking reclaim)."""
-        words = self.areas[area]
+        words = self._words[area]
         if offset > len(words):
-            raise MachineError(f"settop beyond top of {area.label}")
+            raise MachineError(f"settop beyond top of {AREAS[area].label}")
         if self.observer is not None:
-            self.observer.on_settop(area, offset, len(words))
+            self.observer.on_settop(AREAS[area], offset, len(words))
         del words[offset:]
 
     def grow(self, area: Area, count: int, fill=None) -> int:
@@ -193,10 +273,11 @@ class MemorySystem:
         allocation fast paths whose per-word traffic is billed
         separately (e.g. frame slots that live in the work file).
         """
-        words = self.areas[area]
+        words = self._words[area]
         base = len(words)
         if base + count > self.word_limit:
-            raise MachineError(f"{area.label} overflow ({base + count} words)")
+            raise MachineError(
+                f"{AREAS[area].label} overflow ({base + count} words)")
         words.extend([fill] * count)
         return base
 
@@ -204,45 +285,121 @@ class MemorySystem:
 
     def read(self, area: Area, offset: int):
         """Read one word, billing a READ cache command."""
-        self._touch(CacheCmd.READ, area, offset)
-        return self.areas[area][offset]
+        self._mem_access(_READ, area)
+        notify = self._notify
+        if notify is not None:
+            notify(_READ, (area << AREA_SHIFT) | offset)
+        return self._words[area][offset]
 
     def write(self, area: Area, offset: int, word) -> None:
         """Overwrite one word in place, billing a WRITE cache command."""
-        self._touch(CacheCmd.WRITE, area, offset)
-        self.areas[area][offset] = word
+        self._mem_access(_WRITE, area)
+        notify = self._notify
+        if notify is not None:
+            notify(_WRITE, (area << AREA_SHIFT) | offset)
+        self._words[area][offset] = word
 
     def write_stack(self, area: Area, word) -> int:
         """Push one word on an area top with the specialised Write-stack
         command (no block read-in on miss).  Returns the offset written."""
-        words = self.areas[area]
+        words = self._words[area]
         offset = len(words)
         if offset >= self.word_limit:
-            raise MachineError(f"{area.label} overflow ({offset} words)")
-        self._touch(CacheCmd.WRITE_STACK, area, offset)
+            raise MachineError(
+                f"{AREAS[area].label} overflow ({offset} words)")
+        self._mem_access(_WRITE_STACK, area)
+        notify = self._notify
+        if notify is not None:
+            notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
         words.append(word)
         return offset
 
     def write_stack_at(self, area: Area, offset: int, word) -> None:
         """Write-stack into an already-reserved slot (frame flush path)."""
-        self._touch(CacheCmd.WRITE_STACK, area, offset)
-        self.areas[area][offset] = word
+        self._mem_access(_WRITE_STACK, area)
+        notify = self._notify
+        if notify is not None:
+            notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
+        self._words[area][offset] = word
+
+    # -- accounted block accessors ---------------------------------------------
+    #
+    # Equivalent to the corresponding per-word calls repeated in order:
+    # billing uses the batched ``mem_access_n`` and listeners see every
+    # (command, address) pair in ascending-offset order, so both the
+    # stats counters and the trace byte stream match the unrolled loop
+    # exactly.
+
+    def read_block(self, area: Area, offset: int, count: int) -> list:
+        """Read ``count`` consecutive words, billing ``count`` READs."""
+        self._mem_access_n(_READ, area, count)
+        notify = self._notify
+        if notify is not None:
+            base = (area << AREA_SHIFT) | offset
+            for i in range(count):
+                notify(_READ, base + i)
+        return self._words[area][offset:offset + count]
+
+    def write_stack_block(self, area: Area, words) -> int:
+        """Push a word sequence, billing one Write-stack per word.
+
+        Returns the base offset of the first word.
+        """
+        stack = self._words[area]
+        offset = len(stack)
+        count = len(words)
+        if offset + count > self.word_limit:
+            raise MachineError(
+                f"{AREAS[area].label} overflow ({offset + count} words)")
+        self._mem_access_n(_WRITE_STACK, area, count)
+        notify = self._notify
+        if notify is not None:
+            base = (area << AREA_SHIFT) | offset
+            for i in range(count):
+                notify(_WRITE_STACK, base + i)
+        stack.extend(words)
+        return offset
+
+    def flush_stack_block(self, area: Area, offset: int, count: int) -> None:
+        """Bill ``count`` Write-stacks for already-materialised words.
+
+        The frame-flush path: the words are in place (buffer-backed
+        slots are poked directly), only the stack traffic of writing
+        them through needs accounting.  Equivalent to ``count``
+        :meth:`write_stack_at` calls rewriting each word to itself.
+        """
+        self._mem_access_n(_WRITE_STACK, area, count)
+        notify = self._notify
+        if notify is not None:
+            base = (area << AREA_SHIFT) | offset
+            for i in range(count):
+                notify(_WRITE_STACK, base + i)
+
+    def rewrite_stack_block(self, area: Area, offset: int, words) -> None:
+        """Write-stack a word sequence into already-reserved slots."""
+        count = len(words)
+        self._mem_access_n(_WRITE_STACK, area, count)
+        notify = self._notify
+        if notify is not None:
+            base = (area << AREA_SHIFT) | offset
+            for i in range(count):
+                notify(_WRITE_STACK, base + i)
+        self._words[area][offset:offset + count] = words
 
     # -- address-based accessors (for dereferencing through REF words) ---------
 
     def read_addr(self, address: int):
-        area, offset = decode_address(address)
-        return self.read(area, offset)
+        return self.read(address >> AREA_SHIFT, address & OFFSET_MASK)
 
     def write_addr(self, address: int, word) -> None:
-        area, offset = decode_address(address)
-        self.write(area, offset, word)
+        self.write(address >> AREA_SHIFT, address & OFFSET_MASK, word)
 
-    # -- internals ---------------------------------------------------------------
 
-    def _touch(self, cmd: CacheCmd, area: Area, offset: int) -> None:
-        self.stats.mem_access(cmd, area)
-        if self.listeners:
-            address = (area << AREA_SHIFT) | offset
-            for listener in self.listeners:
-                listener.access(cmd, address)
+def _fallback_access_n(mem_access):
+    """Batched billing for stats stubs that lack ``mem_access_n``."""
+
+    def access_n(cmd, area, times):
+        for _ in range(times):
+            mem_access(cmd, area)
+
+    return access_n

@@ -39,7 +39,14 @@ from typing import Iterable
 
 
 class Module(Enum):
-    """Firmware interpreter component modules (Table 2)."""
+    """Firmware interpreter component modules (Table 2).
+
+    Members carry a dense ``idx`` (0..5, definition order) used by the
+    interned hot-path counters in :mod:`repro.core.stats`, and hash by
+    identity (members are singletons, so identity hashing is consistent
+    with ``Enum``'s identity equality) — ``Enum.__hash__`` is a
+    Python-level name hash and shows up in interpreter profiles.
+    """
 
     CONTROL = "control"
     UNIFY = "unify"
@@ -48,18 +55,39 @@ class Module(Enum):
     CUT = "cut"
     BUILT = "built"
 
+    __hash__ = object.__hash__
+
+
+#: Number of interpreter modules; the stride of the interned
+#: (routine, module) pair index space (see ``MicroRoutine.pair_base``).
+N_MODULES = len(Module)
+MODULE_BY_INDEX = tuple(Module)
+for _i, _module in enumerate(MODULE_BY_INDEX):
+    _module.idx = _i
+del _i, _module
+
 
 class CacheCmd(Enum):
     """Cache commands issued by microinstructions (Table 3).
 
     ``WRITE_STACK`` is the PSI's specialised write command that skips
     block read-in on a write miss; the interpreter uses it for pushes
-    to the tops of stacks.
+    to the tops of stacks.  ``code`` is the member's dense 2-bit
+    encoding (definition order), shared with the packed
+    :class:`~repro.core.memory.TraceRecorder` entry format.
     """
 
     READ = "read"
     WRITE = "write"
     WRITE_STACK = "write-stack"
+
+    __hash__ = object.__hash__
+
+
+CMD_BY_CODE = tuple(CacheCmd)
+for _i, _cmd in enumerate(CMD_BY_CODE):
+    _cmd.code = _i
+del _i, _cmd
 
 
 class WFMode(Enum):
@@ -137,15 +165,23 @@ class MicroRoutine:
     """A named, fixed sequence of microinstruction templates.
 
     The per-field histograms are precomputed so emitting a routine is a
-    single counter increment in the stats collector.
+    single counter increment in the stats collector.  Every routine
+    additionally receives a dense id ``rid`` at construction and a
+    precomputed ``pair_base = rid * N_MODULES``: the stats collector
+    accumulates emissions in a flat list indexed by
+    ``pair_base + module.idx`` instead of hashing ``(Module,
+    MicroRoutine)`` tuples on every emission.
     """
 
     __slots__ = ("name", "steps", "n_steps", "wf1_counts", "wf2_counts",
                  "dest_counts", "branch_counts", "wfar_accesses",
-                 "wfar_auto_inc")
+                 "wfar_auto_inc", "rid", "pair_base")
 
     def __init__(self, name: str, steps: Iterable[MicroStep]):
         self.name = name
+        self.rid = len(_ALL_ROUTINES)
+        self.pair_base = self.rid * N_MODULES
+        _ALL_ROUTINES.append(self)
         self.steps = tuple(steps)
         if not self.steps:
             raise ValueError(f"routine {name!r} must have at least one step")
@@ -173,7 +209,22 @@ class MicroRoutine:
         return (_registered, (self.name,))
 
 
+#: Every constructed routine in ``rid`` order (registered or not); the
+#: fold from flat count lists back to ``(Module, MicroRoutine)``
+#: counters indexes this.
+_ALL_ROUTINES: list["MicroRoutine"] = []
+
 _REGISTRY: dict[str, MicroRoutine] = {}
+
+
+def pair_space() -> int:
+    """Size of the flat (routine, module) pair index space."""
+    return len(_ALL_ROUTINES) * N_MODULES
+
+
+def routines_by_rid() -> list["MicroRoutine"]:
+    """Live view of every constructed routine, indexed by ``rid``."""
+    return _ALL_ROUTINES
 
 
 def _registered(name: str) -> "MicroRoutine":
@@ -512,3 +563,10 @@ MEM_ROUTINES = {
     CacheCmd.WRITE: R_MEM_WRITE,
     CacheCmd.WRITE_STACK: R_MEM_WRITE_STACK,
 }
+
+#: ``MEM_ROUTINES`` indexed by ``CacheCmd.code`` — the hot-path form
+#: (no enum hashing), plus the precomputed pair bases and step counts
+#: used by :meth:`repro.core.stats.StatsCollector.mem_access`.
+MEM_ROUTINE_BY_CODE = tuple(MEM_ROUTINES[cmd] for cmd in CMD_BY_CODE)
+MEM_PAIR_BASE = tuple(r.pair_base for r in MEM_ROUTINE_BY_CODE)
+MEM_STEPS = tuple(r.n_steps for r in MEM_ROUTINE_BY_CODE)

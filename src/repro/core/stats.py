@@ -11,6 +11,17 @@ Memory accesses arrive through :meth:`mem_access` (called by
 :class:`~repro.core.memory.MemorySystem`): they bill one
 microinstruction carrying the cache command and are additionally
 tallied per (command, area) for Tables 3 and 4.
+
+Hot-path representation: emissions accumulate in flat per-id count
+lists — ``_pair_counts`` indexed by ``routine.pair_base + module.idx``
+and ``_mem_counts`` indexed by ``cmd.code * N_AREAS + area`` — so one
+emission is one list-index increment, with no tuple allocation and no
+enum hashing.  The reporting views :attr:`routine_counts` and
+:attr:`mem_counts` fold the flat lists back into the ``(Module,
+MicroRoutine)`` / ``(CacheCmd, Area)`` ``Counter``\\ s every consumer
+(tables, MAP tool, tests) always saw; the fold is exact, so the
+equivalence contract (``tests/core/test_stream_equivalence.py``) holds
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,19 +29,30 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro.core import micro as _micro
 from repro.core.micro import (
+    CMD_BY_CODE,
+    MEM_PAIR_BASE,
+    MODULE_BY_INDEX,
+    N_MODULES,
     NO_OPERATION_OPS,
     BranchOp,
     CacheCmd,
     MicroRoutine,
     Module,
     WFMode,
-    MEM_ROUTINES,
 )
+
+#: Number of memory areas (:class:`repro.core.memory.Area`); kept as a
+#: literal here to avoid a circular import — guarded by a test.
+N_AREAS = 5
 
 
 class StatsCollector:
     """Accumulates microinstruction-stream statistics for one run."""
+
+    __slots__ = ("module", "predicate", "inferences", "builtin_calls",
+                 "_pair_counts", "_mem_counts")
 
     def __init__(self) -> None:
         self.module: Module = Module.CONTROL
@@ -41,31 +63,101 @@ class StatsCollector:
         #: (:class:`repro.obs.session.ObservedStatsCollector`) reads it
         #: on every emission to attribute microsteps per predicate.
         self.predicate: str = "(startup)"
-        self.routine_counts: Counter = Counter()       # (Module, MicroRoutine) -> n
-        self.mem_counts: Counter = Counter()           # (CacheCmd, Area) -> n
         self.inferences = 0                            # user-predicate calls (LIPS)
         self.builtin_calls = 0
-        self.enabled = True
+        self._pair_counts: list[int] = [0] * _micro.pair_space()
+        self._mem_counts: list[int] = [0] * (len(CMD_BY_CODE) * N_AREAS)
 
     # -- recording -----------------------------------------------------------
 
     def emit(self, routine: MicroRoutine, times: int = 1) -> None:
         """Record ``times`` executions of ``routine`` in the current module."""
-        self.routine_counts[(self.module, routine)] += times
+        index = routine.pair_base + self.module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
 
     def emit_in(self, module: Module, routine: MicroRoutine, times: int = 1) -> None:
-        self.routine_counts[(module, routine)] += times
+        index = routine.pair_base + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
 
     def mem_access(self, cmd: CacheCmd, area) -> None:
-        self.mem_counts[(cmd, area)] += 1
-        self.routine_counts[(self.module, MEM_ROUTINES[cmd])] += 1
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += 1
+        index = MEM_PAIR_BASE[code] + self.module.idx
+        try:
+            self._pair_counts[index] += 1
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += 1
+
+    def mem_access_n(self, cmd: CacheCmd, area, times: int) -> None:
+        """Batched :meth:`mem_access`: ``times`` identical accesses.
+
+        Used by the fused :class:`~repro.core.memory.MemorySystem`
+        block paths (control-frame pushes, frame flushes, resume
+        reads); equivalent to calling :meth:`mem_access` ``times``
+        times.
+        """
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += times
+        index = MEM_PAIR_BASE[code] + self.module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
+
+    def _grow_pairs(self, index: int) -> None:
+        """Extend the flat pair list (a routine was defined after this
+        collector was constructed — test-defined routines)."""
+        counts = self._pair_counts
+        need = max(_micro.pair_space(), index + 1)
+        counts.extend([0] * (need - len(counts)))
+
+    # -- reporting views ---------------------------------------------------------
+
+    @property
+    def routine_counts(self) -> Counter:
+        """``(Module, MicroRoutine) -> n`` fold of the flat counters.
+
+        Rebuilt on access (reporting-time only); mutations to the
+        returned Counter do not feed back into the collector.
+        """
+        counts: Counter = Counter()
+        modules = MODULE_BY_INDEX
+        routines = _micro.routines_by_rid()
+        for index, n in enumerate(self._pair_counts):
+            if n:
+                counts[(modules[index % N_MODULES],
+                        routines[index // N_MODULES])] = n
+        return counts
+
+    @property
+    def mem_counts(self) -> Counter:
+        """``(CacheCmd, Area) -> n`` fold of the flat counters."""
+        from repro.core.memory import Area
+        counts: Counter = Counter()
+        areas = tuple(Area)
+        for index, n in enumerate(self._mem_counts):
+            if n:
+                counts[(CMD_BY_CODE[index // N_AREAS],
+                        areas[index % N_AREAS])] = n
+        return counts
 
     # -- derived statistics -----------------------------------------------------
 
     @property
     def total_steps(self) -> int:
-        return sum(routine.n_steps * n
-                   for (_, routine), n in self.routine_counts.items())
+        routines = _micro.routines_by_rid()
+        return sum(routines[index // N_MODULES].n_steps * n
+                   for index, n in enumerate(self._pair_counts) if n)
 
     def module_steps(self) -> dict[Module, int]:
         """Microinstruction steps per interpreter module (Table 2 numerators)."""
@@ -83,10 +175,9 @@ class StatsCollector:
 
     def cache_command_counts(self) -> dict[CacheCmd, int]:
         """Total accesses per cache command (Table 3 numerators)."""
-        counts: Counter = Counter()
-        for (cmd, _area), n in self.mem_counts.items():
-            counts[cmd] += n
-        return {cmd: counts.get(cmd, 0) for cmd in CacheCmd}
+        counts = self._mem_counts
+        return {cmd: sum(counts[cmd.code * N_AREAS:(cmd.code + 1) * N_AREAS])
+                for cmd in CacheCmd}
 
     def cache_command_ratios(self) -> dict[CacheCmd, float]:
         """Table 3: cache command steps as % of all microinstruction steps."""
@@ -113,7 +204,7 @@ class StatsCollector:
 
     @property
     def total_mem_accesses(self) -> int:
-        return sum(self.mem_counts.values())
+        return sum(self._mem_counts)
 
     # -- work file (Table 6) -------------------------------------------------------
 
@@ -185,11 +276,47 @@ class StatsCollector:
     # -- misc ------------------------------------------------------------------------
 
     def merge(self, other: "StatsCollector") -> None:
-        """Fold another collector's counts into this one."""
-        self.routine_counts.update(other.routine_counts)
-        self.mem_counts.update(other.mem_counts)
+        """Fold another collector's counts into this one.
+
+        Goes through the portable ``routine_counts``/``mem_counts``
+        views (not the flat lists) so it is independent of the other
+        collector's internal id assignment.
+        """
+        for (module, routine), n in other.routine_counts.items():
+            self.emit_in(module, routine, n)
+        for (cmd, area), n in other.mem_counts.items():
+            self._mem_counts[cmd.code * N_AREAS + area] += n
         self.inferences += other.inferences
         self.builtin_calls += other.builtin_calls
+
+    # -- pickling ---------------------------------------------------------------------
+    #
+    # Serialised in the portable Counter form (routines pickle by
+    # registry name, enums by member name) rather than the flat lists,
+    # so payloads stay compact (non-zero entries only) and independent
+    # of routine id assignment order.
+
+    def __getstate__(self) -> dict:
+        return {
+            "module": self.module,
+            "predicate": self.predicate,
+            "inferences": self.inferences,
+            "builtin_calls": self.builtin_calls,
+            "routine_counts": self.routine_counts,
+            "mem_counts": self.mem_counts,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.module = state["module"]
+        self.predicate = state["predicate"]
+        self.inferences = state["inferences"]
+        self.builtin_calls = state["builtin_calls"]
+        self._pair_counts = [0] * _micro.pair_space()
+        self._mem_counts = [0] * (len(CMD_BY_CODE) * N_AREAS)
+        for (module, routine), n in state["routine_counts"].items():
+            self.emit_in(module, routine, n)
+        for (cmd, area), n in state["mem_counts"].items():
+            self._mem_counts[cmd.code * N_AREAS + area] += n
 
 
 @dataclass
@@ -208,4 +335,7 @@ class NullStats:
         pass
 
     def mem_access(self, cmd, area) -> None:
+        pass
+
+    def mem_access_n(self, cmd, area, times: int) -> None:
         pass

@@ -26,6 +26,12 @@ from __future__ import annotations
 from repro.core import micro
 from repro.core.micro import Module
 
+_R_SWITCH_BUFFER = micro.R_SWITCH_BUFFER
+_R_FRAME_READ_BUF = micro.R_FRAME_READ_BUF
+_R_FRAME_READ_BUF_BASE = micro.R_FRAME_READ_BUF_BASE
+_R_FRAME_WRITE_BUF = micro.R_FRAME_WRITE_BUF
+_R_FRAME_WRITE_BUF_BASE = micro.R_FRAME_WRITE_BUF_BASE
+
 BUFFER_SLOTS = 64
 WF_CAPACITY = 1024
 DIRECT_WORDS = 64        # directly addressable from a microinstruction
@@ -37,6 +43,8 @@ BASE_RELATIVE_SLOTS = 32
 
 class WorkFile:
     """Tracks the two frame buffers and bills WF-mode accesses."""
+
+    __slots__ = ("stats", "_owners", "_next")
 
     def __init__(self, stats):
         self.stats = stats
@@ -59,7 +67,7 @@ class WorkFile:
         if evicted is not None:
             evicted.buffer_id = None
         self._owners[buffer_id] = frame
-        self.stats.emit(micro.R_SWITCH_BUFFER)
+        self.stats.emit(_R_SWITCH_BUFFER)
         return buffer_id
 
     def release(self, frame) -> None:
@@ -93,13 +101,13 @@ class WorkFile:
         @WFAR1 indirect.
         """
         if slot < BASE_RELATIVE_SLOTS and slot % 8 == 0:
-            self.stats.emit(micro.R_FRAME_READ_BUF_BASE)
+            self.stats.emit(_R_FRAME_READ_BUF_BASE)
         else:
-            self.stats.emit(micro.R_FRAME_READ_BUF)
+            self.stats.emit(_R_FRAME_READ_BUF)
 
     def write_slot(self, slot: int, base_relative: bool = False) -> None:
         """Bill one buffered-slot write."""
         if base_relative and slot < BASE_RELATIVE_SLOTS:
-            self.stats.emit(micro.R_FRAME_WRITE_BUF_BASE)
+            self.stats.emit(_R_FRAME_WRITE_BUF_BASE)
         else:
-            self.stats.emit(micro.R_FRAME_WRITE_BUF)
+            self.stats.emit(_R_FRAME_WRITE_BUF)

@@ -35,15 +35,14 @@ def generate() -> AblationResults:
     policy = None
     for paper_name, workload in ASSOCIATIVITY_PROGRAMS.items():
         run = run_psi(workload, record_trace=True)
-        # Decode the packed trace once per workload; both studies (and
-        # both configurations within each) replay the decoded entries.
-        entries = run.trace.decoded()
-        associativity[paper_name] = compare_associativity(entries, run.steps)
+        # Pass the recorder itself: simulate_many's packed fast path
+        # replays the raw int entries without rebuilding cmd objects.
+        associativity[paper_name] = compare_associativity(run.trace, run.steps)
         if workload == POLICY_PROGRAM:
-            policy = compare_write_policy(entries, run.steps)
+            policy = compare_write_policy(run.trace, run.steps)
     if policy is None:
         run = run_psi(POLICY_PROGRAM, record_trace=True)
-        policy = compare_write_policy(run.trace.decoded(), run.steps)
+        policy = compare_write_policy(run.trace, run.steps)
     return AblationResults(associativity, policy)
 
 

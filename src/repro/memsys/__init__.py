@@ -1,7 +1,8 @@
 """Memory-system simulation: the PMMS cache simulator and timing model."""
 
 from repro.memsys.cache import (AreaCounts, Cache, CacheConfig, CacheStats,
-                                WritePolicy, count_entries)
+                                WritePolicy, count_entries,
+                                count_entries_packed)
 from repro.memsys.timing import (
     CYCLE_NS,
     MISS_NS,
@@ -17,7 +18,7 @@ PSI_CACHE = CacheConfig()
 
 __all__ = [
     "Cache", "CacheConfig", "CacheStats", "AreaCounts", "WritePolicy",
-    "count_entries",
+    "count_entries", "count_entries_packed",
     "PSI_CACHE",
     "TimingBreakdown", "execution_time", "time_without_cache",
     "improvement_ratio", "CYCLE_NS", "MISS_NS", "TRANSFER_NS",

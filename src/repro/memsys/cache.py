@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.memory import AREA_SHIFT, Area
-from repro.core.micro import CacheCmd
+from repro.core.memory import AREA_SHIFT, AREAS, Area
+from repro.core.micro import CMD_BY_CODE, CacheCmd
 
 
 class WritePolicy:
@@ -141,6 +141,23 @@ def count_entries(entries) -> tuple[dict, dict]:
     return area_counts, cmd_counts
 
 
+def count_entries_packed(data) -> tuple[list, list]:
+    """Per-area and per-command access totals of a *packed* trace.
+
+    The packed form is :attr:`repro.core.memory.TraceRecorder.data` —
+    ``address << 2 | command_code`` ints, never decoded.  Returns flat
+    lists indexed by area value and command code, the shape
+    :meth:`Cache.access_many_packed` consumes.
+    """
+    area_counts = [0] * len(AREAS)
+    cmd_counts = [0] * len(CMD_BY_CODE)
+    shift = AREA_SHIFT + 2
+    for packed in data:
+        cmd_counts[packed & 3] += 1
+        area_counts[packed >> shift] += 1
+    return area_counts, cmd_counts
+
+
 #: Sentinel distinguishing "absent" from a stored False dirty bit.
 _ABSENT = object()
 
@@ -169,41 +186,50 @@ class Cache:
             if cfg.block_words > 1 else 0
         if 1 << self._block_shift != cfg.block_words:
             raise ValueError("block size must be a power of two")
+        # Hot-path constants hoisted out of the per-access listener call.
+        self._n_sets = cfg.sets
+        self._max_ways = cfg.ways
+        self._store_in = cfg.policy == WritePolicy.STORE_IN
+        self._ws_no_fetch = cfg.write_stack_no_fetch
+        self._area_counts = tuple(self.stats.per_area[area] for area in AREAS)
 
     # -- MemoryListener interface -------------------------------------------------
 
     def access(self, cmd: CacheCmd, address: int) -> bool:
         """Simulate one access; returns True on hit."""
         block = address >> self._block_shift
-        ways = self._sets[block % self.config.sets]
-        counts = self.stats.per_area[Area(address >> AREA_SHIFT)]
+        ways = self._sets[block % self._n_sets]
+        counts = self._area_counts[address >> AREA_SHIFT]
+        stats = self.stats
         dirty = ways.pop(block, _ABSENT)
 
         is_write = cmd is not CacheCmd.READ
         if dirty is not _ABSENT:
             counts.hits += 1
-            self.stats.per_cmd_hits[cmd] += 1
+            stats.per_cmd_hits[cmd] += 1
             if is_write:
-                if self.config.policy == WritePolicy.STORE_IN:
+                if self._store_in:
                     dirty = True
                 else:
-                    self.stats.through_writes += 1
+                    stats.through_writes += 1
             ways[block] = dirty        # re-insert at the MRU end
             return True
 
         counts.misses += 1
-        self.stats.per_cmd_misses[cmd] += 1
-        if is_write and self.config.policy == WritePolicy.STORE_THROUGH:
+        stats.per_cmd_misses[cmd] += 1
+        if is_write and not self._store_in:
             # No write-allocate: the word goes straight to memory.
-            self.stats.through_writes += 1
+            stats.through_writes += 1
             return False
         fetch = not (is_write
                      and cmd is CacheCmd.WRITE_STACK
-                     and self.config.write_stack_no_fetch)
+                     and self._ws_no_fetch)
         if fetch:
-            self.stats.block_fetches += 1
-        self._fill(ways, block, dirty=is_write
-                   and self.config.policy == WritePolicy.STORE_IN)
+            stats.block_fetches += 1
+        if len(ways) >= self._max_ways:
+            if ways.pop(next(iter(ways))):      # evict the LRU block
+                stats.writebacks += 1
+        ways[block] = is_write and self._store_in
         return False
 
     def access_many(self, entries, totals=None) -> None:
@@ -297,6 +323,93 @@ class Cache:
         stats.writebacks += writebacks
         stats.through_writes += through_writes
 
+    def access_many_packed(self, data, totals=None) -> None:
+        """Replay a packed int trace (``address << 2 | code``) in one call.
+
+        Semantically identical to :meth:`access_many` over the decoded
+        entries, but the command objects are never rebuilt: commands are
+        compared as the 2-bit codes the trace already carries
+        (``CMD_BY_CODE`` order — READ=0, WRITE=1, WRITE_STACK=2).
+        ``totals`` is the pair from :func:`count_entries_packed`; pass
+        it when replaying one trace through many configurations.
+        """
+        sets = self._sets
+        n_sets = self._n_sets
+        block_shift = self._block_shift + 2
+        area_shift = AREA_SHIFT + 2
+        max_ways = self._max_ways
+        store_in = self._store_in
+        ws_no_fetch = self._ws_no_fetch
+
+        if totals is None:
+            totals = count_entries_packed(data)
+        area_totals, cmd_totals = totals
+
+        stats = self.stats
+        absent = _ABSENT
+        next_ = next
+        iter_ = iter
+        area_misses = [0] * len(AREAS)
+        cmd_misses = [0] * len(CMD_BY_CODE)
+        block_fetches = 0
+        writebacks = 0
+
+        if store_in:
+            for packed in data:
+                block = packed >> block_shift
+                ways = sets[block % n_sets]
+                dirty = ways.pop(block, absent)
+                code = packed & 3
+                if dirty is not absent:
+                    # Hit: re-insert at the MRU end; a write dirties.
+                    ways[block] = True if code else dirty
+                    continue
+                area_misses[packed >> area_shift] += 1
+                cmd_misses[code] += 1
+                if not (ws_no_fetch and code == 2):
+                    block_fetches += 1
+                if len(ways) >= max_ways:
+                    if ways.pop(next_(iter_(ways))):
+                        writebacks += 1
+                # Write-allocate: a write miss installs a dirty block.
+                ways[block] = code != 0
+            through_writes = 0
+        else:
+            # Store-through: every write (hit or miss) goes to memory,
+            # write misses do not allocate, and blocks are never dirty.
+            for packed in data:
+                block = packed >> block_shift
+                ways = sets[block % n_sets]
+                if ways.pop(block, absent) is not absent:
+                    ways[block] = False
+                    continue
+                area_misses[packed >> area_shift] += 1
+                code = packed & 3
+                cmd_misses[code] += 1
+                if code:
+                    continue
+                block_fetches += 1
+                if len(ways) >= max_ways:
+                    ways.pop(next_(iter_(ways)))
+                ways[block] = False
+            through_writes = cmd_totals[1] + cmd_totals[2]
+
+        per_area = stats.per_area
+        for area in AREAS:
+            counts = per_area[area]
+            misses = area_misses[area]
+            counts.hits += area_totals[area] - misses
+            counts.misses += misses
+        per_cmd_hits = stats.per_cmd_hits
+        per_cmd_misses = stats.per_cmd_misses
+        for code, cmd in enumerate(CMD_BY_CODE):
+            misses = cmd_misses[code]
+            per_cmd_hits[cmd] += cmd_totals[code] - misses
+            per_cmd_misses[cmd] += misses
+        stats.block_fetches += block_fetches
+        stats.writebacks += writebacks
+        stats.through_writes += through_writes
+
     def _fill(self, ways: dict, block: int, dirty: bool) -> None:
         if len(ways) >= self.config.ways:
             if ways.pop(next(iter(ways))):      # evict the LRU block
@@ -319,6 +432,7 @@ class Cache:
     def reset(self) -> None:
         self.stats = CacheStats()
         self._sets = [{} for _ in range(self.config.sets)]
+        self._area_counts = tuple(self.stats.per_area[area] for area in AREAS)
 
     @property
     def resident_blocks(self) -> int:

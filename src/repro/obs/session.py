@@ -11,8 +11,10 @@ attachment points :func:`repro.tools.collect.collect` uses:
   deterministic microstep clock, attributes every emission to the
   machine's current ``(predicate, module)`` context, traces predicate
   slices and sampled microroutine emissions;
-* :meth:`ObsSession.cache_sampler` — a memory listener sampling the
-  online cache's hit ratio over fixed access windows;
+* :meth:`ObsSession.cache_sampler` — a sampler reading the online
+  cache's hit ratio over fixed windows of accounted accesses, driven
+  by the collector's billing path (keeping the memory fan-out on its
+  single-listener fast path);
 * :attr:`ObsSession.stack_observer` — a
   :class:`~repro.core.memory.MemorySystem` observer recording
   stack-area reclaim events (the PSI reclaims stacks by truncation on
@@ -37,8 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import IO
 
-from repro.core.stats import StatsCollector
-from repro.core.micro import MEM_ROUTINES, Module
+from repro.core.stats import N_AREAS, StatsCollector
+from repro.core.micro import MEM_PAIR_BASE, MEM_STEPS, Module
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import MicroProfile
 from repro.obs.trace import (
@@ -70,57 +72,274 @@ class ObservedStatsCollector(StatsCollector):
     The deterministic clock :attr:`now` is the cumulative microstep
     count of everything emitted so far; all trace timestamps come from
     it, which is why traces are reproducible bit-for-bit.
+
+    Counting goes through the same flat per-id lists as the base
+    collector, so an observed run bills identically to a plain one
+    (``tests/core/test_stream_equivalence.py`` pins this).  Profiler
+    attribution is *buffered*: consecutive emissions under the same
+    ``(predicate, module)`` identity accumulate into one pending sample
+    that is flushed when either changes (and in :meth:`close`), cutting
+    per-emission obs work to a couple of attribute compares.  The flush
+    points never move steps between profile buckets — only the number
+    of ``profile.add`` calls changes.  This class is the exact-mode
+    (``profile_interval == 1``, the default) collector; statistical
+    sampling lives in :class:`SampledObservedStatsCollector`.
     """
+
+    __slots__ = ("tracer", "profile", "_now_base", "_open_pred",
+                 "_micro_interval", "_micro_tick", "_exact", "_attribute",
+                 "_buf_pred", "_buf_module", "_buf_steps",
+                 "_cache_sampler", "_win_n", "_win_limit")
+
+    #: window-counter sentinel when no cache sampler is attached: the
+    #: per-access tick compares against it and never fires
+    _NO_WINDOW = 1 << 62
 
     def __init__(self, tracer: Tracer, profile: MicroProfile,
                  micro_sample_interval: int = 512):
         super().__init__()
         self.tracer = tracer
         self.profile = profile
-        self.now = 0
+        self._now_base = 0
         self._open_pred: str | None = None
         self._micro_interval = micro_sample_interval
         self._micro_tick = 0
-        self._attribute = (profile.add if profile.sample_interval == 1
+        self._exact = profile.sample_interval == 1
+        self._attribute = (profile.add if self._exact
                            else profile.add_sampled)
+        self._buf_pred: str | None = None
+        self._buf_module = None
+        self._buf_steps = 0
+        self._cache_sampler = None
+        self._win_n = 0
+        self._win_limit = self._NO_WINDOW
+
+    def attach_cache_sampler(self, sampler: "CacheWindowSampler") -> None:
+        """Drive ``sampler`` from this collector's accounted accesses."""
+        self._cache_sampler = sampler
+        self._win_limit = sampler.window
+        self._win_n = 0
+
+    @property
+    def now(self) -> int:
+        """The deterministic clock: cumulative microsteps billed so far.
+
+        Derived as folded base + pending buffer so the hot paths never
+        maintain a separate counter; every read point sees exactly the
+        value an eagerly-updated clock would hold.
+        """
+        return self._now_base + self._buf_steps
 
     # -- recording overrides ---------------------------------------------------
+    #
+    # The fast path of every override is: fold the count, then either
+    # grow the pending buffer (two identity compares, one add) when the
+    # (predicate, module) context is unchanged, or roll the buffer.
+    # Rolling also opens the predicate slice when the predicate moved,
+    # which keeps the invariant the fast path relies on: whenever
+    # ``pred is self._buf_pred``, the slice for ``pred`` is already
+    # open, so the hot path never has to re-check ``_open_pred``.
+
+    def _roll_buffer(self, pred, module, steps: int) -> None:
+        buffered = self._buf_steps
+        if buffered:
+            self.profile.add(self._buf_pred, self._buf_module, buffered)
+            self._now_base += buffered
+        self._buf_pred = pred
+        self._buf_module = module
+        self._buf_steps = steps
+        if pred is not self._open_pred:
+            self._open_pred = pred
+            self.tracer.begin_slice(TRACK_CALLS, pred, self._now_base)
 
     def emit(self, routine, times: int = 1) -> None:
         module = self.module
-        self.routine_counts[(module, routine)] += times
+        index = routine.pair_base + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
+        steps = routine.n_steps * times
+        pred = self.predicate
+        if pred is self._buf_pred and module is self._buf_module:
+            self._buf_steps += steps
+        else:
+            self._roll_buffer(pred, module, steps)
+        tick = self._micro_tick + times
+        if tick < self._micro_interval:
+            self._micro_tick = tick
+        else:
+            self._micro_tick = 0
+            self.tracer.complete(TRACK_MICRO, routine.name,
+                                 self._now_base + self._buf_steps - steps,
+                                 steps, {"module": module.value})
+
+    def emit_in(self, module, routine, times: int = 1) -> None:
+        index = routine.pair_base + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
+        steps = routine.n_steps * times
+        pred = self.predicate
+        if pred is self._buf_pred and module is self._buf_module:
+            self._buf_steps += steps
+        else:
+            self._roll_buffer(pred, module, steps)
+
+    def mem_access(self, cmd, area) -> None:
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += 1
+        module = self.module
+        index = MEM_PAIR_BASE[code] + module.idx
+        try:
+            self._pair_counts[index] += 1
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += 1
+        steps = MEM_STEPS[code]
+        pred = self.predicate
+        if pred is self._buf_pred and module is self._buf_module:
+            self._buf_steps += steps
+        else:
+            self._roll_buffer(pred, module, steps)
+        n = self._win_n + 1
+        if n < self._win_limit:
+            self._win_n = n
+        else:
+            self._win_n = 0
+            self._cache_sampler.sample()
+
+    def mem_access_n(self, cmd, area, times: int) -> None:
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += times
+        module = self.module
+        index = MEM_PAIR_BASE[code] + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
+        steps = MEM_STEPS[code] * times
+        pred = self.predicate
+        if pred is self._buf_pred and module is self._buf_module:
+            self._buf_steps += steps
+        else:
+            self._roll_buffer(pred, module, steps)
+        n = self._win_n + times
+        if n < self._win_limit:
+            self._win_n = n
+        else:
+            self._win_n = 0
+            self._cache_sampler.sample()
+
+    def _flush_profile(self) -> None:
+        buffered = self._buf_steps
+        if buffered:
+            self.profile.add(self._buf_pred, self._buf_module, buffered)
+            self._now_base += buffered
+            self._buf_pred = None
+            self._buf_module = None
+            self._buf_steps = 0
+
+    def close(self) -> None:
+        """Flush pending attribution, end the open predicate slice."""
+        self._flush_profile()
+        self.tracer.finish(self.now)
+        self._open_pred = None
+
+
+class SampledObservedStatsCollector(ObservedStatsCollector):
+    """Statistical attribution (``profile_interval > 1``): unbuffered.
+
+    Every emission goes straight to ``profile.add_sampled`` so the
+    profiler's every-Nth-call sampling keeps its meaning; the exact
+    class's run-length buffering would collapse the sample population.
+    Counting and clocking are identical to the exact collector; with
+    the buffer permanently empty, the clock advances through
+    ``_now_base`` directly.
+    """
+
+    __slots__ = ()
+
+    def emit(self, routine, times: int = 1) -> None:
+        module = self.module
+        index = routine.pair_base + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
         steps = routine.n_steps * times
         pred = self.predicate
         if pred is not self._open_pred:
             self._open_pred = pred
             self.tracer.begin_slice(TRACK_CALLS, pred, self.now)
         self._attribute(pred, module, steps)
-        self.now += steps
-        self._micro_tick += times
-        if self._micro_tick >= self._micro_interval:
+        self._now_base += steps
+        tick = self._micro_tick + times
+        if tick < self._micro_interval:
+            self._micro_tick = tick
+        else:
             self._micro_tick = 0
             self.tracer.complete(TRACK_MICRO, routine.name,
                                  self.now - steps, steps,
                                  {"module": module.value})
 
     def emit_in(self, module, routine, times: int = 1) -> None:
-        self.routine_counts[(module, routine)] += times
+        index = routine.pair_base + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
         steps = routine.n_steps * times
         self._attribute(self.predicate, module, steps)
-        self.now += steps
+        self._now_base += steps
 
     def mem_access(self, cmd, area) -> None:
-        self.mem_counts[(cmd, area)] += 1
-        routine = MEM_ROUTINES[cmd]
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += 1
         module = self.module
-        self.routine_counts[(module, routine)] += 1
-        self._attribute(self.predicate, module, routine.n_steps)
-        self.now += routine.n_steps
+        index = MEM_PAIR_BASE[code] + module.idx
+        try:
+            self._pair_counts[index] += 1
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += 1
+        steps = MEM_STEPS[code]
+        self._attribute(self.predicate, module, steps)
+        self._now_base += steps
+        n = self._win_n + 1
+        if n < self._win_limit:
+            self._win_n = n
+        else:
+            self._win_n = 0
+            self._cache_sampler.sample()
 
-    def close(self) -> None:
-        """End the open predicate slice at the final clock value."""
-        self.tracer.finish(self.now)
-        self._open_pred = None
+    def mem_access_n(self, cmd, area, times: int) -> None:
+        code = cmd.code
+        self._mem_counts[code * N_AREAS + area] += times
+        module = self.module
+        index = MEM_PAIR_BASE[code] + module.idx
+        try:
+            self._pair_counts[index] += times
+        except IndexError:
+            self._grow_pairs(index)
+            self._pair_counts[index] += times
+        pred = self.predicate
+        steps = MEM_STEPS[code]
+        for _ in range(times):
+            self._attribute(pred, module, steps)
+        self._now_base += steps * times
+        n = self._win_n + times
+        if n < self._win_limit:
+            self._win_n = n
+        else:
+            self._win_n = 0
+            self._cache_sampler.sample()
 
 
 class StackObserver:
@@ -145,16 +364,25 @@ class StackObserver:
 
 
 class CacheWindowSampler:
-    """Memory listener sampling the online cache over access windows.
+    """Samples the online cache over windows of accounted accesses.
 
-    Attach *after* the cache listener so each window reflects the
-    cache's state including the access that completed the window.
+    Driven by the observed collector's billing path rather than
+    attached as a memory listener: the collector counts accounted
+    accesses inline (two integer ops) and calls :meth:`sample` once
+    per ``window``.  Keeping the sampler off the listener chain keeps
+    :class:`~repro.core.memory.MemorySystem`'s fan-out on its
+    single-listener fast path when only the cache is attached — the
+    dominant obs-enabled configuration.  A window boundary landing
+    inside a block access samples at billing time, before the block's
+    remaining words reach the cache; windowed ratios are sampled,
+    derived data, so the one-block skew is immaterial.
+
     Emits a windowed hit-ratio counter event on the ``cache`` track and
     feeds the ``psi.cache.window_hit_ratio`` histogram.
     """
 
     __slots__ = ("cache", "tracer", "histogram", "collector", "window",
-                 "_n", "_hits", "_misses")
+                 "_hits", "_misses")
 
     def __init__(self, cache, tracer: Tracer, histogram,
                  collector: ObservedStatsCollector, window: int = 8192):
@@ -163,15 +391,10 @@ class CacheWindowSampler:
         self.histogram = histogram
         self.collector = collector
         self.window = window
-        self._n = 0
         self._hits = 0
         self._misses = 0
 
-    def access(self, cmd, address) -> None:
-        self._n += 1
-        if self._n < self.window:
-            return
-        self._n = 0
+    def sample(self) -> None:
         stats = self.cache.stats
         hits, misses = stats.hits, stats.misses
         window_hits = hits - self._hits
@@ -218,7 +441,10 @@ class ObsSession:
         self.tracer = Tracer(capacity=self.config.trace_capacity)
         self.profile = MicroProfile(self.config.profile_interval)
         self.metrics = MetricsRegistry()
-        self.collector = ObservedStatsCollector(
+        collector_cls = (ObservedStatsCollector
+                         if self.profile.sample_interval == 1
+                         else SampledObservedStatsCollector)
+        self.collector = collector_cls(
             self.tracer, self.profile,
             micro_sample_interval=self.config.micro_sample_interval)
         self.stack_observer = StackObserver(self.tracer, self.collector)
@@ -227,9 +453,11 @@ class ObsSession:
         if cache is None:
             return None
         histogram = self.metrics.histogram("psi.cache.window_hit_ratio")
-        return CacheWindowSampler(cache, self.tracer, histogram,
-                                  self.collector,
-                                  window=self.config.cache_window)
+        sampler = CacheWindowSampler(cache, self.tracer, histogram,
+                                     self.collector,
+                                     window=self.config.cache_window)
+        self.collector.attach_cache_sampler(sampler)
+        return sampler
 
     def finish(self, cache=None) -> RunObservation:
         """Close the trace, derive the per-run metrics, build the artifact."""

@@ -172,13 +172,11 @@ def collect(program: str, goal: str, *,
     cache = Cache(cache_config or CacheConfig()) if with_cache else None
     if cache is not None:
         machine.mem.attach(cache)
-    sampler = None
     if session is not None:
         machine.mem.observer = session.stack_observer
-        sampler = session.cache_sampler(cache)
-        if sampler is not None:
-            # After the cache, so windows see the completed access.
-            machine.mem.attach(sampler)
+        # Driven by the collector's billing path, not a mem listener:
+        # keeps the fan-out on the single-listener fast path.
+        session.cache_sampler(cache)
 
     solver = machine.solve(goal)
     if all_solutions:
@@ -189,8 +187,6 @@ def collect(program: str, goal: str, *,
         succeeded = solution is not None
         solutions = 1 if succeeded else 0
 
-    if sampler is not None:
-        machine.mem.detach(sampler)
     if trace is not None:
         machine.mem.detach(trace)
     if cache is not None:

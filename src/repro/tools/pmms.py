@@ -31,6 +31,7 @@ from repro.memsys import (
     CacheStats,
     WritePolicy,
     count_entries,
+    count_entries_packed,
     execution_time,
     improvement_ratio,
     time_without_cache,
@@ -56,7 +57,7 @@ def simulate(trace: TraceRecorder, config: CacheConfig | None = None) -> CacheSt
     """
     cache = Cache(config or CacheConfig())
     access = cache.access
-    for cmd, address in trace.entries():
+    for cmd, address in _decoded(trace):
         access(cmd, address)
     return cache.stats
 
@@ -78,9 +79,19 @@ def simulate_many(trace, configs) -> list[CacheStats]:
     which is what makes caching the trace instead of the replay results
     safe.
     """
+    stats = []
+    if isinstance(trace, TraceRecorder):
+        # Packed fast path: the 2-bit command codes in the trace drive
+        # the replay directly — CacheCmd objects are never rebuilt.
+        data = trace.data
+        totals = count_entries_packed(data)
+        for config in configs:
+            cache = Cache(config)
+            cache.access_many_packed(data, totals)
+            stats.append(cache.stats)
+        return stats
     entries = _decoded(trace)
     totals = count_entries(entries)
-    stats = []
     for config in configs:
         cache = Cache(config)
         cache.access_many(entries, totals)

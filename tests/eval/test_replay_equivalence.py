@@ -114,3 +114,22 @@ class TestAccessManyIncremental:
         self_counting.access_many(entries)
         assert_stats_identical(self_counting.stats, with_totals.stats,
                                "totals offload")
+
+    def test_packed_self_counting_matches_reference(self, trace):
+        """access_many_packed without totals == the per-access reference."""
+        from repro.memsys import Cache, count_entries_packed
+
+        for config in ablation_configs():
+            packed = Cache(config)
+            packed.access_many_packed(trace.data)
+            assert_stats_identical(simulate(trace, config), packed.stats,
+                                   f"packed self-counting {config.policy}")
+
+    def test_count_entries_packed_matches_decoded(self, trace):
+        from repro.memsys import count_entries, count_entries_packed
+
+        area_d, cmd_d = count_entries(trace.decoded())
+        area_p, cmd_p = count_entries_packed(trace.data)
+        assert list(area_p) == [area_d[i] for i in sorted(area_d)]
+        from repro.core.micro import CMD_BY_CODE
+        assert list(cmd_p) == [cmd_d[cmd] for cmd in CMD_BY_CODE]
