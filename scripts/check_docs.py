@@ -35,6 +35,7 @@ DEFAULT_DOCS = [
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/ENGINES.md",
     "docs/OBSERVABILITY.md",
 ]
 

@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import EvaluationError, InstantiationError, TypeError_
+from repro.engine.builtins_spec import (
+    ARITH_BINARY,
+    ARITH_UNARY,
+    apply_arith_op,
+    apply_compare,
+)
+from repro.errors import InstantiationError, TypeError_
 from repro.prolog.writer import term_to_string
 
 
@@ -46,59 +52,16 @@ LIS = 2
 CON = 3
 INT = 4
 
-_ARITH_BINARY = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "//": lambda a, b: _int_div(a, b),
-    "/": lambda a, b: _int_div(a, b),
-    "mod": lambda a, b: a % b if b else _div0(),
-    "rem": lambda a, b: a - _int_div(a, b) * b,
-    "min": min,
-    "max": max,
-    ">>": lambda a, b: a >> b,
-    "<<": lambda a, b: a << b,
-    "/\\": lambda a, b: a & b,
-    "\\/": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-}
-
-_ARITH_UNARY = {"-": lambda a: -a, "+": lambda a: a, "abs": abs, "\\": lambda a: ~a}
-
-
-def _div0():
-    raise EvaluationError("division by zero")
-
-
-def _int_div(a: int, b: int) -> int:
-    if b == 0:
-        _div0()
-    q = abs(a) // abs(b)
-    return q if (a >= 0) == (b >= 0) else -q
-
-
-def apply_arith_op(name: str, values: list) -> int:
-    """Apply one arithmetic operator to already-evaluated operands."""
-    if len(values) == 2 and name in _ARITH_BINARY:
-        return _ARITH_BINARY[name](values[0], values[1])
-    if len(values) == 1 and name in _ARITH_UNARY:
-        return _ARITH_UNARY[name](values[0])
-    raise TypeError_("evaluable functor", f"{name}/{len(values)}")
-
-
-_ARITH_COMPARE = {
-    "=:=": lambda a, b: a == b,
-    "=\\=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    ">": lambda a, b: a > b,
-    "=<": lambda a, b: a <= b,
-    ">=": lambda a, b: a >= b,
-}
+# Operator tables and division semantics are shared with the KL0 engine
+# through repro.engine.builtins_spec; only the traversal driver below is
+# the baseline's (it charges one "arith_node" event per expression node).
+_ARITH_BINARY = ARITH_BINARY
+_ARITH_UNARY = ARITH_UNARY
 
 
 def apply_arith(name: str, a: int, b: int) -> bool:
     """Apply a fast-code arithmetic comparison."""
-    return _ARITH_COMPARE[name](a, b)
+    return apply_compare(name, a, b)
 
 
 def eval_arith(m, cell) -> int:

@@ -24,9 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baseline.isa import COSTS_NS, Instr, Op, X, Y
+from repro.engine.frontend import GOAL_CALL, GOAL_CUT, NormalizedClause
 from repro.errors import PrologSyntaxError
 from repro.prolog.terms import Atom, Struct, Term, Var, is_cons, is_nil
-from repro.prolog.transform import FlatClause
 
 #: Builtins compiled to fast-code arithmetic: expression arguments are
 #: evaluated inline (DEC-10 "fast-code" with mode declarations) instead
@@ -85,9 +85,15 @@ def first_arg_descriptor(head: Term) -> tuple[str, object]:
 
 
 class ClauseCompiler:
-    """Compiles one flat clause to WAM code."""
+    """Compiles one normalized clause (shared frontend IR) to WAM code.
 
-    def __init__(self, clause: FlatClause, builtin_table: dict):
+    Goal classification (user call / builtin / cut, meta-call marking)
+    comes from :class:`repro.engine.frontend.NormalizedClause`; this
+    compiler keeps only what is genuinely WAM register allocation — the
+    chunk-based permanent-variable analysis.
+    """
+
+    def __init__(self, clause: NormalizedClause, builtin_table: dict):
         self.clause = clause
         self.builtin_table = builtin_table
         self.code: list[Instr] = []
@@ -101,16 +107,16 @@ class ClauseCompiler:
 
     def compile(self) -> CompiledClause:
         head_args = self.clause.head_args
-        body = self.clause.body
-        calls = [i for i, g in enumerate(body) if self._goal_kind(g) == "call"]
+        goals = self.clause.goals
+        calls = [i for i, g in enumerate(goals) if g.kind == GOAL_CALL]
         # Meta-calls (call/1 and variable goals) transfer control like
         # user calls: they end register lifetimes and require an
         # environment when non-final, so the continuation register can
         # be restored by deallocate.
-        boundaries = [i for i, g in enumerate(body)
-                      if self._goal_kind(g) == "call" or self._is_meta(g)]
-        needs_env = self._classify_variables(head_args, body, boundaries)
-        deep_cut = any(self._goal_kind(g) == "cut" for i, g in enumerate(body)
+        boundaries = [i for i, g in enumerate(goals)
+                      if g.kind == GOAL_CALL or g.is_meta]
+        needs_env = self._classify_variables(head_args, goals, boundaries)
+        deep_cut = any(g.kind == GOAL_CUT for i, g in enumerate(goals)
                        if i > 0)
         if deep_cut and self.cut_level_slot is None:
             self.cut_level_slot = len(self.perms)
@@ -118,8 +124,8 @@ class ClauseCompiler:
             needs_env = True
 
         self._xfree = max([len(head_args)]
-                          + [self._goal_arity(g) for g in body]) \
-            if (head_args or body) else 0
+                          + [g.arity for g in goals]) \
+            if (head_args or goals) else 0
 
         if needs_env:
             self.code.append(Instr(Op.ALLOCATE, len(self.perms)))
@@ -130,22 +136,21 @@ class ClauseCompiler:
             self._compile_get(arg, i)
 
         last_call = calls[-1] if calls else None
-        for i, goal in enumerate(body):
-            kind = self._goal_kind(goal)
-            if kind == "cut":
+        for i, goal in enumerate(goals):
+            if goal.kind == GOAL_CUT:
                 if i == 0 and not needs_env:
                     self.code.append(Instr(Op.NECK_CUT))
                 elif self.cut_level_slot is not None:
                     self.code.append(Instr(Op.CUT, (Y, self.cut_level_slot)))
                 else:
                     self.code.append(Instr(Op.NECK_CUT))
-            elif kind == "builtin":
-                self._compile_builtin(goal)
-            else:
-                is_final = (i == last_call and i == len(body) - 1)
-                self._compile_call(goal, needs_env, tail=is_final)
+            elif goal.kind == GOAL_CALL:
+                is_final = (i == last_call and i == len(goals) - 1)
+                self._compile_call(goal.term, needs_env, tail=is_final)
                 if is_final:
                     return self._finish(needs_env, tail_done=True)
+            else:
+                self._compile_builtin(goal.term)
         return self._finish(needs_env, tail_done=False)
 
     def _finish(self, needs_env: bool, tail_done: bool) -> CompiledClause:
@@ -163,22 +168,7 @@ class ClauseCompiler:
             return True
         return isinstance(goal, Struct) and goal.indicator == ("call", 1)
 
-    def _goal_kind(self, goal: Term) -> str:
-        if isinstance(goal, Atom):
-            if goal.name == "!":
-                return "cut"
-            return "builtin" if (goal.name, 0) in self.builtin_table else "call"
-        if isinstance(goal, Var):
-            return "builtin"  # meta-call
-        assert isinstance(goal, Struct)
-        if goal.indicator in self.builtin_table:
-            return "builtin"
-        return "call"
-
-    def _goal_arity(self, goal: Term) -> int:
-        return goal.arity if isinstance(goal, Struct) else (1 if isinstance(goal, Var) else 0)
-
-    def _classify_variables(self, head_args, body, calls) -> bool:
+    def _classify_variables(self, head_args, goals, boundaries) -> bool:
         """Assign permanent (Y) slots; return whether an env is needed."""
         # Chunks: head+goals up to and including the first call, then one
         # chunk per subsequent inter-call segment.
@@ -194,15 +184,15 @@ class ClauseCompiler:
                     stack.extend(current.args)
         for arg in head_args:
             note(arg, 0)
-        for i, goal in enumerate(body):
-            note(goal, chunk)
-            if self._goal_kind(goal) == "call" or self._is_meta(goal):
+        for goal in goals:
+            note(goal.term, chunk)
+            if goal.kind == GOAL_CALL or goal.is_meta:
                 chunk += 1
         for name, chunks in chunk_of.items():
             if len(chunks) > 1:
                 self.perms[name] = len(self.perms)
-        needs_env = bool(self.perms) or len(calls) > 1 or (
-            len(calls) == 1 and calls[0] != len(body) - 1)
+        needs_env = bool(self.perms) or len(boundaries) > 1 or (
+            len(boundaries) == 1 and boundaries[0] != len(goals) - 1)
         return needs_env
 
     # -- register handling ------------------------------------------------------

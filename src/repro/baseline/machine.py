@@ -31,10 +31,10 @@ from repro.baseline.compiler import (
     assemble_procedure,
 )
 from repro.baseline.isa import COSTS_NS, DYNAMIC_COSTS_NS, Instr, Op, X, Y
+from repro.engine.frontend import Frontend
 from repro.errors import ExistenceError, MachineError, ResourceLimitExceeded
-from repro.prolog.reader import parse_program, parse_term
+from repro.prolog.reader import parse_term
 from repro.prolog.terms import Atom, Struct, Term, Var, term_variables
-from repro.prolog.transform import ControlExpander, TransformResult
 
 # Cell tags (ints for speed)
 REF = 0
@@ -120,7 +120,7 @@ class WAMMachine:
         self.builtin_table = BASELINE_BUILTINS
         self.stats = BaselineStats()
         self.procedures: dict[tuple[str, int], CompiledProcedure] = {}
-        self._expander = ControlExpander()
+        self._frontend = Frontend(self.builtin_table)
         self.heap: list = []
         self.xregs: list = [None] * 64
         self.trail: list[int] = []
@@ -141,24 +141,19 @@ class WAMMachine:
     # ------------------------------------------------------------------
 
     def consult(self, text: str) -> None:
-        result = self._expander.expand_program(parse_program(text))
-        for flat in result.clauses:
-            functor, arity = flat.indicator
-            proc = self.procedures.setdefault(
-                (functor, arity), CompiledProcedure(functor, arity))
-            proc.clauses.append(ClauseCompiler(flat, self.builtin_table).compile())
-            proc.dirty = True
-        for proc in self.procedures.values():
-            if proc.dirty:
-                assemble_procedure(proc)
+        batch = self._frontend.normalize_text(text)
+        self._load_normalized(batch.clauses)
 
     def add_clause_term(self, term: Term) -> None:
-        result = TransformResult()
-        self._expander.expand_clause(term, result)
-        for flat in result.clauses:
+        batch = self._frontend.expand_clause(term)
+        self._load_normalized(batch.clauses)
+
+    def _load_normalized(self, clauses) -> None:
+        for norm in clauses:
             proc = self.procedures.setdefault(
-                flat.indicator, CompiledProcedure(*flat.indicator))
-            proc.clauses.append(ClauseCompiler(flat, self.builtin_table).compile())
+                norm.indicator, CompiledProcedure(*norm.indicator))
+            proc.clauses.append(
+                ClauseCompiler(norm, self.builtin_table).compile())
             proc.dirty = True
         for proc in self.procedures.values():
             if proc.dirty:

@@ -25,6 +25,7 @@ from repro.core import micro
 from repro.core.memory import AREA_SHIFT, Area, OFFSET_MASK, encode_address
 from repro.core.micro import Module
 from repro.core.words import Tag
+from repro.engine.builtins_spec import ARITH_BINARY, ARITH_UNARY
 from repro.errors import EvaluationError, InstantiationError, TypeError_
 from repro.prolog.terms import Atom, Struct
 from repro.prolog.writer import term_to_string
@@ -60,49 +61,13 @@ def _register(name: str, arity: int, weight: int = 2):
 # ---------------------------------------------------------------------------
 # Arithmetic evaluation
 # ---------------------------------------------------------------------------
+# The operator tables and division semantics are shared with the DEC
+# baseline through repro.engine.builtins_spec so the engines cannot
+# drift numerically; only the traversal *driver* below is KL0's (it
+# bills R_ARITH_DISPATCH / R_ARITH_OP microinstructions).
 
-_ARITH_BINARY = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "//": lambda a, b: _int_div(a, b),
-    "/": lambda a, b: _int_div(a, b),      # KL0 is an integer machine
-    "mod": lambda a, b: _mod(a, b),
-    "rem": lambda a, b: _rem(a, b),
-    "min": min,
-    "max": max,
-    ">>": lambda a, b: a >> b,
-    "<<": lambda a, b: a << b,
-    "/\\": lambda a, b: a & b,
-    "\\/": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-}
-
-_ARITH_UNARY = {
-    "-": lambda a: -a,
-    "+": lambda a: a,
-    "abs": abs,
-    "\\": lambda a: ~a,
-}
-
-
-def _int_div(a: int, b: int) -> int:
-    if b == 0:
-        raise EvaluationError("division by zero")
-    quotient = abs(a) // abs(b)
-    return quotient if (a >= 0) == (b >= 0) else -quotient
-
-
-def _mod(a: int, b: int) -> int:
-    if b == 0:
-        raise EvaluationError("division by zero")
-    return a % b
-
-
-def _rem(a: int, b: int) -> int:
-    if b == 0:
-        raise EvaluationError("division by zero")
-    return a - _int_div(a, b) * b
+_ARITH_BINARY = ARITH_BINARY
+_ARITH_UNARY = ARITH_UNARY
 
 
 def eval_arith(m, word) -> int:

@@ -31,9 +31,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 
-from repro.errors import PrologSyntaxError
+from repro.engine.frontend import (
+    GOAL_BUILTIN,
+    GOAL_CUT,
+    VOID_SLOT,
+    Frontend,
+    NormalizedClause,
+    NormalizedGoal,
+    VarInfo,
+)
 from repro.prolog.terms import Atom, Struct, Term, Var
-from repro.prolog.transform import ControlExpander, FlatClause, TransformResult
 from repro.core.memory import Area, encode_address
 from repro.core.words import NIL_WORD, SymbolTable, Tag, Word
 
@@ -236,33 +243,12 @@ class Procedure:
 
 
 # ---------------------------------------------------------------------------
-# Variable classification
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _VarInfo:
-    occurrences: int = 0
-    nested: bool = False          # occurs inside a compound term
-    last_goal_top: bool = False   # occurs at top level of the last user-call goal
-    slot: int = -1
-    is_global: bool = False
-    seen: bool = False            # for first-occurrence marking during build
-
-
-def _scan_term(term: Term, info: dict[str, _VarInfo], nested: bool) -> None:
-    if isinstance(term, Var):
-        entry = info.setdefault(term.name, _VarInfo())
-        entry.occurrences += 1
-        entry.nested = entry.nested or nested
-    elif isinstance(term, Struct):
-        for arg in term.args:
-            _scan_term(arg, info, True)
-
-
-# ---------------------------------------------------------------------------
 # Program: compiler + loader
 # ---------------------------------------------------------------------------
+
+# Variable classification (void/local/global, first-occurrence slot
+# numbering) lives in the shared frontend now: see
+# :func:`repro.engine.frontend.normalize_flat`.
 
 _CONTROL_FUNCTORS = {(";", 2), ("->", 2), ("\\+", 1), ("not", 1), (",", 2)}
 
@@ -279,21 +265,20 @@ class Program:
         self.symbols = symbols
         self.builtin_table = builtin_table
         self.procedures: dict[tuple[str, int], Procedure] = {}
-        self._expander = ControlExpander()
+        self._frontend = Frontend(builtin_table)
 
     # -- public API ----------------------------------------------------------
 
     def add_clause(self, term: Term) -> Clause:
         """Compile one source clause term and register it (plus any
         auxiliary predicates its control constructs expand into)."""
-        result = TransformResult()
-        main = self._expander.expand_clause(term, result)
+        batch = self._frontend.expand_clause(term)
         compiled = None
-        for flat in result.clauses:
-            clause = self._compile_flat(flat)
-            if flat is main:
+        for normalized in batch.clauses:
+            clause = self._compile_normalized(normalized)
+            if normalized is batch.main:
                 compiled = clause
-        for indicator in result.auxiliary:
+        for indicator in batch.auxiliary:
             self.procedures[indicator].is_auxiliary = True
         assert compiled is not None
         return compiled
@@ -301,102 +286,52 @@ class Program:
     def add_program(self, terms) -> list[Clause]:
         return [self.add_clause(term) for term in terms]
 
-    def _compile_flat(self, flat: FlatClause) -> Clause:
-        functor, _arity = flat.indicator
-        return self._compile_clause(functor, flat.head_args, list(flat.body))
-
     def procedure(self, functor: str, arity: int) -> Procedure | None:
         return self.procedures.get((functor, arity))
 
     # -- clause compilation ------------------------------------------------------
 
-    def _compile_clause(self, functor: str, head_args: tuple[Term, ...],
-                        body_goals: list[Term]) -> Clause:
-        # Pass 1: classify variables.  Variables nested inside compound
-        # terms are global (their cells live on the global stack); plain
-        # top-level variables are local frame slots.  Unsafe locals
-        # passed at a TRO'd last call are globalised *at runtime* by the
-        # machine (the DEC-10 method), not here.
-        info: dict[str, _VarInfo] = {}
-        for arg in head_args:
-            _scan_term(arg, info, False)
-        goal_args: list[tuple[Term, ...]] = []
-        goal_kinds: list[str] = []
-        for goal in body_goals:
-            kind, args = self._goal_shape(goal)
-            goal_kinds.append(kind)
-            goal_args.append(args)
-            for arg in args:
-                _scan_term(arg, info, False)
-
-        locals_: list[str] = []
-        globals_: list[str] = []
-        for name, entry in info.items():
-            if entry.occurrences == 1 and not entry.nested:
-                entry.slot = -2  # void
-            elif entry.nested:
-                entry.is_global = True
-                entry.slot = len(globals_)
-                globals_.append(name)
-            else:
-                entry.slot = len(locals_)
-                locals_.append(name)
-
-        # Pass 2: build code terms with first-occurrence flags.
-        compiled_head = tuple(self._build(arg, info) for arg in head_args)
+    def _compile_normalized(self, norm: NormalizedClause) -> Clause:
+        # The frontend already classified variables (void/local/global
+        # with first-occurrence slot order) and goals (call/builtin/
+        # cut).  Unsafe locals passed at a TRO'd last call are
+        # globalised *at runtime* by the machine (the DEC-10 method),
+        # not here.  This pass builds code terms with first-occurrence
+        # flags.
+        info = norm.var_info
+        compiled_head = tuple(self._build(arg, info) for arg in norm.head_args)
         compiled_body: list[Goal] = []
-        for goal, kind, args in zip(body_goals, goal_kinds, goal_args):
-            compiled_body.append(self._build_goal(goal, kind, args, info))
+        for goal in norm.goals:
+            compiled_body.append(self._build_goal(goal, info))
         if compiled_body:
             compiled_body[-1].is_last = True
 
         clause = Clause(
-            functor=functor,
-            arity=len(head_args),
+            functor=norm.functor,
+            arity=norm.arity,
             head_args=compiled_head,
             body=tuple(compiled_body),
-            nlocals=len(locals_),
-            nglobals=len(globals_),
-            local_names=tuple(locals_),
-            global_names=tuple(globals_),
+            nlocals=norm.nlocals,
+            nglobals=norm.nglobals,
+            local_names=norm.local_names,
+            global_names=norm.global_names,
         )
         proc = self.procedures.setdefault(
-            (functor, len(head_args)), Procedure(functor, len(head_args)))
+            norm.indicator, Procedure(norm.functor, norm.arity))
         proc.clauses.append(clause)
         return clause
 
-    def _goal_shape(self, goal: Term) -> tuple[str, tuple[Term, ...]]:
-        """Classify a (control-expanded) body goal and expose its arguments."""
-        if isinstance(goal, Atom):
-            name, args = goal.name, ()
-        elif isinstance(goal, Struct):
-            name, args = goal.functor, goal.args
-        elif isinstance(goal, Var):
-            # A variable goal is a meta-call: call(G).
-            return "builtin", (goal,)
-        else:
-            raise PrologSyntaxError(f"invalid goal: {goal!r}")
-        if name == "!" and not args:
-            return "cut", ()
-        if (name, len(args)) in self.builtin_table:
-            return "builtin", tuple(args)
-        return "call", tuple(args)
-
-    def _build_goal(self, goal: Term, kind: str, args: tuple[Term, ...],
-                    info: dict[str, _VarInfo]) -> Goal:
-        compiled = tuple(self._build(arg, info) for arg in args)
-        if kind == "cut":
+    def _build_goal(self, goal: NormalizedGoal,
+                    info: dict[str, VarInfo]) -> Goal:
+        compiled = tuple(self._build(arg, info) for arg in goal.args)
+        if goal.kind == GOAL_CUT:
             return CutGoal()
-        if isinstance(goal, Var):
-            builtin = self.builtin_table[("call", 1)]
-            return BuiltinGoal("call", 1, compiled, builtin)
-        name = goal.name if isinstance(goal, Atom) else goal.functor
-        if kind == "builtin":
-            return BuiltinGoal(name, len(args), compiled,
-                               self.builtin_table[(name, len(args))])
-        return CallGoal(name, len(args), compiled)
+        if goal.kind == GOAL_BUILTIN:
+            return BuiltinGoal(goal.name, goal.arity, compiled,
+                               self.builtin_table[goal.indicator])
+        return CallGoal(goal.name, goal.arity, compiled)
 
-    def _build(self, term: Term, info: dict[str, _VarInfo]) -> CTerm:
+    def _build(self, term: Term, info: dict[str, VarInfo]) -> CTerm:
         if isinstance(term, int):
             return CConst((Tag.INT, term))
         if isinstance(term, Atom):
@@ -405,7 +340,7 @@ class Program:
             return CConst((Tag.ATOM, self.symbols.atom(term.name)))
         if isinstance(term, Var):
             entry = info[term.name]
-            if entry.slot == -2:
+            if entry.slot == VOID_SLOT:
                 return CVoid()
             is_first = not entry.seen
             entry.seen = True

@@ -1,0 +1,155 @@
+"""Differential answer cross-validation between the two engines.
+
+The PSI interpreter and the DEC baseline are independent
+implementations of the same language; any workload whose canonical
+answers differ between them has found a bug in one of the machines (or
+a semantic divergence between the dispatch tables).  This module runs
+every shared (non-``psi_only``) workload on both engines through the
+cache-aware :mod:`repro.eval.runner` paths and compares
+
+* the canonical answer multisets (order-insensitive; variable names
+  canonicalized, so engine-internal naming cannot cause noise), and
+* the side-effect counter snapshots (how failure-driven all-solutions
+  loops report their result counts).
+
+Exceptions raised while running a workload on either engine are folded
+into the report as divergences rather than aborting the sweep — a
+crash on one engine *is* a differential finding.
+
+``psi-eval crosscheck`` (see :mod:`repro.eval.cli`) renders the report
+and exits non-zero on any divergence; ``--report FILE`` writes the
+machine-readable form for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.answers import Answer, answer_multiset, render_answer
+
+
+@dataclass
+class WorkloadCheck:
+    """Outcome of crosschecking one workload."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    psi_answers: tuple[Answer, ...] = ()
+    baseline_answers: tuple[Answer, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "detail": self.detail,
+            "psi_answers": [list(map(list, a)) for a in self.psi_answers],
+            "baseline_answers": [list(map(list, a))
+                                 for a in self.baseline_answers],
+        }
+
+
+@dataclass
+class CrosscheckReport:
+    """Every workload's verdict plus convenience accessors."""
+
+    checks: list[WorkloadCheck] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> list[WorkloadCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": len(self.checks),
+            "divergences": len(self.divergences),
+            "workloads": [c.to_dict() for c in self.checks],
+        }
+
+    def render(self) -> str:
+        lines = ["differential crosscheck: PSI vs DEC baseline", ""]
+        width = max((len(c.name) for c in self.checks), default=4)
+        for check in self.checks:
+            status = "ok" if check.ok else "DIVERGED"
+            line = f"  {check.name:<{width}}  {status}"
+            if check.detail:
+                line += f"  ({check.detail})"
+            lines.append(line)
+        lines.append("")
+        if self.ok:
+            lines.append(f"{len(self.checks)} workload(s) checked, "
+                         "zero answer divergences")
+        else:
+            lines.append(f"{len(self.divergences)} of {len(self.checks)} "
+                         "workload(s) DIVERGED between the engines")
+        return "\n".join(lines)
+
+
+def _diff_answers(psi: tuple[Answer, ...],
+                  baseline: tuple[Answer, ...]) -> str:
+    psi_set = answer_multiset(psi)
+    base_set = answer_multiset(baseline)
+    if psi_set == base_set:
+        return ""
+    only_psi = [a for a in psi_set if a not in base_set]
+    only_base = [a for a in base_set if a not in psi_set]
+    parts = []
+    if len(psi_set) != len(base_set):
+        parts.append(f"{len(psi_set)} PSI answer(s) vs "
+                     f"{len(base_set)} baseline answer(s)")
+    if only_psi:
+        parts.append("PSI only: "
+                     + " | ".join(render_answer(a) for a in only_psi[:3]))
+    if only_base:
+        parts.append("baseline only: "
+                     + " | ".join(render_answer(a) for a in only_base[:3]))
+    return "; ".join(parts)
+
+
+def _diff_counters(psi: dict[str, int], baseline: dict[str, int]) -> str:
+    if psi == baseline:
+        return ""
+    keys = sorted(set(psi) | set(baseline))
+    diffs = [f"{key}: psi={psi.get(key)} baseline={baseline.get(key)}"
+             for key in keys if psi.get(key) != baseline.get(key)]
+    return "counters differ — " + ", ".join(diffs)
+
+
+def crosscheck_workload(name: str) -> WorkloadCheck:
+    """Run one workload on both engines and compare canonical results."""
+    from repro.eval.runner import run_engine
+
+    try:
+        psi = run_engine(name, engine="psi", record_trace=False)
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"PSI run failed: {exc}")
+    try:
+        baseline = run_engine(name, engine="baseline")
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"baseline run failed: {exc}")
+
+    detail = _diff_answers(psi.answers, baseline.answers)
+    if not detail:
+        detail = _diff_counters(psi.counters, baseline.counters)
+    return WorkloadCheck(name, ok=not detail, detail=detail,
+                         psi_answers=psi.answers,
+                         baseline_answers=baseline.answers)
+
+
+def crosscheck(names=None) -> CrosscheckReport:
+    """Crosscheck ``names`` (default: every shared workload)."""
+    from repro.workloads import shared_workloads
+
+    if names is None:
+        names = [w.name for w in shared_workloads()]
+    report = CrosscheckReport()
+    for name in names:
+        report.checks.append(crosscheck_workload(name))
+    return report

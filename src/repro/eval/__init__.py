@@ -12,10 +12,16 @@ from repro.eval import (  # noqa: F401
     table6,
     table7,
 )
-from repro.eval.runner import clear_cache, run_baseline, run_psi
+from repro.eval.runner import (
+    BaselineRun,
+    clear_cache,
+    run_baseline,
+    run_engine,
+    run_psi,
+)
 
 __all__ = [
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "figure1", "ablations", "paper_data",
-    "run_psi", "run_baseline", "clear_cache",
+    "run_psi", "run_baseline", "run_engine", "BaselineRun", "clear_cache",
 ]

@@ -25,6 +25,10 @@ Usage::
     psi-eval diff a.profile.json b.profile.json   # differential profile
     psi-eval diff -2 -1              # same verbs on two history entries
     psi-eval report --html           # self-contained dashboard (psi-report.html)
+    psi-eval crosscheck --all        # run every shared workload on both
+                                     # engines, fail on answer divergence
+    psi-eval crosscheck nreverse qsort
+    psi-eval crosscheck --all --report crosscheck-report.json
 
 Workload runs are cached persistently under ``.psi-cache/`` (keyed by
 workload content + simulator code version), so repeated invocations
@@ -276,6 +280,39 @@ def _report(args):
             f"{'PASS' if report.passed else 'FAIL'})"), status
 
 
+def _crosscheck(args):
+    """``psi-eval crosscheck``: differential answer validation.
+
+    Runs workloads on both engines and compares canonical answer
+    multisets and counters; exits 1 on any divergence.  ``--all`` (or
+    no workload names) sweeps every shared (non-``psi_only``) workload;
+    ``--report FILE`` additionally writes the machine-readable JSON
+    report (the CI job uploads it as the mismatch artifact).
+    """
+    import json
+    import pathlib
+
+    from repro.engine.crosscheck import crosscheck
+    from repro.workloads import get
+
+    names = None if (args.all or not args.programs) else args.programs
+    if names:
+        _validate_workloads(names, "crosscheck")
+        psi_only = [name for name in names if get(name).psi_only]
+        if psi_only:
+            raise SystemExit(
+                f"cannot crosscheck psi_only workload(s): "
+                f"{', '.join(psi_only)} (KL0-only builtins have no "
+                "baseline implementation)")
+    report = crosscheck(names)
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.write_text(json.dumps(report.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return report.render(), 0 if report.ok else 1
+
+
 _TARGETS = {
     "table1": lambda args: table1.render(table1.generate(args.programs or None)),
     "table2": lambda args: table2.render(table2.generate()),
@@ -293,10 +330,12 @@ _TARGETS = {
     "history": _history,
     "diff": _diff,
     "report": _report,
+    "crosscheck": _crosscheck,
 }
 
 #: Targets ``psi-eval all`` does not expand to (admin/meta commands).
-_NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff", "report")
+_NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff",
+            "report", "crosscheck")
 
 
 def _target_workloads(target: str, args) -> list[str]:
@@ -382,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: psi-report.html)")
     parser.add_argument("--last", type=int, default=None, metavar="N",
                         help="'history show': only the newest N entries")
+    parser.add_argument("--all", action="store_true",
+                        help="'crosscheck': sweep every shared "
+                             "(non-psi_only) workload")
+    parser.add_argument("--report", default=None, metavar="FILE",
+                        help="'crosscheck': also write the JSON mismatch "
+                             "report to FILE")
     return parser
 
 

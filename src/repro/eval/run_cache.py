@@ -13,8 +13,9 @@ Keying and integrity:
   goal, setup goals, solution mode, the machine and cache
   configurations, and a **code version** hash covering every simulator
   source file that can influence a run (``repro.core``,
-  ``repro.memsys``, ``repro.prolog``, ``repro.workloads``,
-  ``repro.tools``).  Editing any of those files changes the key, so
+  ``repro.engine``, ``repro.memsys``, ``repro.prolog``,
+  ``repro.workloads``, ``repro.tools``).  Editing any of those files
+  changes the key, so
   stale entries are never *matched* — they simply become garbage that
   ``psi-eval cache clear`` removes.
 * Each entry file carries a header with the key and a SHA-256 digest of
@@ -45,7 +46,7 @@ FORMAT_VERSION = 1
 
 _MAGIC = b"psi-run-cache\n"
 
-_CODE_PACKAGES = ("core", "memsys", "prolog", "workloads", "tools")
+_CODE_PACKAGES = ("core", "engine", "memsys", "prolog", "workloads", "tools")
 
 _code_version: str | None = None
 

@@ -25,9 +25,11 @@ from __future__ import annotations
 import logging
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 
 from repro import obs
 from repro.baseline import BaselineStats, WAMMachine
+from repro.engine.answers import Answer, canonical_answer, check_expected
 from repro.eval.run_cache import RunCache, run_key
 from repro.tools.collect import CollectedRun, collect
 from repro.workloads import Workload, get
@@ -35,7 +37,7 @@ from repro.workloads import Workload, get
 logger = logging.getLogger(__name__)
 
 _PSI_CACHE: dict[str, CollectedRun] = {}
-_BASELINE_CACHE: dict[str, BaselineStats] = {}
+_BASELINE_CACHE: dict[str, "BaselineRun"] = {}
 
 _DISK_CACHE_ENABLED = True
 
@@ -110,6 +112,7 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
                                     or not record_trace):
             CACHE_EVENTS["disk_hit"] += 1
             run = summary.to_collected_run()
+            _check_expected(name, "psi", workload, run.answers, run.counters)
             _PSI_CACHE[name] = run
             return run
         CACHE_EVENTS["disk_miss"] += 1
@@ -122,6 +125,7 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
                   setup_goals=workload.setup_goals)
     if not run.succeeded:
         raise RuntimeError(f"workload {name} failed on the PSI model")
+    _check_expected(name, "psi", workload, run.answers, run.counters)
     if key is not None:
         RunCache().store(key, run.to_summary())
     _PSI_CACHE[name] = run
@@ -203,8 +207,76 @@ def run_many(names, jobs: int | None = None,
     return {name: run_psi(name, record_trace=record_trace) for name in ordered}
 
 
-def run_baseline(name: str) -> BaselineStats:
+@dataclass
+class BaselineRun:
+    """One workload's baseline execution: stats plus captured answers.
+
+    ``run_baseline`` used to return the bare :class:`BaselineStats`,
+    silently discarding the solution bindings — which made the
+    workloads' ``expected`` declarations dead weight on this path and
+    left nothing for the differential crosscheck to compare.  Timing
+    consumers keep working through the delegating properties.
+    """
+
+    stats: BaselineStats
+    answers: tuple[Answer, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+    succeeded: bool = True
+
+    @property
+    def time_ms(self) -> float:
+        return self.stats.time_ms
+
+    @property
+    def time_ns(self) -> int:
+        return self.stats.time_ns
+
+    @property
+    def lips(self) -> float:
+        return self.stats.lips
+
+    @property
+    def inferences(self) -> int:
+        return self.stats.inferences
+
+
+def _check_expected(name: str, engine: str, workload: Workload,
+                    answers: tuple[Answer, ...],
+                    counters: dict[str, int]) -> None:
+    """Raise if a workload's declared ``expected`` results don't hold."""
+    problems = check_expected(workload.expected, answers=answers,
+                              counters=counters)
+    if problems:
+        raise RuntimeError(
+            f"workload {name} produced wrong results on the {engine} "
+            f"engine: " + "; ".join(problems))
+
+
+def run_engine(name: str, engine: str = "psi",
+               record_trace: bool = True) -> CollectedRun | BaselineRun:
+    """Run a workload on either engine by name.
+
+    ``engine="psi"`` returns the cached :class:`CollectedRun` (the full
+    three-tier cache path of :func:`run_psi`); ``engine="baseline"``
+    (or ``"dec"``/``"wam"``) returns a :class:`BaselineRun` cached per
+    process.  Both carry canonical answers and a counter snapshot, so
+    engine-agnostic consumers (the crosscheck oracle) can compare
+    results without knowing which machine produced them.
+    """
+    if engine == "psi":
+        return run_psi(name, record_trace=record_trace)
+    if engine in ("baseline", "dec", "wam"):
+        return _run_baseline(name)
+    raise ValueError(f"unknown engine {engine!r}; expected 'psi' or "
+                     f"'baseline'")
+
+
+def run_baseline(name: str) -> BaselineRun:
     """Run a workload on the DEC baseline (cached per process)."""
+    return run_engine(name, engine="baseline")
+
+
+def _run_baseline(name: str) -> BaselineRun:
     cached = _BASELINE_CACHE.get(name)
     if cached is not None:
         return cached
@@ -213,15 +285,26 @@ def run_baseline(name: str) -> BaselineStats:
         raise ValueError(f"workload {name} uses KL0-only builtins")
     machine = WAMMachine()
     machine.consult(workload.source)
+    for setup in workload.setup_goals:
+        if machine.solve(setup).next() is None:
+            raise RuntimeError(f"setup goal failed on the baseline: {setup}")
+    # Fresh stats so measurement excludes setup, mirroring collect().
+    machine.stats = BaselineStats()
     solver = machine.solve(workload.goal)
     if workload.all_solutions:
-        succeeded = solver.count() > 0
+        solutions = solver.all()
     else:
-        succeeded = solver.next() is not None
-    if not succeeded:
+        first = solver.next()
+        solutions = [first] if first is not None else []
+    if not solutions:
         raise RuntimeError(f"workload {name} failed on the baseline")
-    _BASELINE_CACHE[name] = machine.stats
-    return machine.stats
+    run = BaselineRun(stats=machine.stats,
+                      answers=tuple(canonical_answer(s.bindings)
+                                    for s in solutions),
+                      counters=dict(machine.counters))
+    _check_expected(name, "baseline", workload, run.answers, run.counters)
+    _BASELINE_CACHE[name] = run
+    return run
 
 
 def clear_cache(disk: bool = False) -> None:

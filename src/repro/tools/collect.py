@@ -20,6 +20,7 @@ from repro import obs
 from repro.core.machine import MachineConfig, PSIMachine
 from repro.core.memory import TraceRecorder
 from repro.core.stats import StatsCollector
+from repro.engine.answers import Answer, canonical_answer
 from repro.memsys import Cache, CacheConfig, CacheStats, TimingBreakdown, execution_time
 from repro.obs.session import RunObservation
 
@@ -46,6 +47,13 @@ class CollectedRun:
     #: Derived data — excluded from :meth:`to_summary` and therefore
     #: never pickled to workers or the persistent run cache.
     observation: RunObservation | None = field(default=None, compare=False)
+    #: Canonical answers captured from the solutions (one per solution
+    #: found; a single entry for a first-solution run).  Decoding is
+    #: billing-free, so capture does not perturb any statistic.
+    answers: tuple[Answer, ...] = ()
+    #: Snapshot of the machine's side-effect counters after the run
+    #: (``counter_inc`` et al. — how failure-driven loops report).
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def steps(self) -> int:
@@ -83,6 +91,8 @@ class CollectedRun:
             trace_bytes=self.trace.tobytes() if self.trace is not None else None,
             cache_stats=self.cache.stats if self.cache is not None else None,
             cache_config=self.cache.config if self.cache is not None else None,
+            answers=self.answers,
+            counters=self.counters,
         )
 
 
@@ -122,6 +132,10 @@ class RunSummary:
     trace_bytes: bytes | None
     cache_stats: CacheStats | None
     cache_config: CacheConfig | None
+    #: Canonical answers and counter snapshot, carried verbatim so
+    #: cache-served and worker-shipped runs stay crosscheckable.
+    answers: tuple[Answer, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
     #: Observability metrics snapshot (plain dict) when the producing
     #: process ran with obs enabled.  Set only on summaries shipped
     #: from ``run_many`` workers to the parent — :meth:`to_summary`
@@ -138,7 +152,8 @@ class RunSummary:
             cache = Cache(self.cache_config or CacheConfig())
             cache.stats = self.cache_stats
         return CollectedRun(self.goal, self.succeeded, self.solutions,
-                            self.stats, trace, cache, machine=None)
+                            self.stats, trace, cache, machine=None,
+                            answers=self.answers, counters=self.counters)
 
 
 def collect(program: str, goal: str, *,
@@ -180,12 +195,18 @@ def collect(program: str, goal: str, *,
 
     solver = machine.solve(goal)
     if all_solutions:
-        solutions = solver.count()
+        captured = solver.all()
+        solutions = len(captured)
         succeeded = solutions > 0
     else:
         solution = solver.next()
         succeeded = solution is not None
         solutions = 1 if succeeded else 0
+        captured = [solution] if succeeded else []
+    # Canonical answer capture is pure term manipulation over the
+    # solver's (unbilled) decode output — the emission stream and all
+    # statistics are exactly those of an uncaptured run.
+    answers = tuple(canonical_answer(s.bindings) for s in captured)
 
     if trace is not None:
         machine.mem.detach(trace)
@@ -197,4 +218,5 @@ def collect(program: str, goal: str, *,
         observation = session.finish(cache)
         obs.record_run(observation)
     return CollectedRun(goal, succeeded, solutions, stats, trace, cache,
-                        machine, observation)
+                        machine, observation,
+                        answers=answers, counters=dict(machine.counters))

@@ -5,10 +5,11 @@ from repro.workloads.registry import (
     all_workloads,
     get,
     hardware_eval_workloads,
+    shared_workloads,
     table1_workloads,
 )
 
 __all__ = [
     "Workload", "get", "all_workloads",
-    "table1_workloads", "hardware_eval_workloads",
+    "table1_workloads", "hardware_eval_workloads", "shared_workloads",
 ]

@@ -76,6 +76,13 @@ def hardware_eval_workloads() -> list[Workload]:
     return [_REGISTRY[name] for name in names]
 
 
+def shared_workloads() -> list[Workload]:
+    """Every registered workload both engines can run (not ``psi_only``),
+    in registration order — the differential crosscheck's domain."""
+    _ensure_loaded()
+    return [w for w in _REGISTRY.values() if not w.psi_only]
+
+
 _loaded = False
 
 

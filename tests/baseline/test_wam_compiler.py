@@ -14,15 +14,13 @@ from repro.baseline.compiler import (
     first_arg_descriptor,
 )
 from repro.baseline.isa import Op
+from repro.engine.frontend import Frontend
 from repro.prolog import parse_term
-from repro.prolog.transform import ControlExpander, TransformResult
 
 
 def compile_clause(text):
-    expander = ControlExpander()
-    result = TransformResult()
-    flat = expander.expand_clause(parse_term(text), result)
-    return ClauseCompiler(flat, BASELINE_BUILTINS).compile()
+    batch = Frontend(BASELINE_BUILTINS).expand_clause(parse_term(text))
+    return ClauseCompiler(batch.main, BASELINE_BUILTINS).compile()
 
 
 def ops(compiled):

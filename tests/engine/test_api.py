@@ -1,0 +1,78 @@
+"""The AbstractEngine protocol and the two adapters."""
+
+import pytest
+
+from repro.engine.api import (
+    ENGINE_NAMES,
+    AbstractEngine,
+    EngineStatsFacade,
+    PSIEngine,
+    WAMEngine,
+    create_engine,
+)
+
+PROGRAM = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+
+@pytest.fixture(params=ENGINE_NAMES)
+def engine(request):
+    return create_engine(request.param)
+
+
+class TestProtocol:
+    def test_adapters_satisfy_protocol(self, engine):
+        assert isinstance(engine, AbstractEngine)
+
+    def test_create_engine_names(self):
+        assert isinstance(create_engine("psi"), PSIEngine)
+        assert isinstance(create_engine("baseline"), WAMEngine)
+        assert isinstance(create_engine("dec"), WAMEngine)
+        assert isinstance(create_engine("wam"), WAMEngine)
+        with pytest.raises(ValueError):
+            create_engine("t800")
+
+
+class TestSolve:
+    def test_first_solution(self, engine):
+        engine.load(PROGRAM)
+        answers = engine.solve("append([1,2], [3], X)")
+        assert answers == ((("X", "[1,2,3]"),),)
+
+    def test_all_solutions(self, engine):
+        engine.load(PROGRAM)
+        answers = engine.solve("append(A, B, [1,2])", max_solutions=None)
+        assert len(answers) == 3
+        assert (("A", "[1]"), ("B", "[2]")) in answers
+
+    def test_failure_is_empty(self, engine):
+        engine.load(PROGRAM)
+        assert engine.solve("append([1], [2], [9])") == ()
+
+    def test_counters_and_output(self, engine):
+        engine.load("tally :- counter_inc(n), counter_inc(n), write(done).")
+        engine.solve("tally")
+        assert engine.counters.get("n") == 2
+        assert "done" in "".join(engine.output)
+
+
+class TestStatsFacade:
+    def test_facade_shape(self, engine):
+        engine.load(PROGRAM)
+        engine.solve("append([1,2,3], [], X)")
+        facade = engine.stats_facade()
+        assert isinstance(facade, EngineStatsFacade)
+        assert facade.engine == engine.name
+        assert facade.inferences > 0
+        assert facade.time_ms > 0
+        assert facade.work > 0
+
+    def test_work_units_differ_by_engine(self):
+        psi, wam = create_engine("psi"), create_engine("baseline")
+        for eng in (psi, wam):
+            eng.load(PROGRAM)
+            eng.solve("append([1], [2], X)")
+        assert psi.stats_facade().work_unit == "microsteps"
+        assert wam.stats_facade().work_unit == "instructions"

@@ -1,0 +1,103 @@
+"""The single builtin spec table and its coverage-parity contract."""
+
+import pytest
+
+from repro.baseline.builtins import BASELINE_BUILTINS
+from repro.core.builtins import BUILTIN_TABLE
+from repro.engine.builtins_spec import (
+    ARITH_BINARY,
+    ARITH_COMPARE,
+    ARITH_UNARY,
+    BUILTIN_SPECS,
+    DEC_ONLY,
+    DETERMINISM_CLASSES,
+    KL0_ONLY,
+    apply_arith_op,
+    apply_compare,
+    dec_indicators,
+    int_div,
+    int_mod,
+    int_rem,
+    kl0_indicators,
+    shared_indicators,
+)
+from repro.errors import EvaluationError, TypeError_
+
+
+class TestCoverageParity:
+    """Each engine's dispatch table covers exactly the spec minus the
+    other engine's documented exclusive allowlist."""
+
+    def test_kl0_table_matches_spec(self):
+        assert frozenset(BUILTIN_TABLE) == kl0_indicators()
+
+    def test_baseline_table_matches_spec(self):
+        assert frozenset(BASELINE_BUILTINS) == dec_indicators()
+
+    def test_allowlists_are_disjoint_and_in_spec(self):
+        assert not (KL0_ONLY & DEC_ONLY)
+        assert KL0_ONLY <= frozenset(BUILTIN_SPECS)
+        assert DEC_ONLY <= frozenset(BUILTIN_SPECS)
+
+    def test_shared_surface_is_on_both_engines(self):
+        shared = shared_indicators()
+        assert shared <= frozenset(BUILTIN_TABLE)
+        assert shared <= frozenset(BASELINE_BUILTINS)
+
+    def test_kl0_only_contents_documented(self):
+        # The allowlist is exactly the heap-vector ops + process switch.
+        assert KL0_ONLY == {("new_vector", 2), ("vector_ref", 3),
+                            ("vector_set", 3), ("vector_size", 2),
+                            ("process_switch", 0)}
+        assert DEC_ONLY == frozenset()
+
+    def test_spec_metadata_well_formed(self):
+        for indicator, spec in BUILTIN_SPECS.items():
+            assert spec.indicator == indicator
+            assert spec.determinism in DETERMINISM_CLASSES
+            assert spec.arity >= 0
+
+
+class TestSharedArithmetic:
+    def test_division_truncates_towards_zero(self):
+        assert int_div(7, 2) == 3
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_mod_follows_divisor_sign(self):
+        assert int_mod(7, 3) == 1
+        assert int_mod(-7, 3) == 2
+        assert int_mod(7, -3) == -2
+
+    def test_rem_follows_dividend_sign(self):
+        assert int_rem(7, 3) == 1
+        assert int_rem(-7, 3) == -1
+        assert int_rem(7, -3) == 1
+
+    @pytest.mark.parametrize("fn", [int_div, int_mod, int_rem])
+    def test_division_by_zero_raises(self, fn):
+        with pytest.raises(EvaluationError):
+            fn(1, 0)
+
+    def test_apply_arith_op_dispatch(self):
+        assert apply_arith_op("+", [2, 3]) == 5
+        assert apply_arith_op("-", [2]) == -2
+        assert apply_arith_op("xor", [6, 3]) == 5
+        with pytest.raises(TypeError_):
+            apply_arith_op("sqrt", [4])
+
+    def test_apply_compare(self):
+        assert apply_compare("=<", 2, 2)
+        assert not apply_compare(">", 2, 2)
+
+    def test_both_engines_reference_the_shared_tables(self):
+        from repro.baseline import builtins as base_b
+        from repro.core import builtins as core_b
+        assert core_b._ARITH_BINARY is ARITH_BINARY
+        assert core_b._ARITH_UNARY is ARITH_UNARY
+        assert base_b._ARITH_BINARY is ARITH_BINARY
+        assert base_b._ARITH_UNARY is ARITH_UNARY
+
+    def test_comparison_operators_complete(self):
+        assert set(ARITH_COMPARE) == {"=:=", "=\\=", "<", ">", "=<", ">="}

@@ -1,0 +1,98 @@
+"""The differential crosscheck oracle and its CLI/registry integration."""
+
+import json
+
+import pytest
+
+from repro.engine.crosscheck import (
+    CrosscheckReport,
+    WorkloadCheck,
+    crosscheck,
+    crosscheck_workload,
+)
+from repro.workloads import all_workloads, shared_workloads
+
+
+class TestReportShape:
+    def test_report_accessors(self):
+        report = CrosscheckReport(checks=[
+            WorkloadCheck("a", ok=True),
+            WorkloadCheck("b", ok=False, detail="boom"),
+        ])
+        assert not report.ok
+        assert [c.name for c in report.divergences] == ["b"]
+        rendered = report.render()
+        assert "DIVERGED" in rendered and "boom" in rendered
+
+    def test_to_dict_is_json_serialisable(self):
+        report = crosscheck(["nreverse"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["checked"] == 1
+        assert payload["workloads"][0]["name"] == "nreverse"
+
+    def test_empty_report_is_ok(self):
+        assert CrosscheckReport().ok
+
+
+class TestSharedWorkloads:
+    def test_shared_excludes_psi_only(self):
+        shared = {w.name for w in shared_workloads()}
+        for name, workload in all_workloads().items():
+            assert (name in shared) == (not workload.psi_only)
+
+    def test_window_workloads_are_psi_only(self):
+        shared = {w.name for w in shared_workloads()}
+        assert not {"window-1", "window-2", "window-3"} & shared
+
+
+class TestCrosscheckExecution:
+    def test_single_workload_agrees(self):
+        check = crosscheck_workload("qsort")
+        assert check.ok, check.detail
+        assert check.psi_answers == check.baseline_answers
+        assert check.psi_answers  # answers actually captured
+
+    def test_divergence_detected(self, monkeypatch):
+        # Forge a disagreement by corrupting the baseline answers.
+        from repro.eval import runner
+
+        real = runner.run_engine
+
+        def forged(name, engine="psi", record_trace=True):
+            result = real(name, engine=engine, record_trace=record_trace)
+            if engine != "psi":
+                result = runner.BaselineRun(
+                    stats=result.stats,
+                    answers=((("X", "wrong"),),),
+                    counters=result.counters)
+            return result
+
+        monkeypatch.setattr(runner, "run_engine", forged)
+        check = crosscheck_workload("nreverse")
+        assert not check.ok
+        assert "baseline only" in check.detail or "PSI only" in check.detail
+
+    def test_engine_crash_is_a_divergence(self, monkeypatch):
+        from repro.eval import runner
+
+        def exploding(name, engine="psi", record_trace=True):
+            raise RuntimeError("engine on fire")
+
+        monkeypatch.setattr(runner, "run_engine", exploding)
+        check = crosscheck_workload("nreverse")
+        assert not check.ok
+        assert "engine on fire" in check.detail
+
+
+@pytest.mark.slow
+class TestFullRegistry:
+    def test_every_shared_workload_crosschecks(self):
+        """The acceptance sweep: zero divergences across the registry.
+
+        Served from the run cache when warm; the CI crosscheck job runs
+        the same sweep through ``psi-eval crosscheck --all``.
+        """
+        report = crosscheck()
+        assert {c.name for c in report.checks} == \
+            {w.name for w in shared_workloads()}
+        assert report.ok, report.render()

@@ -1,0 +1,102 @@
+"""Hand-written differential corpus: identical canonical answer
+multisets on both engines across the language's behavioural corners
+(arithmetic, list recursion, backtracking, cut, negation, control)."""
+
+import pytest
+
+from repro.engine.answers import answer_multiset
+from repro.engine.api import create_engine
+
+#: (name, program, goal) — each runs on both engines with all solutions
+#: enumerated; the canonical answer multisets must be identical.
+CORPUS = [
+    ("arith-eval",
+     "area(W, H, A) :- A is W * H.",
+     "area(6, 7, A)"),
+    ("arith-truncating-division",
+     "d(A, B, Q, M, R) :- Q is A // B, M is A mod B, R is A rem B.",
+     "d(-7, 2, Q, M, R)"),
+    ("arith-comparison-backtrack",
+     "n(1). n(2). n(3). n(4). big(X) :- n(X), X > 2.",
+     "big(X)"),
+    ("list-append-enumerate",
+     """
+     app([], L, L).
+     app([H|T], L, [H|R]) :- app(T, L, R).
+     """,
+     "app(A, B, [1,2,3])"),
+    ("list-naive-reverse",
+     """
+     app([], L, L).
+     app([H|T], L, [H|R]) :- app(T, L, R).
+     rev([], []).
+     rev([H|T], R) :- rev(T, RT), app(RT, [H], R).
+     """,
+     "rev([1,2,3,4,5], R)"),
+    ("backtracking-permutations",
+     """
+     sel(X, [X|T], T).
+     sel(X, [H|T], [H|R]) :- sel(X, T, R).
+     perm([], []).
+     perm(L, [H|T]) :- sel(H, L, R), perm(R, T).
+     """,
+     "perm([1,2,3], P)"),
+    ("cut-commits-first",
+     "f(1). f(2). f(3). first(X) :- f(X), !.",
+     "first(X)"),
+    ("cut-inside-guard",
+     """
+     max(X, Y, X) :- X >= Y, !.
+     max(_, Y, Y).
+     """,
+     "max(3, 7, M)"),
+    ("negation-as-failure",
+     "g(1). g(3). odd_gap(X) :- g(X), \\+ g(2).",
+     "odd_gap(X)"),
+    ("negation-failing",
+     "h(1). none(X) :- h(X), \\+ h(1).",
+     "none(X)"),
+    ("disjunction",
+     "d(X) :- (X = left ; X = right).",
+     "d(X)"),
+    ("if-then-else",
+     "classify(X, R) :- (X > 0 -> R = pos ; R = nonpos).",
+     "classify(-2, R)"),
+    ("structure-unification",
+     "pair(f(X, g(Y)), X, Y).",
+     "pair(f(1, g(hello)), A, B)"),
+    ("partial-instantiation",
+     "same(X, X).",
+     "same(f(A, 2), f(1, B))"),
+    ("meta-call",
+     "t(42). indirect(G) :- call(G).",
+     "indirect(t(X))"),
+]
+
+
+@pytest.mark.parametrize("name,program,goal",
+                         CORPUS, ids=[c[0] for c in CORPUS])
+def test_engines_agree(name, program, goal):
+    multisets = {}
+    for engine_name in ("psi", "baseline"):
+        engine = create_engine(engine_name)
+        engine.load(program)
+        answers = engine.solve(goal, max_solutions=None)
+        multisets[engine_name] = answer_multiset(answers)
+    assert multisets["psi"] == multisets["baseline"], \
+        f"{name}: engines diverge on {goal}"
+
+
+def test_counters_agree_on_failure_driven_loop():
+    program = """
+    item(a). item(b). item(c).
+    count :- item(_), counter_inc(seen), fail.
+    count.
+    """
+    counts = {}
+    for engine_name in ("psi", "baseline"):
+        engine = create_engine(engine_name)
+        engine.load(program)
+        assert engine.solve("count") == ((),)
+        counts[engine_name] = dict(engine.counters)
+    assert counts["psi"] == counts["baseline"] == {"seen": 3}

@@ -1,0 +1,109 @@
+"""The shared frontend: normalization, goal and variable classification."""
+
+import pytest
+
+from repro.baseline.builtins import BASELINE_BUILTINS
+from repro.core.builtins import BUILTIN_TABLE
+from repro.engine.frontend import (
+    GOAL_BUILTIN,
+    GOAL_CALL,
+    GOAL_CUT,
+    VOID_SLOT,
+    Frontend,
+    NormalizedClause,
+)
+from repro.prolog import parse_term
+
+
+def normalize(text, table=BUILTIN_TABLE):
+    batch = Frontend(table).expand_clause(parse_term(text))
+    return batch.main
+
+
+class TestGoalClassification:
+    def test_user_call(self):
+        norm = normalize("p(X) :- q(X)")
+        (goal,) = norm.goals
+        assert goal.kind == GOAL_CALL
+        assert goal.indicator == ("q", 1)
+        assert not goal.is_meta
+
+    def test_builtin(self):
+        norm = normalize("p(X, Y) :- Y is X + 1")
+        (goal,) = norm.goals
+        assert goal.kind == GOAL_BUILTIN
+        assert goal.indicator == ("is", 2)
+
+    def test_cut(self):
+        norm = normalize("p(X) :- q(X), !")
+        assert [g.kind for g in norm.goals] == [GOAL_CALL, GOAL_CUT]
+
+    def test_variable_goal_is_meta_call(self):
+        norm = normalize("p(G) :- G")
+        (goal,) = norm.goals
+        assert goal.kind == GOAL_BUILTIN
+        assert goal.indicator == ("call", 1)
+        assert goal.is_meta
+
+    def test_call_1_is_meta(self):
+        norm = normalize("p(G) :- call(G)")
+        (goal,) = norm.goals
+        assert goal.is_meta
+
+    def test_classification_is_engine_specific(self):
+        # new_vector/2 is KL0-only: builtin on the PSI, an (undefined)
+        # user call on the baseline.
+        kl0 = normalize("p(V) :- new_vector(V, 4)", BUILTIN_TABLE)
+        dec = normalize("p(V) :- new_vector(V, 4)", BASELINE_BUILTINS)
+        assert kl0.goals[0].kind == GOAL_BUILTIN
+        assert dec.goals[0].kind == GOAL_CALL
+
+
+class TestVariableClassification:
+    def test_void_local_global(self):
+        norm = normalize("p(A, B, _C) :- q(B, f(D)), r(D)")
+        info = norm.var_info
+        # A: single top-level occurrence -> void
+        assert info["A"].slot == VOID_SLOT
+        # B: two top-level occurrences -> local
+        assert not info["B"].is_global and info["B"].slot >= 0
+        # D: occurs nested inside f(D) -> global
+        assert info["D"].is_global
+        assert norm.nlocals == len(norm.local_names)
+        assert norm.nglobals == len(norm.global_names)
+
+    def test_slot_numbering_follows_first_occurrence(self):
+        norm = normalize("p(A, B) :- q(A), r(B), s(A, B)")
+        assert norm.local_names == ("A", "B")
+        assert norm.var_info["A"].slot == 0
+        assert norm.var_info["B"].slot == 1
+
+
+class TestExpansion:
+    def test_batch_main_identity(self):
+        frontend = Frontend(BUILTIN_TABLE)
+        batch = frontend.expand_clause(
+            parse_term("p(X) :- (q(X) ; r(X))"))
+        assert batch.main in batch.clauses
+        assert batch.main.indicator == ("p", 1)
+        # Disjunction expands to auxiliary clauses.
+        assert len(batch.clauses) > 1
+        assert batch.auxiliary
+
+    def test_program_batch_order(self):
+        frontend = Frontend(BUILTIN_TABLE)
+        batch = frontend.normalize_text("a(1).\na(2).\nb(X) :- a(X).")
+        assert [c.indicator for c in batch.clauses] == \
+            [("a", 1), ("a", 1), ("b", 1)]
+        assert all(isinstance(c, NormalizedClause) for c in batch.clauses)
+
+    def test_aux_names_unique_across_incremental_loads(self):
+        frontend = Frontend(BUILTIN_TABLE)
+        first = frontend.expand_clause(parse_term("p :- (a ; b)"))
+        second = frontend.expand_clause(parse_term("q :- (c ; d)"))
+        assert not (first.auxiliary & second.auxiliary)
+
+    def test_invalid_goal_rejected(self):
+        from repro.errors import PrologSyntaxError
+        with pytest.raises(PrologSyntaxError):
+            normalize("p(X) :- 42")
