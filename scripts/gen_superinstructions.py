@@ -1,0 +1,386 @@
+#!/usr/bin/env python
+"""Regenerate ``src/repro/core/fused_table.py`` from mining evidence.
+
+The machine binds a fixed set of superinstruction names at its fused
+dispatch sites, so those specs (``REQUIRED_SPECS`` below) are embedded
+here and always emitted.  What mining decides is
+
+* the ``clause_frame/{n}`` specialisation set (``FRAME_NLOCALS``): the
+  most frequent frame sizes in the corpus get a dedicated
+  superinstruction, everything else takes the generic ``clause_frame``
+  plus a separate ``frame_init_slot`` emission, and
+* the ranked ``MINED`` evidence table committed alongside the specs,
+  so a reviewer can see *why* each fused shape earns its place.
+
+The output is deterministic: the interpreter is deterministic, the
+corpus is a fixed list, and every collection is sorted before writing.
+Every generated spec is validated by actually constructing its
+:class:`~repro.core.fusion.Superinstruction` before the file is
+replaced.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_superinstructions.py [--check]
+
+``--check`` regenerates to a string and fails (exit 1) if the committed
+table differs — the CI guard against hand edits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import seqmine  # noqa: E402
+
+TABLE_PATH = REPO / "src" / "repro" / "core" / "fused_table.py"
+
+#: Moderate, diverse corpus: list/structure benchmarks, deep recursion,
+#: backtracking search, and the two application families (parsing,
+#: connection-graph proof) — enough coverage to rank sequences without
+#: re-running the heavyweight evaluation workloads.
+CORPUS = ("nreverse", "qsort", "tree", "lisp-fib", "queens-one",
+          "bup-1", "lcp-1", "harmonizer-1")
+
+#: How many ranked candidates to commit as evidence.
+MINED_TOP = 24
+
+#: How many ``clause_frame/{n}`` specialisations to keep.
+FRAME_SPECIALISATIONS = 4
+
+#: The dispatch shapes the machine binds by name — must stay in sync
+#: with ``repro.core.fusion.REQUIRED`` (guarded there by an import-time
+#: check and by ``tests/core/test_fusion.py``).
+REQUIRED_SPECS = {
+    "call_dispatch": {
+        "module": "control",
+        "emit": (("control.goal_fetch", 1), ("control.call_setup", 1),
+                 ("built.step", 1), ("control.proc_lookup", 1)),
+        "mem": (("read", "heap", 2),),
+    },
+    "cp_push_frame": {
+        "module": "control",
+        "emit": (("control.cp_push", 1), ("wf.general", 1)),
+        "mem": (("write-stack", "control", 10),),
+    },
+    "clause_try": {
+        "module": "control",
+        "emit": (("control.clause_try", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "clause_frame": {
+        "module": "control",
+        "emit": (("control.clause_try", 1), ("control.frame_alloc", 1),
+                 ("control.switch_buffer", 1)),
+        "mem": (("read", "heap", 1),),
+    },
+    "proceed_resume": {
+        "module": "control",
+        "emit": (("control.env_pop", 1),),
+        "mem": (("read", "control", 4),),
+    },
+    "fail": {
+        "module": "control",
+        "emit": (("control.backtrack", 1), ("control.fail_dispatch", 1)),
+        "mem": (),
+    },
+    "cp_restore_resume": {
+        "module": "control",
+        "emit": (("control.cp_restore", 1),),
+        "mem": (("read", "control", 4),),
+    },
+    "untrail_entry": {
+        "module": "trail",
+        "emit": (("trail.untrail_entry", 1),),
+        "mem": (("read", "trail", 1),),
+    },
+    "trail_push": {
+        "module": "trail",
+        "emit": (("trail.push", 1),),
+        "mem": (("write-stack", "trail", 1),),
+    },
+    "fetch_decode": {
+        "module": None,
+        "emit": (("decode", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "fetch_decode_packed": {
+        "module": None,
+        "emit": (("decode.packed", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "fetch_struct": {
+        "module": None,
+        "emit": (("decode", 1), ("decode.opcode", 1)),
+        "mem": (("read", "heap", 2),),
+    },
+    "fetch_struct_packed": {
+        "module": None,
+        "emit": (("decode.packed", 1), ("decode.opcode", 1)),
+        "mem": (("read", "heap", 2),),
+    },
+    "bind_skip": {
+        "module": None,
+        "emit": (("unify.bind", 1), ("trail.skip", 1)),
+        "mem": (),
+    },
+    "push_var": {
+        "module": None,
+        "emit": (("unify.build_var", 1),),
+        "mem": (("write-stack", "global", 1),),
+    },
+    "build_list": {
+        "module": None,
+        "emit": (("unify.build_cell", 1),),
+        "mem": (("write-stack", "global", 2),),
+    },
+    "get_arg": {
+        "module": None,
+        "emit": (("get_arg.fetch", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_packed": {
+        "module": None,
+        "emit": (("get_arg.packed", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_void": {
+        "module": None,
+        "emit": (("get_arg.fetch", 1),),
+        "mem": (("read", "heap", 1), ("write-stack", "global", 1)),
+    },
+    "get_arg_var_buf": {
+        "module": None,
+        "emit": (("get_arg.fetch", 1), ("get_arg.var_buffer", 1)),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_var_buf_base": {
+        "module": None,
+        "emit": (("get_arg.fetch", 1), ("get_arg.var_buffer_base", 1)),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_var_mem": {
+        "module": None,
+        "emit": (("get_arg.fetch", 1), ("get_arg.var_mem", 1)),
+        "mem": (("read", "heap", 1), ("read", "local", 1)),
+    },
+    "get_arg_var_buf_packed": {
+        "module": None,
+        "emit": (("get_arg.packed", 1), ("get_arg.var_buffer", 1)),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_var_buf_base_packed": {
+        "module": None,
+        "emit": (("get_arg.packed", 1), ("get_arg.var_buffer_base", 1)),
+        "mem": (("read", "heap", 1),),
+    },
+    "get_arg_var_mem_packed": {
+        "module": None,
+        "emit": (("get_arg.packed", 1), ("get_arg.var_mem", 1)),
+        "mem": (("read", "heap", 1), ("read", "local", 1)),
+    },
+    "deref_buf": {
+        "module": None,
+        "emit": (("unify.deref_step", 1), ("wf.frame_read", 1)),
+        "mem": (),
+    },
+    "deref_buf_base": {
+        "module": None,
+        "emit": (("unify.deref_step", 1), ("wf.frame_read_base", 1)),
+        "mem": (),
+    },
+    "deref_read/heap": {
+        "module": None,
+        "emit": (("unify.deref_step", 1),),
+        "mem": (("read", "heap", 1),),
+    },
+    "deref_read/global": {
+        "module": None,
+        "emit": (("unify.deref_step", 1),),
+        "mem": (("read", "global", 1),),
+    },
+    "deref_read/local": {
+        "module": None,
+        "emit": (("unify.deref_step", 1),),
+        "mem": (("read", "local", 1),),
+    },
+    "deref_read/control": {
+        "module": None,
+        "emit": (("unify.deref_step", 1),),
+        "mem": (("read", "control", 1),),
+    },
+    "deref_read/trail": {
+        "module": None,
+        "emit": (("unify.deref_step", 1),),
+        "mem": (("read", "trail", 1),),
+    },
+}
+
+HEADER = '''"""Selected superinstruction table (ahead-of-time generated).
+
+DO NOT EDIT BY HAND — regenerate with::
+
+    PYTHONPATH=src python scripts/gen_superinstructions.py
+
+The generator mines packed emission journals of registry workloads
+(:mod:`repro.obs.seqmine`) for the hottest micro-op n-grams, merges
+them with the statically-required dispatch shapes the machine binds by
+name (:data:`repro.core.fusion.REQUIRED`), and rewrites this module.
+``MINED`` keeps the ranked evidence the selection was based on.
+
+Spec format: ``module`` is an interpreter-module value string, or
+``None`` for dynamic (ambient-module) billing; ``emit`` lists
+``(routine_name, times)``; ``mem`` lists ``(command, area, times)``.
+"""
+
+# fmt: off
+'''
+
+
+def frame_nlocals_histogram(journals) -> Counter:
+    """How often each frame size occurs (``frame.init_slot×n`` tokens)."""
+    from repro.core import micro
+    base = micro.R_FRAME_INIT_SLOT.pair_base
+    hist: Counter = Counter()
+    for events in journals:
+        for token in events:
+            if (token & 0xFFFF) - (token & 0xFFFF) % 6 == base:
+                hist[token >> 19] += 1
+    return hist
+
+
+def select_frame_nlocals(hist: Counter) -> tuple[int, ...]:
+    """The most frequent frame sizes, specialised in ascending order."""
+    ranked = sorted(hist.items(), key=lambda kv: (-kv[1], kv[0]))
+    return tuple(sorted(n for n, _ in ranked[:FRAME_SPECIALISATIONS]))
+
+
+def build_specs(frame_nlocals: tuple[int, ...]) -> dict:
+    specs = dict(REQUIRED_SPECS)
+    base = REQUIRED_SPECS["clause_frame"]
+    for n in frame_nlocals:
+        specs[f"clause_frame/{n}"] = {
+            "module": base["module"],
+            "emit": base["emit"] + (("control.frame_init_slot", n),),
+            "mem": base["mem"],
+        }
+    return specs
+
+
+def render_spec(name: str, spec: dict) -> str:
+    lines = [f'    "{name}": {{']
+    lines.append(f'        "module": {spec["module"]!r},')
+    emit = spec["emit"]
+    if not emit:
+        lines.append('        "emit": (),')
+    else:
+        parts = [f'({r!r}, {t})' for r, t in emit]
+        body = "(" + ",\n                 ".join(
+            _wrap(parts, width=60)) + ("," if len(emit) == 1 else "") + ")"
+        lines.append(f'        "emit": {body},')
+    mem = spec["mem"]
+    if not mem:
+        lines.append('        "mem": (),')
+    else:
+        parts = [f'({c!r}, {a!r}, {t})' for c, a, t in mem]
+        body = ("(" + ", ".join(parts)
+                + ("," if len(mem) == 1 else "") + ")")
+        lines.append(f'        "mem": {body},')
+    lines.append("    },")
+    return "\n".join(lines)
+
+
+def _wrap(parts: list[str], width: int) -> list[str]:
+    """Group ``parts`` into comma-joined lines no wider than ``width``."""
+    lines: list[str] = []
+    current = ""
+    for part in parts:
+        if current and len(current) + len(part) + 2 > width:
+            lines.append(current)
+            current = part
+        else:
+            current = f"{current}, {part}" if current else part
+    if current:
+        lines.append(current)
+    return lines
+
+
+def render(specs: dict, frame_nlocals: tuple[int, ...],
+           mined) -> str:
+    out = [HEADER, "\nSPECS = {"]
+    for name, spec in specs.items():
+        out.append(render_spec(name, spec))
+    out.append("}")
+    out.append("")
+    out.append('#: nlocals values with a dedicated ``clause_frame/{n}``'
+               " specialisation.")
+    out.append(f"FRAME_NLOCALS = {frame_nlocals!r}")
+    out.append("")
+    out.append("#: Ranked mining evidence the selection above was derived"
+               " from: (ops,")
+    out.append(f"#: occurrences, total unfused steps) over {CORPUS!r},")
+    out.append("#: most step-heavy first (regenerated with the table).")
+    if not mined:
+        out.append("MINED = ()")
+    else:
+        out.append("MINED = (")
+        for cand in mined:
+            ops = tuple(seqmine.token_label(t) for t in cand.tokens)
+            out.append(f"    ({ops!r},")
+            out.append(f"     {cand.count}, {cand.steps}),")
+        out.append(")")
+    out.append("")
+    return "\n".join(out)
+
+
+def validate(specs: dict) -> None:
+    """Construct every Superinstruction; raises on a bad spec."""
+    from repro.core import fusion
+    for name, spec in specs.items():
+        fusion._build(name, spec)
+    missing = [name for name in fusion.REQUIRED if name not in specs]
+    if missing:
+        raise SystemExit(f"generated table misses required specs: {missing}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed table is up to date")
+    args = parser.parse_args()
+
+    journals = [seqmine.record_workload(name).events for name in CORPUS]
+    total: Counter = Counter()
+    for events in journals:
+        total.update(seqmine.ngram_counts(events))
+    mined = seqmine.rank(total, top=MINED_TOP)
+    frame_nlocals = select_frame_nlocals(frame_nlocals_histogram(journals))
+
+    specs = build_specs(frame_nlocals)
+    validate(specs)
+    text = render(specs, frame_nlocals, mined)
+
+    if args.check:
+        committed = TABLE_PATH.read_text()
+        if committed != text:
+            sys.stderr.write(
+                "fused_table.py is stale — regenerate with "
+                "PYTHONPATH=src python scripts/gen_superinstructions.py\n")
+            return 1
+        print("fused_table.py is up to date")
+        return 0
+
+    TABLE_PATH.write_text(text)
+    print(f"wrote {TABLE_PATH} ({len(specs)} specs, "
+          f"frame specialisations {frame_nlocals}, "
+          f"{len(mined)} mined candidates)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

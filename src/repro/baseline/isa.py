@@ -23,6 +23,12 @@ from enum import Enum, auto
 
 
 class Op(Enum):
+    # Members are singletons, so identity hashing is equivalent to the
+    # default Enum name hash — but it is a C-level slot instead of a
+    # Python-level __hash__ call, and Op is a dict key on the
+    # instruction-counting hot line of the baseline interpreter.
+    __hash__ = object.__hash__
+
     # head (get) instructions
     GET_VARIABLE = auto()     # Vn, Ai
     GET_VALUE = auto()        # Vn, Ai

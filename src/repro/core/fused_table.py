@@ -1,0 +1,265 @@
+"""Selected superinstruction table (ahead-of-time generated).
+
+DO NOT EDIT BY HAND — regenerate with::
+
+    PYTHONPATH=src python scripts/gen_superinstructions.py
+
+The generator mines packed emission journals of registry workloads
+(:mod:`repro.obs.seqmine`) for the hottest micro-op n-grams, merges
+them with the statically-required dispatch shapes the machine binds by
+name (:data:`repro.core.fusion.REQUIRED`), and rewrites this module.
+``MINED`` keeps the ranked evidence the selection was based on.
+
+Spec format: ``module`` is an interpreter-module value string, or
+``None`` for dynamic (ambient-module) billing; ``emit`` lists
+``(routine_name, times)``; ``mem`` lists ``(command, area, times)``.
+"""
+
+# fmt: off
+
+
+SPECS = {
+    "call_dispatch": {
+        "module": 'control',
+        "emit": (('control.goal_fetch', 1), ('control.call_setup', 1),
+                 ('built.step', 1), ('control.proc_lookup', 1)),
+        "mem": (('read', 'heap', 2),),
+    },
+    "cp_push_frame": {
+        "module": 'control',
+        "emit": (('control.cp_push', 1), ('wf.general', 1)),
+        "mem": (('write-stack', 'control', 10),),
+    },
+    "clause_try": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "clause_frame": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1), ('control.frame_alloc', 1),
+                 ('control.switch_buffer', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "proceed_resume": {
+        "module": 'control',
+        "emit": (('control.env_pop', 1),),
+        "mem": (('read', 'control', 4),),
+    },
+    "fail": {
+        "module": 'control',
+        "emit": (('control.backtrack', 1), ('control.fail_dispatch', 1)),
+        "mem": (),
+    },
+    "cp_restore_resume": {
+        "module": 'control',
+        "emit": (('control.cp_restore', 1),),
+        "mem": (('read', 'control', 4),),
+    },
+    "untrail_entry": {
+        "module": 'trail',
+        "emit": (('trail.untrail_entry', 1),),
+        "mem": (('read', 'trail', 1),),
+    },
+    "trail_push": {
+        "module": 'trail',
+        "emit": (('trail.push', 1),),
+        "mem": (('write-stack', 'trail', 1),),
+    },
+    "fetch_decode": {
+        "module": None,
+        "emit": (('decode', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "fetch_decode_packed": {
+        "module": None,
+        "emit": (('decode.packed', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "fetch_struct": {
+        "module": None,
+        "emit": (('decode', 1), ('decode.opcode', 1)),
+        "mem": (('read', 'heap', 2),),
+    },
+    "fetch_struct_packed": {
+        "module": None,
+        "emit": (('decode.packed', 1), ('decode.opcode', 1)),
+        "mem": (('read', 'heap', 2),),
+    },
+    "bind_skip": {
+        "module": None,
+        "emit": (('unify.bind', 1), ('trail.skip', 1)),
+        "mem": (),
+    },
+    "push_var": {
+        "module": None,
+        "emit": (('unify.build_var', 1),),
+        "mem": (('write-stack', 'global', 1),),
+    },
+    "build_list": {
+        "module": None,
+        "emit": (('unify.build_cell', 1),),
+        "mem": (('write-stack', 'global', 2),),
+    },
+    "get_arg": {
+        "module": None,
+        "emit": (('get_arg.fetch', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_packed": {
+        "module": None,
+        "emit": (('get_arg.packed', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_void": {
+        "module": None,
+        "emit": (('get_arg.fetch', 1),),
+        "mem": (('read', 'heap', 1), ('write-stack', 'global', 1)),
+    },
+    "get_arg_var_buf": {
+        "module": None,
+        "emit": (('get_arg.fetch', 1), ('get_arg.var_buffer', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_var_buf_base": {
+        "module": None,
+        "emit": (('get_arg.fetch', 1), ('get_arg.var_buffer_base', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_var_mem": {
+        "module": None,
+        "emit": (('get_arg.fetch', 1), ('get_arg.var_mem', 1)),
+        "mem": (('read', 'heap', 1), ('read', 'local', 1)),
+    },
+    "get_arg_var_buf_packed": {
+        "module": None,
+        "emit": (('get_arg.packed', 1), ('get_arg.var_buffer', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_var_buf_base_packed": {
+        "module": None,
+        "emit": (('get_arg.packed', 1), ('get_arg.var_buffer_base', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "get_arg_var_mem_packed": {
+        "module": None,
+        "emit": (('get_arg.packed', 1), ('get_arg.var_mem', 1)),
+        "mem": (('read', 'heap', 1), ('read', 'local', 1)),
+    },
+    "deref_buf": {
+        "module": None,
+        "emit": (('unify.deref_step', 1), ('wf.frame_read', 1)),
+        "mem": (),
+    },
+    "deref_buf_base": {
+        "module": None,
+        "emit": (('unify.deref_step', 1), ('wf.frame_read_base', 1)),
+        "mem": (),
+    },
+    "deref_read/heap": {
+        "module": None,
+        "emit": (('unify.deref_step', 1),),
+        "mem": (('read', 'heap', 1),),
+    },
+    "deref_read/global": {
+        "module": None,
+        "emit": (('unify.deref_step', 1),),
+        "mem": (('read', 'global', 1),),
+    },
+    "deref_read/local": {
+        "module": None,
+        "emit": (('unify.deref_step', 1),),
+        "mem": (('read', 'local', 1),),
+    },
+    "deref_read/control": {
+        "module": None,
+        "emit": (('unify.deref_step', 1),),
+        "mem": (('read', 'control', 1),),
+    },
+    "deref_read/trail": {
+        "module": None,
+        "emit": (('unify.deref_step', 1),),
+        "mem": (('read', 'trail', 1),),
+    },
+    "clause_frame/1": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1), ('control.frame_alloc', 1),
+                 ('control.switch_buffer', 1), ('control.frame_init_slot', 1)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "clause_frame/2": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1), ('control.frame_alloc', 1),
+                 ('control.switch_buffer', 1), ('control.frame_init_slot', 2)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "clause_frame/3": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1), ('control.frame_alloc', 1),
+                 ('control.switch_buffer', 1), ('control.frame_init_slot', 3)),
+        "mem": (('read', 'heap', 1),),
+    },
+    "clause_frame/4": {
+        "module": 'control',
+        "emit": (('control.clause_try', 1), ('control.frame_alloc', 1),
+                 ('control.switch_buffer', 1), ('control.frame_init_slot', 4)),
+        "mem": (('read', 'heap', 1),),
+    },
+}
+
+#: nlocals values with a dedicated ``clause_frame/{n}`` specialisation.
+FRAME_NLOCALS = (1, 2, 3, 4)
+
+#: Ranked mining evidence the selection above was derived from: (ops,
+#: occurrences, total unfused steps) over ('nreverse', 'qsort', 'tree', 'lisp-fib', 'queens-one', 'bup-1', 'lcp-1', 'harmonizer-1'),
+#: most step-heavy first (regenerated with the table).
+MINED = (
+    (('unify:mem.read@heap', 'unify:decode'),
+     78050, 234150),
+    (('control:control.cp_restore', 'control:mem.read@control×4', 'control:control.clause_try', 'control:mem.read@heap'),
+     20654, 227194),
+    (('control:control.cp_push', 'control:wf.general', 'control:mem.write_stack@control×10', 'control:control.clause_try'),
+     11681, 210258),
+    (('control:control.cp_restore', 'control:mem.read@control×4', 'control:control.clause_try'),
+     20654, 206540),
+    (('unify:mem.write_stack@global', 'unify:unify.build_var', 'trail:trail.push', 'unify:mem.write_stack@trail'),
+     32194, 193164),
+    (('control:control.fail_dispatch', 'control:control.cp_restore', 'control:mem.read@control×4', 'control:control.clause_try'),
+     15546, 186552),
+    (('unify:unify.bind', 'unify:mem.write@global', 'unify:trail.skip'),
+     30327, 181962),
+    (('unify:unify.bind', 'unify:mem.write@global'),
+     36371, 181855),
+    (('control:control.cp_push', 'control:wf.general', 'control:mem.write_stack@control×10'),
+     11681, 175215),
+    (('control:wf.general', 'control:mem.write_stack@control×10', 'control:control.clause_try', 'control:mem.read@heap'),
+     11681, 175215),
+    (('control:control.backtrack', 'control:control.fail_dispatch', 'control:control.cp_restore', 'control:mem.read@control×4'),
+     15546, 171006),
+    (('control:mem.write_stack@control×10', 'control:control.clause_try', 'control:mem.read@heap'),
+     11910, 166740),
+    (('control:mem.read@control×4', 'control:control.clause_try', 'control:mem.read@heap'),
+     20654, 165232),
+    (('control:wf.general', 'control:mem.write_stack@control×10', 'control:control.clause_try'),
+     11681, 163534),
+    (('unify:mem.write_stack@global', 'unify:unify.build_var', 'trail:trail.push'),
+     32194, 160970),
+    (('unify:unify.build_var', 'trail:trail.push', 'unify:mem.write_stack@trail'),
+     32194, 160970),
+    (('control:mem.write_stack@control×10', 'control:control.clause_try'),
+     11910, 154830),
+    (('unify:mem.read@heap', 'unify:decode.packed'),
+     49375, 148125),
+    (('control:control.cp_restore', 'control:mem.read@control×4'),
+     20654, 144578),
+    (('control:mem.read@control×4', 'control:control.clause_try'),
+     20654, 144578),
+    (('control:control.fail_dispatch', 'control:control.cp_restore', 'control:mem.read@control×4'),
+     15546, 139914),
+    (('unify:mem.read@heap', 'unify:decode', 'unify:unify.deref_step', 'unify:mem.read@global'),
+     27371, 136855),
+    (('control:mem.read@heap', 'control:control.call_setup', 'control:built.step', 'control:control.proc_lookup'),
+     12407, 136477),
+    (('control:control.call_setup', 'control:built.step', 'control:control.proc_lookup', 'control:mem.read@heap'),
+     12407, 136477),
+)

@@ -177,7 +177,8 @@ class MemorySystem:
     """
 
     __slots__ = ("_stats", "_mem_access", "_mem_access_n", "word_limit",
-                 "areas", "_words", "listeners", "_notify", "observer")
+                 "areas", "_words", "listeners", "_notify", "_packed_append",
+                 "observer")
 
     def __init__(self, stats, word_limit: int = 1 << 22):
         self._stats = stats
@@ -192,6 +193,11 @@ class MemorySystem:
         self._words: list[list] = [self.areas[area] for area in AREAS]
         self.listeners: list[MemoryListener] = []
         self._notify = None
+        #: When the sole listener is a :class:`TraceRecorder`, its
+        #: ``data.append`` bound method — the machine's fused paths then
+        #: append pre-packed ``address << 2 | code`` ints directly, with
+        #: no per-access Python frame.  ``None`` otherwise.
+        self._packed_append = None
         #: Optional observability hook (``on_settop(area, offset, old_top)``):
         #: receives stack truncations — the PSI's GC-free reclaim events —
         #: when a :class:`repro.obs.session.StackObserver` is attached by
@@ -224,10 +230,13 @@ class MemorySystem:
 
     def _rebuild_notify(self) -> None:
         listeners = self.listeners
+        self._packed_append = None
         if not listeners:
             self._notify = None
         elif len(listeners) == 1:
             self._notify = listeners[0].access
+            if type(listeners[0]) is TraceRecorder:
+                self._packed_append = listeners[0].data.append
         elif len(listeners) == 2:
             first, second = (listener.access for listener in listeners)
 
@@ -286,17 +295,25 @@ class MemorySystem:
     def read(self, area: Area, offset: int):
         """Read one word, billing a READ cache command."""
         self._mem_access(_READ, area)
-        notify = self._notify
-        if notify is not None:
-            notify(_READ, (area << AREA_SHIFT) | offset)
+        pa = self._packed_append
+        if pa is not None:
+            pa(((area << AREA_SHIFT) | offset) << 2)
+        else:
+            notify = self._notify
+            if notify is not None:
+                notify(_READ, (area << AREA_SHIFT) | offset)
         return self._words[area][offset]
 
     def write(self, area: Area, offset: int, word) -> None:
         """Overwrite one word in place, billing a WRITE cache command."""
         self._mem_access(_WRITE, area)
-        notify = self._notify
-        if notify is not None:
-            notify(_WRITE, (area << AREA_SHIFT) | offset)
+        pa = self._packed_append
+        if pa is not None:
+            pa((((area << AREA_SHIFT) | offset) << 2) | 1)
+        else:
+            notify = self._notify
+            if notify is not None:
+                notify(_WRITE, (area << AREA_SHIFT) | offset)
         self._words[area][offset] = word
 
     def write_stack(self, area: Area, word) -> int:
@@ -308,18 +325,26 @@ class MemorySystem:
             raise MachineError(
                 f"{AREAS[area].label} overflow ({offset} words)")
         self._mem_access(_WRITE_STACK, area)
-        notify = self._notify
-        if notify is not None:
-            notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
+        pa = self._packed_append
+        if pa is not None:
+            pa((((area << AREA_SHIFT) | offset) << 2) | 2)
+        else:
+            notify = self._notify
+            if notify is not None:
+                notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
         words.append(word)
         return offset
 
     def write_stack_at(self, area: Area, offset: int, word) -> None:
         """Write-stack into an already-reserved slot (frame flush path)."""
         self._mem_access(_WRITE_STACK, area)
-        notify = self._notify
-        if notify is not None:
-            notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
+        pa = self._packed_append
+        if pa is not None:
+            pa((((area << AREA_SHIFT) | offset) << 2) | 2)
+        else:
+            notify = self._notify
+            if notify is not None:
+                notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
         self._words[area][offset] = word
 
     # -- accounted block accessors ---------------------------------------------
@@ -333,11 +358,17 @@ class MemorySystem:
     def read_block(self, area: Area, offset: int, count: int) -> list:
         """Read ``count`` consecutive words, billing ``count`` READs."""
         self._mem_access_n(_READ, area, count)
-        notify = self._notify
-        if notify is not None:
-            base = (area << AREA_SHIFT) | offset
+        pa = self._packed_append
+        if pa is not None:
+            packed = ((area << AREA_SHIFT) | offset) << 2
             for i in range(count):
-                notify(_READ, base + i)
+                pa(packed + 4 * i)
+        else:
+            notify = self._notify
+            if notify is not None:
+                base = (area << AREA_SHIFT) | offset
+                for i in range(count):
+                    notify(_READ, base + i)
         return self._words[area][offset:offset + count]
 
     def write_stack_block(self, area: Area, words) -> int:
@@ -352,11 +383,17 @@ class MemorySystem:
             raise MachineError(
                 f"{AREAS[area].label} overflow ({offset + count} words)")
         self._mem_access_n(_WRITE_STACK, area, count)
-        notify = self._notify
-        if notify is not None:
-            base = (area << AREA_SHIFT) | offset
+        pa = self._packed_append
+        if pa is not None:
+            packed = (((area << AREA_SHIFT) | offset) << 2) | 2
             for i in range(count):
-                notify(_WRITE_STACK, base + i)
+                pa(packed + 4 * i)
+        else:
+            notify = self._notify
+            if notify is not None:
+                base = (area << AREA_SHIFT) | offset
+                for i in range(count):
+                    notify(_WRITE_STACK, base + i)
         stack.extend(words)
         return offset
 
@@ -369,22 +406,105 @@ class MemorySystem:
         :meth:`write_stack_at` calls rewriting each word to itself.
         """
         self._mem_access_n(_WRITE_STACK, area, count)
-        notify = self._notify
-        if notify is not None:
-            base = (area << AREA_SHIFT) | offset
+        pa = self._packed_append
+        if pa is not None:
+            packed = (((area << AREA_SHIFT) | offset) << 2) | 2
             for i in range(count):
-                notify(_WRITE_STACK, base + i)
+                pa(packed + 4 * i)
+        else:
+            notify = self._notify
+            if notify is not None:
+                base = (area << AREA_SHIFT) | offset
+                for i in range(count):
+                    notify(_WRITE_STACK, base + i)
 
     def rewrite_stack_block(self, area: Area, offset: int, words) -> None:
         """Write-stack a word sequence into already-reserved slots."""
         count = len(words)
         self._mem_access_n(_WRITE_STACK, area, count)
+        pa = self._packed_append
+        if pa is not None:
+            packed = (((area << AREA_SHIFT) | offset) << 2) | 2
+            for i in range(count):
+                pa(packed + 4 * i)
+        else:
+            notify = self._notify
+            if notify is not None:
+                base = (area << AREA_SHIFT) | offset
+                for i in range(count):
+                    notify(_WRITE_STACK, base + i)
+        self._words[area][offset:offset + count] = words
+
+    # -- fused-path accessors ---------------------------------------------------
+    #
+    # Used by the machine's superinstruction dispatch: the *billing* of
+    # these accesses was already applied in one ``stats.emit_fused``
+    # call, so only the listener notification (and, for pushes, the
+    # actual word movement with its overflow check) remains.  The
+    # notification order is exactly that of the unfused accessors.
+
+    def touch_read(self, area: Area, offset: int) -> None:
+        """Notify one READ whose billing was fused."""
+        pa = self._packed_append
+        if pa is not None:
+            pa(((area << AREA_SHIFT) | offset) << 2)
+            return
         notify = self._notify
         if notify is not None:
-            base = (area << AREA_SHIFT) | offset
+            notify(_READ, (area << AREA_SHIFT) | offset)
+
+    def touch_read_run(self, area: Area, offset: int, count: int) -> None:
+        """Notify ``count`` consecutive READs whose billing was fused."""
+        pa = self._packed_append
+        base = (area << AREA_SHIFT) | offset
+        if pa is not None:
+            packed = base << 2
             for i in range(count):
-                notify(_WRITE_STACK, base + i)
-        self._words[area][offset:offset + count] = words
+                pa(packed + 4 * i)
+            return
+        notify = self._notify
+        if notify is not None:
+            for i in range(count):
+                notify(_READ, base + i)
+
+    def push_fused(self, area: Area, word) -> int:
+        """:meth:`write_stack` minus the billing (fused by the caller)."""
+        words = self._words[area]
+        offset = len(words)
+        if offset >= self.word_limit:
+            raise MachineError(
+                f"{AREAS[area].label} overflow ({offset} words)")
+        pa = self._packed_append
+        if pa is not None:
+            pa((((area << AREA_SHIFT) | offset) << 2) | 2)
+        else:
+            notify = self._notify
+            if notify is not None:
+                notify(_WRITE_STACK, (area << AREA_SHIFT) | offset)
+        words.append(word)
+        return offset
+
+    def push_block_fused(self, area: Area, block) -> int:
+        """:meth:`write_stack_block` minus the billing (fused by caller)."""
+        stack = self._words[area]
+        offset = len(stack)
+        count = len(block)
+        if offset + count > self.word_limit:
+            raise MachineError(
+                f"{AREAS[area].label} overflow ({offset + count} words)")
+        pa = self._packed_append
+        base = (area << AREA_SHIFT) | offset
+        if pa is not None:
+            packed = (base << 2) | 2
+            for i in range(count):
+                pa(packed + 4 * i)
+        else:
+            notify = self._notify
+            if notify is not None:
+                for i in range(count):
+                    notify(_WRITE_STACK, base + i)
+        stack.extend(block)
+        return offset
 
     # -- address-based accessors (for dereferencing through REF words) ---------
 

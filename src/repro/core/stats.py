@@ -48,11 +48,18 @@ from repro.core.micro import (
 N_AREAS = 5
 
 
+def _fusion_slot_space() -> int:
+    """Deferred fused-billing slot count (lazy import: the fusion table
+    builds on top of the micro registry, which this module also feeds)."""
+    from repro.core import fusion
+    return fusion.slot_space()
+
+
 class StatsCollector:
     """Accumulates microinstruction-stream statistics for one run."""
 
     __slots__ = ("module", "predicate", "inferences", "builtin_calls",
-                 "_pair_counts", "_mem_counts")
+                 "_pair_counts", "_mem_counts", "_fused_counts")
 
     def __init__(self) -> None:
         self.module: Module = Module.CONTROL
@@ -67,6 +74,7 @@ class StatsCollector:
         self.builtin_calls = 0
         self._pair_counts: list[int] = [0] * _micro.pair_space()
         self._mem_counts: list[int] = [0] * (len(CMD_BY_CODE) * N_AREAS)
+        self._fused_counts: list[int] = [0] * _fusion_slot_space()
 
     # -- recording -----------------------------------------------------------
 
@@ -114,6 +122,59 @@ class StatsCollector:
             self._grow_pairs(index)
             self._pair_counts[index] += times
 
+    def emit_fused(self, fused) -> None:
+        """Bill one static :class:`~repro.core.fusion.Superinstruction`.
+
+        Deferred: one list-index increment now, the precomputed
+        pair/memory deltas folded in by :meth:`_flush_fused` the first
+        time any reporting view is read.  Counter billing is order-free
+        (only the *final* counts are observable), so deferral is exactly
+        equivalent to replaying the run through
+        :meth:`emit_in`/:meth:`mem_access_n` — guarded by
+        ``tests/core/test_fusion.py`` and the golden digests.
+
+        The machine's fused dispatch sites inline this increment
+        directly (the fused gate guarantees the exact base class), so
+        this method is the API for tests and out-of-machine callers.
+        """
+        self._fused_counts[fused.slot] += 1
+
+    def emit_fused_dyn(self, fused) -> None:
+        """Bill a dynamic superinstruction under the current module.
+
+        Like :meth:`emit_fused` but the slot is module-relative: the
+        ambient module at *emission* time decides which (sid, module)
+        cell accumulates, which is all the flush needs to reconstruct
+        the absolute pair indices.
+        """
+        self._fused_counts[fused.sid6 + self.module.idx] += 1
+
+    def _flush_fused(self) -> None:
+        """Fold accumulated fused billings into the flat counters.
+
+        Called by every reporting view before it reads the flat lists.
+        Idempotent (the deferred list is zeroed) and cheap: the scan is
+        over a few hundred ints, once per report, not per emission.
+        """
+        fc = self._fused_counts
+        pending = [(slot, n) for slot, n in enumerate(fc) if n]
+        if not pending:
+            return
+        from repro.core import fusion
+        by_sid = fusion.BY_SID
+        fc[:] = [0] * len(fc)
+        counts = self._pair_counts
+        mem = self._mem_counts
+        for slot, n in pending:
+            si = by_sid[slot // N_MODULES]
+            midx = slot % N_MODULES
+            if si.max_index >= len(counts):
+                self._grow_pairs(si.max_index)
+            for base, times in si.base_deltas:
+                counts[base + midx] += times * n
+            for index, times in si.mem_deltas:
+                mem[index] += times * n
+
     def _grow_pairs(self, index: int) -> None:
         """Extend the flat pair list (a routine was defined after this
         collector was constructed — test-defined routines)."""
@@ -130,6 +191,7 @@ class StatsCollector:
         Rebuilt on access (reporting-time only); mutations to the
         returned Counter do not feed back into the collector.
         """
+        self._flush_fused()
         counts: Counter = Counter()
         modules = MODULE_BY_INDEX
         routines = _micro.routines_by_rid()
@@ -143,6 +205,7 @@ class StatsCollector:
     def mem_counts(self) -> Counter:
         """``(CacheCmd, Area) -> n`` fold of the flat counters."""
         from repro.core.memory import Area
+        self._flush_fused()
         counts: Counter = Counter()
         areas = tuple(Area)
         for index, n in enumerate(self._mem_counts):
@@ -155,6 +218,7 @@ class StatsCollector:
 
     @property
     def total_steps(self) -> int:
+        self._flush_fused()
         routines = _micro.routines_by_rid()
         return sum(routines[index // N_MODULES].n_steps * n
                    for index, n in enumerate(self._pair_counts) if n)
@@ -175,6 +239,7 @@ class StatsCollector:
 
     def cache_command_counts(self) -> dict[CacheCmd, int]:
         """Total accesses per cache command (Table 3 numerators)."""
+        self._flush_fused()
         counts = self._mem_counts
         return {cmd: sum(counts[cmd.code * N_AREAS:(cmd.code + 1) * N_AREAS])
                 for cmd in CacheCmd}
@@ -204,6 +269,7 @@ class StatsCollector:
 
     @property
     def total_mem_accesses(self) -> int:
+        self._flush_fused()
         return sum(self._mem_counts)
 
     # -- work file (Table 6) -------------------------------------------------------
@@ -313,6 +379,7 @@ class StatsCollector:
         self.builtin_calls = state["builtin_calls"]
         self._pair_counts = [0] * _micro.pair_space()
         self._mem_counts = [0] * (len(CMD_BY_CODE) * N_AREAS)
+        self._fused_counts = [0] * _fusion_slot_space()
         for (module, routine), n in state["routine_counts"].items():
             self.emit_in(module, routine, n)
         for (cmd, area), n in state["mem_counts"].items():
@@ -338,4 +405,10 @@ class NullStats:
         pass
 
     def mem_access_n(self, cmd, area, times: int) -> None:
+        pass
+
+    def emit_fused(self, fused) -> None:
+        pass
+
+    def emit_fused_dyn(self, fused) -> None:
         pass

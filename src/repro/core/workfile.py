@@ -70,6 +70,18 @@ class WorkFile:
         self.stats.emit(_R_SWITCH_BUFFER)
         return buffer_id
 
+    def acquire_quiet(self, frame) -> int:
+        """:meth:`acquire` with the SWITCH_BUFFER emission already billed
+        by the caller's superinstruction.  The caller guarantees
+        ``frame.nlocals <= BUFFER_SLOTS``."""
+        buffer_id = self._next
+        self._next = 1 - buffer_id
+        evicted = self._owners[buffer_id]
+        if evicted is not None:
+            evicted.buffer_id = None
+        self._owners[buffer_id] = frame
+        return buffer_id
+
     def release(self, frame) -> None:
         """Drop ``frame``'s buffer ownership (frame died or was flushed)."""
         if frame.buffer_id is not None and self._owners[frame.buffer_id] is frame:

@@ -64,3 +64,16 @@ class MachineError(ReproError):
 
 class ResourceLimitExceeded(MachineError):
     """Raised when a configured step or memory limit is exceeded."""
+
+
+class UnknownGoalKind(MachineError):
+    """Raised when goal dispatch meets a code node the compiler never emits.
+
+    Names the offending class so a future goal kind added to the
+    compiler without a dispatch arm fails loudly instead of silently.
+    """
+
+    def __init__(self, goal: object):
+        super().__init__(
+            f"unknown goal kind {type(goal).__name__}: {goal!r}")
+        self.goal = goal

@@ -110,11 +110,15 @@ def _profile_workload(args) -> str:
       consumes for differential profiling,
 
     and prints the top-N ``(predicate × module)`` step attribution.
+    ``--sequences N`` additionally mines the packed emission stream for
+    the N hottest micro-op n-grams (the fusion selector's ranking,
+    :mod:`repro.obs.seqmine`), prints them, and stores them in the
+    ``.profile.json`` snapshot.
     """
     import pathlib
 
     from repro import obs
-    from repro.obs import diffprof
+    from repro.obs import diffprof, seqmine
     from repro.tools.collect import collect
     from repro.workloads import get
 
@@ -130,6 +134,8 @@ def _profile_workload(args) -> str:
                           record_trace=False,
                           setup_goals=workload.setup_goals)
         observation = run.observation
+        sequences = (seqmine.mine_workload(name, top=args.sequences)
+                     if args.sequences else None)
         chrome_path = out_dir / f"{name}.trace.json"
         jsonl_path = out_dir / f"{name}.trace.jsonl"
         collapsed_path = out_dir / f"{name}.collapsed.txt"
@@ -140,11 +146,19 @@ def _profile_workload(args) -> str:
             observation.write_jsonl(fp)
         with collapsed_path.open("w") as fp:
             observation.write_collapsed(fp, root=name)
-        diffprof.write_snapshot(snapshot_path, name, observation)
+        diffprof.write_snapshot(snapshot_path, name, observation,
+                                sequences=sequences)
         lines.append(f"== {name} ==")
         lines.append(f"{observation.total_steps} microsteps, "
                      f"{len(observation.tracer)} trace events")
         lines.append(observation.top_table(args.top))
+        if sequences is not None:
+            lines.append("")
+            lines.append(f"hot micro-op sequences (top {args.sequences} "
+                         "by total attributed steps):")
+            for cand in sequences:
+                lines.append(f"  {cand.steps:>10,d} steps  "
+                             f"×{cand.count:<8,d} {cand.label}")
         lines.append(f"wrote {chrome_path}, {jsonl_path}, {collapsed_path}, "
                      f"{snapshot_path}")
     return "\n".join(lines)
@@ -398,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: psi-obs/)")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="rows in the 'profile' top-predicates table")
+    parser.add_argument("--sequences", type=int, default=0, metavar="N",
+                        help="'profile': mine and print the N hottest "
+                             "micro-op n-grams (the superinstruction "
+                             "selector's ranking) and store them in the "
+                             ".profile.json snapshot")
     parser.add_argument("--json", action="store_true",
                         help="'fidelity': emit the machine-readable JSON "
                              "document instead of the text table")

@@ -115,9 +115,13 @@ class HistoryStore:
         except IndexError:
             out_of_range = True
         text = str(spec)
-        matches = [e for e in entries
-                   if (e.get("git_sha") or "").startswith(text)
-                   or (e.get("ts") or "").startswith(text)]
+        # Git's minimum SHA abbreviation: shorter specs (e.g. a bare
+        # out-of-range index whose digit happens to open the current
+        # commit SHA) must not silently prefix-match an entry.
+        matches = [] if len(text) < 4 else [
+            e for e in entries
+            if (e.get("git_sha") or "").startswith(text)
+            or (e.get("ts") or "").startswith(text)]
         if matches:
             return matches[-1]
         if out_of_range:

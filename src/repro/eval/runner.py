@@ -117,11 +117,15 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
             return run
         CACHE_EVENTS["disk_miss"] += 1
 
-    # Record the trace whenever the run will be persisted, so the disk
-    # entry is the traced variant and serves every future caller.
+    # Always record the trace on a real execution: the recorder is the
+    # memory system's single-listener fast path, which the deferred
+    # cache replay keeps busy anyway, so recording costs almost
+    # nothing — and the cached run then serves every later
+    # ``record_trace=True`` caller without the trace-upgrade double
+    # execution.
     run = collect(workload.source, workload.goal,
                   all_solutions=workload.all_solutions,
-                  record_trace=record_trace or key is not None,
+                  record_trace=True,
                   setup_goals=workload.setup_goals)
     if not run.succeeded:
         raise RuntimeError(f"workload {name} failed on the PSI model")

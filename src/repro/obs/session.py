@@ -235,6 +235,22 @@ class ObservedStatsCollector(StatsCollector):
             self._win_n = 0
             self._cache_sampler.sample()
 
+    def emit_fused(self, fused) -> None:
+        """Replay a superinstruction unfused through the observed paths.
+
+        The machine's fused dispatch is gated on the *exact* base
+        collector class, so observed runs normally never see this call;
+        it exists so a superinstruction applied to any collector kind
+        lands in identical buckets (profile attribution included —
+        replay goes through :meth:`emit_in`/:meth:`mem_access_n`, whose
+        run-length buffering never moves steps between (predicate,
+        module) slices).
+        """
+        fused.replay(self)
+
+    def emit_fused_dyn(self, fused) -> None:
+        fused.replay(self)
+
     def _flush_profile(self) -> None:
         buffered = self._buf_steps
         if buffered:

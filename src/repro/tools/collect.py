@@ -156,17 +156,40 @@ class RunSummary:
                             answers=self.answers, counters=self.counters)
 
 
+def _totals_from_stats(stats: StatsCollector) -> tuple[list, list]:
+    """Per-area / per-command access totals in the shape
+    :meth:`repro.memsys.Cache.access_many_packed` expects, taken from
+    the collector instead of a counting pass over the packed trace.
+    Equality with :func:`repro.memsys.cache.count_entries_packed` is
+    pinned by tests/tools/test_collect_and_pmms.py."""
+    from repro.core.memory import AREAS
+    from repro.core.micro import CMD_BY_CODE
+
+    area_totals = [0] * len(AREAS)
+    cmd_totals = [0] * len(CMD_BY_CODE)
+    for (cmd, area), n in stats.mem_counts.items():
+        area_totals[area] += n
+        cmd_totals[cmd.code] += n
+    return area_totals, cmd_totals
+
+
 def collect(program: str, goal: str, *,
             all_solutions: bool = False,
             record_trace: bool = True,
             with_cache: bool = True,
             cache_config: CacheConfig | None = None,
             machine_config: MachineConfig | None = None,
+            stats_collector: StatsCollector | None = None,
             setup_goals: tuple[str, ...] = ()) -> CollectedRun:
     """Load ``program``, run ``goal``, return the collected data.
 
     ``setup_goals`` run before measurement starts (their traffic is
     excluded) — used by workloads that build input data first.
+
+    ``stats_collector`` substitutes an instrumented collector (e.g. the
+    sequence miner's recording subclass) for the plain one.  Such runs
+    are measurement-internal, so no observation session is opened for
+    them even when :func:`repro.obs.enabled` is on.
     """
     machine = PSIMachine(config=machine_config)
     machine.consult(program)
@@ -176,16 +199,30 @@ def collect(program: str, goal: str, *,
     # Fresh collectors so measurement excludes loading and setup.  The
     # enabled() flag is consulted exactly once per run: when off, the
     # machine gets the plain collector and no obs object exists.
-    session = obs.begin_run(goal) if obs.enabled() else None
-    stats = session.collector if session is not None else StatsCollector()
+    session = None
+    if stats_collector is not None:
+        stats = stats_collector
+    else:
+        session = obs.begin_run(goal) if obs.enabled() else None
+        stats = session.collector if session is not None else StatsCollector()
     machine.stats = stats
     machine.mem.stats = stats
     machine.wf.stats = stats
     trace = TraceRecorder() if record_trace else None
-    if trace is not None:
-        machine.mem.attach(trace)
     cache = Cache(cache_config or CacheConfig()) if with_cache else None
-    if cache is not None:
+    # Deferred cache replay: without an observation session nothing
+    # reads ``cache.stats`` mid-run (the window sampler is the only
+    # live consumer), so the cache need not listen online.  Feeding it
+    # the packed trace afterwards — :meth:`Cache.access_many_packed`
+    # is access-for-access equivalent — keeps the memory system on its
+    # single-listener fast path for the whole run.
+    cache_feed = None
+    if cache is not None and session is None:
+        cache_feed = trace if trace is not None else TraceRecorder()
+    recorder = trace if trace is not None else cache_feed
+    if recorder is not None:
+        machine.mem.attach(recorder)
+    if cache is not None and cache_feed is None:
         machine.mem.attach(cache)
     if session is not None:
         machine.mem.observer = session.stack_observer
@@ -208,10 +245,18 @@ def collect(program: str, goal: str, *,
     # statistics are exactly those of an uncaptured run.
     answers = tuple(canonical_answer(s.bindings) for s in captured)
 
-    if trace is not None:
-        machine.mem.detach(trace)
+    if recorder is not None:
+        machine.mem.detach(recorder)
     if cache is not None:
-        machine.mem.detach(cache)
+        if cache_feed is not None:
+            # The collector already holds the per-(command, area) access
+            # totals — billing and trace notification are paired at
+            # every memory-system site — so the replay can skip its
+            # counting pass over the packed trace.
+            cache.access_many_packed(cache_feed.data,
+                                     totals=_totals_from_stats(stats))
+        else:
+            machine.mem.detach(cache)
     observation = None
     if session is not None:
         machine.mem.observer = None

@@ -332,3 +332,24 @@ class TestSolutionDecoding:
     def test_term_to_string_of_solution(self, m):
         s = m.run("append([1], [x], R)")
         assert term_to_string(s["R"]) == "[1,x]"
+
+
+class TestGoalDispatch:
+    def test_unknown_goal_kind_raises_typed_error(self, m):
+        """A body goal of a class the dispatcher has no arm for must
+        fail loudly, naming the class — not fall through silently."""
+        from repro.errors import MachineError, UnknownGoalKind
+
+        class RogueGoal:
+            def __repr__(self):
+                return "RogueGoal()"
+
+        m.consult("p :- q.\nq.")
+        clause = m.program.procedure("p", 0).clauses[0]
+        # Replace the whole body: appending after the final call would
+        # be unreachable (the last call passes the continuation through).
+        clause.body = (RogueGoal(),)
+        with pytest.raises(UnknownGoalKind, match="RogueGoal") as exc_info:
+            m.run("p")
+        assert isinstance(exc_info.value, MachineError)
+        assert isinstance(exc_info.value.goal, RogueGoal)

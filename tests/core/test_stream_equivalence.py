@@ -24,8 +24,9 @@ import json
 
 import pytest
 
+from repro.core.machine import MachineConfig
 from repro.tools.collect import collect
-from repro.workloads import get
+from repro.workloads import get, shared_workloads
 
 #: Committed digests of the reference emission stream.  Regenerate only
 #: for a *deliberate* modelling change (which also moves the fidelity
@@ -114,11 +115,12 @@ def aggregates(stats) -> dict:
     }
 
 
-def run_workload(name: str):
+def run_workload(name: str, machine_config: MachineConfig | None = None):
     workload = get(name)
     return collect(workload.source, workload.goal,
                    all_solutions=workload.all_solutions,
                    record_trace=True, with_cache=False,
+                   machine_config=machine_config,
                    setup_goals=workload.setup_goals)
 
 
@@ -147,6 +149,33 @@ class TestStreamEquivalence:
         assert stats_digest(run.stats) == golden["stats_sha256"], (
             f"{name}: per-routine counters differ but aggregates agree: "
             f"emissions moved between (module, routine) buckets")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", sorted(w.name for w in shared_workloads()))
+class TestFusedRegistryEquivalence:
+    """Fused dispatch must reproduce the unfused stream on *every*
+    shared workload, not just the three golden-digest ones.
+
+    The unfused run (``MachineConfig(fused=False)``) is the reference:
+    identical trace bytes (memory-access order is cache-visible) and
+    identical canonical counters (every (module, routine) and
+    (command, area) bucket).  Catches a fusion regression on any
+    registry workload the cheap goldens above would miss.
+    """
+
+    def test_fused_matches_unfused(self, name):
+        fused = run_workload(name)
+        unfused = run_workload(name, MachineConfig(fused=False))
+        assert len(fused.trace) == len(unfused.trace), (
+            f"{name}: fused run changed the memory-trace length")
+        assert hashlib.sha256(fused.trace.tobytes()).hexdigest() == \
+            hashlib.sha256(unfused.trace.tobytes()).hexdigest(), (
+            f"{name}: fused run reordered or altered the access stream")
+        assert canonical_stats(fused.stats) == \
+            canonical_stats(unfused.stats), (
+            f"{name}: fused billing diverged from the per-op reference")
 
 
 class TestObservedStreamEquivalence:

@@ -139,9 +139,27 @@ class TestDiskCache:
         assert key != run_key(**{**base, "machine_config": "m2"})
         assert key == run_key(**base)
 
-    def test_trace_upgrade_logged_without_disk_cache(self, fresh, caplog):
+    def test_fresh_runs_always_record_no_upgrade_needed(self, fresh):
+        """Real executions record the trace unconditionally, so a later
+        ``record_trace=True`` caller is served from the memory tier
+        without the trace-upgrade double execution."""
         runner.set_disk_cache(False)
-        runner.run_psi("lcp-1", record_trace=False)
+        first = runner.run_psi("lcp-1", record_trace=False)
+        assert first.trace is not None
+        upgraded = runner.run_psi("lcp-1", record_trace=True)
+        assert upgraded is first
+        assert runner.CACHE_EVENTS["trace_upgrade"] == 0
+        assert runner.CACHE_EVENTS["memory_hit"] == 1
+
+    def test_trace_upgrade_logged_for_stale_no_trace_entry(self, fresh,
+                                                           caplog):
+        """A memory-tier entry without a trace (e.g. rebuilt from an old
+        disk summary) still triggers the visible, counted re-run."""
+        import dataclasses
+
+        runner.set_disk_cache(False)
+        first = runner.run_psi("lcp-1")
+        runner._PSI_CACHE["lcp-1"] = dataclasses.replace(first, trace=None)
         with caplog.at_level("WARNING", logger="repro.eval.runner"):
             upgraded = runner.run_psi("lcp-1", record_trace=True)
         assert upgraded.trace is not None

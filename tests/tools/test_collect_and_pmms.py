@@ -62,6 +62,17 @@ class TestCollect:
         with pytest.raises(RuntimeError):
             collect(PROGRAM, "nrev([1], R)", setup_goals=("fail",))
 
+    def test_collector_totals_match_trace_totals(self, run):
+        """Billing and trace notification are paired at every memory
+        site, so the totals ``collect`` hands the deferred cache replay
+        (derived from the collector) must equal a counting pass over
+        the packed trace — the invariant the replay shortcut rests on."""
+        from repro.memsys.cache import count_entries_packed
+        from repro.tools.collect import _totals_from_stats
+
+        assert _totals_from_stats(run.stats) == count_entries_packed(
+            run.trace.data)
+
     def test_listeners_detached_after_run(self, run):
         assert run.machine.mem.listeners == []
 
