@@ -11,6 +11,12 @@ Two reference classes are verified against the working tree:
   exact drift class this script exists to catch), so each must exist
   relative to the repo root or the referencing file.
 
+When checking the default set, a **CLI coverage** gate additionally
+requires every ``psi-eval`` subcommand (the real ``_TARGETS`` registry
+imported from ``repro.eval.cli``) to appear as ``psi-eval <command>``
+in at least one default document — a new subcommand cannot ship
+undocumented.
+
 Exit status 0 when everything resolves, 1 with a report otherwise.
 
 Usage::
@@ -37,6 +43,7 @@ DEFAULT_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/ENGINES.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVING.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -91,6 +98,28 @@ def check(doc: pathlib.Path) -> list[str]:
     return problems
 
 
+def check_cli_coverage(names: list[str]) -> list[str]:
+    """Every ``psi-eval`` subcommand must appear in ≥1 document.
+
+    Searched over the FULL text (code fences included — that is where
+    command examples live).  Imports the live target registry, so a
+    subcommand added to the CLI fails here until it is documented.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.eval.cli import _TARGETS
+
+    corpus = "\n".join((REPO / name).read_text() for name in names
+                       if (REPO / name).exists())
+    problems: list[str] = []
+    for command in sorted(_TARGETS):
+        if not re.search(rf"psi-eval\s+{re.escape(command)}\b", corpus):
+            problems.append(
+                f"undocumented psi-eval subcommand: {command!r} "
+                f"(add a `psi-eval {command}` example to one of the "
+                f"default documents)")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     names = (argv if argv else None) or DEFAULT_DOCS
     failures = 0
@@ -105,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
         for problem in problems:
             print(f"{name}: {problem}")
         failures += len(problems)
+    if not argv:                 # default set: the CLI coverage gate too
+        coverage_problems = check_cli_coverage(names)
+        for problem in coverage_problems:
+            print(problem)
+        failures += len(coverage_problems)
     if failures:
         print(f"\n{failures} broken reference(s)")
         return 1

@@ -29,6 +29,8 @@ Usage::
                                      # engines, fail on answer divergence
     psi-eval crosscheck nreverse qsort
     psi-eval crosscheck --all --report crosscheck-report.json
+    psi-eval serve --workers 4 --port 7071   # warm-worker evaluation service
+    psi-eval serve --port 0                  # ephemeral port (printed on start)
 
 Workload runs are cached persistently under ``.psi-cache/`` (keyed by
 workload content + simulator code version), so repeated invocations
@@ -327,6 +329,27 @@ def _crosscheck(args):
     return report.render(), 0 if report.ok else 1
 
 
+def _serve(args) -> str:
+    """``psi-eval serve``: the long-running evaluation service.
+
+    Binds ``--host:--port`` (``--port 0`` picks an ephemeral port,
+    announced on stdout), keeps ``--workers`` warm engine worker
+    processes, and serves solve/replay/metrics/health/fidelity requests
+    over the length-prefixed JSON protocol until a client sends
+    ``drain`` (or the process receives SIGINT/SIGTERM).  See
+    ``docs/SERVING.md`` for the protocol and a worked session;
+    ``scripts/load_gen.py`` drives it under load.
+    """
+    import asyncio
+
+    from repro.serve.server import run_server
+
+    return asyncio.run(run_server(
+        host=args.host, port=args.port, workers=args.workers,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        disk_cache=not args.no_disk_cache))
+
+
 _TARGETS = {
     "table1": lambda args: table1.render(table1.generate(args.programs or None)),
     "table2": lambda args: table2.render(table2.generate()),
@@ -345,11 +368,12 @@ _TARGETS = {
     "diff": _diff,
     "report": _report,
     "crosscheck": _crosscheck,
+    "serve": _serve,
 }
 
 #: Targets ``psi-eval all`` does not expand to (admin/meta commands).
 _NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff",
-            "report", "crosscheck")
+            "report", "crosscheck", "serve")
 
 
 def _target_workloads(target: str, args) -> list[str]:
@@ -446,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="'crosscheck': also write the JSON mismatch "
                              "report to FILE")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="'serve': warm engine worker processes "
+                             "(default: 2)")
+    parser.add_argument("--port", type=int, default=7071, metavar="P",
+                        help="'serve': TCP port to bind (0 picks an "
+                             "ephemeral port, announced on stdout; "
+                             "default: 7071)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="H",
+                        help="'serve': address to bind (default: 127.0.0.1)")
+    parser.add_argument("--batch-window-ms", type=float, default=5.0,
+                        metavar="MS",
+                        help="'serve': how long a replay request waits for "
+                             "batchable companions before its "
+                             "simulate_many pass starts (default: 5)")
     return parser
 
 

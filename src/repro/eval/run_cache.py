@@ -23,6 +23,16 @@ Keying and integrity:
   the digest (or key) check and is treated as a miss and recomputed —
   never trusted.
 
+Concurrency: writes are atomic renames, so readers can never observe a
+half-written entry, and per-key **advisory file locks** (:meth:`RunCache.lock`,
+used by :meth:`RunCache.load_or_compute`) make the miss path
+exactly-once across processes: when N workers miss the same key
+simultaneously, one computes and stores while the rest block on the
+lock and then load the stored entry.  Locks are ``flock(2)``-based, so
+a crashed holder releases automatically; on platforms without ``fcntl``
+the lock degrades to a no-op and concurrent misses fall back to safe
+(atomic, last-writer-wins) recomputation.
+
 The cache directory defaults to ``.psi-cache`` under the current
 working directory and can be redirected with the ``PSI_CACHE_DIR``
 environment variable (or per-instance via ``RunCache(root=...)``).
@@ -30,12 +40,18 @@ environment variable (or per-instance via ``RunCache(root=...)``).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import logging
 import os
 import pathlib
 import pickle
+
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.tools.collect import RunSummary
 
@@ -149,14 +165,71 @@ class RunCache:
         tmp.write_bytes(blob)
         os.replace(tmp, path)
 
+    @contextlib.contextmanager
+    def lock(self, key: str):
+        """Exclusive advisory lock scoped to one cache key.
+
+        Yields ``True`` while holding a ``flock``-ed ``<key>.lock`` file
+        in the cache directory, ``False`` when the platform has no
+        ``fcntl`` (callers then rely on atomic-rename safety alone).
+        The lock file is left in place — unlinking it would open a race
+        where a late waiter locks a file the holder already deleted —
+        and :meth:`clear` sweeps stale lock files up.
+        """
+        if fcntl is None:
+            yield False
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / f"{key}.lock", "a+b") as fp:
+            fcntl.flock(fp, fcntl.LOCK_EX)
+            try:
+                yield True
+            finally:
+                fcntl.flock(fp, fcntl.LOCK_UN)
+
+    def load_or_compute(self, key: str, compute, usable=None):
+        """Return ``(summary, outcome)``, computing and storing on miss.
+
+        ``outcome`` is ``"hit"`` (entry served without contention),
+        ``"wait_hit"`` (another process stored the entry while we held
+        or waited for the key lock), or ``"computed"`` (``compute()``
+        ran here and its summary was stored).  ``usable`` optionally
+        narrows what counts as a hit — e.g. "only entries that carry a
+        trace" — a non-``usable`` entry is treated as a miss and
+        overwritten by the recompute.
+
+        The lock is held across ``compute()``, which is what makes the
+        miss path exactly-once under concurrency: the first process in
+        computes, everyone queued behind it re-checks the store and
+        loads instead of recomputing.
+        """
+        summary = self.load(key)
+        if summary is not None and (usable is None or usable(summary)):
+            return summary, "hit"
+        with self.lock(key):
+            summary = self.load(key)
+            if summary is not None and (usable is None or usable(summary)):
+                return summary, "wait_hit"
+            summary = compute()
+            self.store(key, summary)
+            return summary, "computed"
+
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Lock files are swept too (not counted — they hold no data).
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.run"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.root.glob("*.lock"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

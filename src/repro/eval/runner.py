@@ -42,7 +42,10 @@ _BASELINE_CACHE: dict[str, "BaselineRun"] = {}
 _DISK_CACHE_ENABLED = True
 
 #: Observable cache behaviour: "disk_hit", "disk_miss", "trace_upgrade",
-#: "memory_hit".  Reset by :func:`clear_cache`.
+#: "memory_hit"; every "disk_miss" is also classified as "disk_compute"
+#: (this process executed the workload inside the key lock) or
+#: "disk_wait_hit" (another process stored the entry while this one
+#: held or waited for the lock).  Reset by :func:`clear_cache`.
 CACHE_EVENTS: Counter = Counter()
 
 
@@ -105,33 +108,55 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
             "enabled, to avoid the double execution)", name)
 
     workload = get(name)
-    key = _workload_key(workload) if _DISK_CACHE_ENABLED else None
-    if key is not None:
-        summary = RunCache().load(key)
-        if summary is not None and (summary.trace_bytes is not None
-                                    or not record_trace):
-            CACHE_EVENTS["disk_hit"] += 1
-            run = summary.to_collected_run()
-            _check_expected(name, "psi", workload, run.answers, run.counters)
-            _PSI_CACHE[name] = run
-            return run
-        CACHE_EVENTS["disk_miss"] += 1
 
-    # Always record the trace on a real execution: the recorder is the
-    # memory system's single-listener fast path, which the deferred
-    # cache replay keeps busy anyway, so recording costs almost
-    # nothing — and the cached run then serves every later
-    # ``record_trace=True`` caller without the trace-upgrade double
-    # execution.
-    run = collect(workload.source, workload.goal,
-                  all_solutions=workload.all_solutions,
-                  record_trace=True,
-                  setup_goals=workload.setup_goals)
-    if not run.succeeded:
-        raise RuntimeError(f"workload {name} failed on the PSI model")
-    _check_expected(name, "psi", workload, run.answers, run.counters)
-    if key is not None:
-        RunCache().store(key, run.to_summary())
+    def execute() -> CollectedRun:
+        # Always record the trace on a real execution: the recorder is
+        # the memory system's single-listener fast path, which the
+        # deferred cache replay keeps busy anyway, so recording costs
+        # almost nothing — and the cached run then serves every later
+        # ``record_trace=True`` caller without the trace-upgrade double
+        # execution.
+        run = collect(workload.source, workload.goal,
+                      all_solutions=workload.all_solutions,
+                      record_trace=True,
+                      setup_goals=workload.setup_goals)
+        if not run.succeeded:
+            raise RuntimeError(f"workload {name} failed on the PSI model")
+        _check_expected(name, "psi", workload, run.answers, run.counters)
+        return run
+
+    if not _DISK_CACHE_ENABLED:
+        run = execute()
+        _PSI_CACHE[name] = run
+        return run
+
+    # Disk tier, behind the per-key file lock: when several processes
+    # (serve workers, ``run_many`` workers, parallel CLI invocations)
+    # miss the same key at once, exactly one computes inside the lock
+    # and the rest load its stored entry ("wait_hit").
+    computed: list[CollectedRun] = []
+
+    def compute() -> "RunSummary":
+        run = execute()
+        computed.append(run)
+        return run.to_summary()
+
+    def usable(summary) -> bool:
+        return summary.trace_bytes is not None or not record_trace
+
+    summary, outcome = RunCache().load_or_compute(
+        _workload_key(workload), compute, usable=usable)
+    if outcome == "hit":
+        CACHE_EVENTS["disk_hit"] += 1
+    else:
+        CACHE_EVENTS["disk_miss"] += 1
+        CACHE_EVENTS["disk_wait_hit" if outcome == "wait_hit"
+                     else "disk_compute"] += 1
+    if computed:
+        run = computed[0]       # the live run (keeps the machine handle)
+    else:
+        run = summary.to_collected_run()
+        _check_expected(name, "psi", workload, run.answers, run.counters)
     _PSI_CACHE[name] = run
     return run
 

@@ -93,6 +93,14 @@ class Gauge:
 #: Default histogram boundaries for percentage-valued observations.
 PERCENT_BUCKETS = (50.0, 80.0, 90.0, 95.0, 98.0, 99.0, 99.5, 100.0)
 
+#: Histogram boundaries for millisecond-valued latency observations
+#: (the evaluation service's request service times): log-spaced from
+#: sub-millisecond cache hits to the ~30 s a practical-scale workload
+#: takes cold, so p50/p99 estimates stay meaningful across four orders
+#: of magnitude.
+LATENCY_MS_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                      500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0)
+
 
 class Histogram:
     """Fixed-boundary bucket counts (upper-inclusive) plus sum/count.
@@ -156,6 +164,15 @@ class Histogram:
         # q == 0 with all mass above the first occupied bucket's start.
         return (float(self.boundaries[-1])
                 if self.boundaries else self.mean)
+
+    def quantiles(self, qs=(50.0, 90.0, 99.0)) -> dict:
+        """The live-snapshot view an endpoint serves: count, mean, and
+        a ``p50``-style estimate per requested quantile (``None``s when
+        the histogram is empty)."""
+        summary = {"count": self.count, "mean": self.mean}
+        for q in qs:
+            summary[f"p{q:g}"] = self.percentile(q)
+        return summary
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "boundaries": list(self.boundaries),

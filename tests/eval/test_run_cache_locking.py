@@ -1,0 +1,157 @@
+"""Concurrency tests for the run cache's file locking.
+
+The contract under test (``RunCache.load_or_compute``): when N
+processes miss the same key simultaneously, exactly one computes —
+the others block on the per-key ``flock`` and then load the stored
+entry — and the store is never corrupted.  On platforms without
+``fcntl`` the lock degrades to safe recompute over atomic renames.
+"""
+
+import multiprocessing
+import os
+import time
+
+from repro.eval import run_cache as run_cache_mod
+from repro.eval.run_cache import RunCache
+from repro.tools.collect import RunSummary, StatsCollector
+
+PROCESSES = 4
+KEY = "deadbeef" * 8
+
+
+def _summary(goal: str = "locked?") -> RunSummary:
+    return RunSummary(goal=goal, succeeded=True, solutions=1,
+                      stats=StatsCollector(), trace_bytes=None,
+                      cache_stats=None, cache_config=None)
+
+
+def _contend(root, side_effect_path, barrier, results):
+    """One contender: barrier-synchronised load_or_compute on KEY.
+
+    ``compute`` sleeps while holding the key lock and appends its pid
+    to a side-effect file — the exactly-once assertion counts lines.
+    """
+    cache = RunCache(root)
+
+    def compute() -> RunSummary:
+        time.sleep(0.3)
+        with open(side_effect_path, "a") as fp:
+            fp.write(f"{os.getpid()}\n")
+        return _summary()
+
+    barrier.wait()
+    summary, outcome = cache.load_or_compute(KEY, compute)
+    results.put((os.getpid(), outcome, summary.goal))
+
+
+def test_n_processes_one_key_exactly_once(tmp_path):
+    root = tmp_path / "cache"
+    side_effect = tmp_path / "computed.log"
+    side_effect.touch()
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(PROCESSES)
+    results = context.Queue()
+    procs = [context.Process(target=_contend,
+                             args=(str(root), str(side_effect), barrier,
+                                   results))
+             for _ in range(PROCESSES)]
+    for proc in procs:
+        proc.start()
+    outcomes = [results.get(timeout=60) for _ in range(PROCESSES)]
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    # Exactly one compute ran, every process got the stored summary.
+    assert len(side_effect.read_text().splitlines()) == 1
+    by_outcome = {}
+    for _, outcome, goal in outcomes:
+        assert goal == "locked?"
+        by_outcome.setdefault(outcome, 0)
+        by_outcome[outcome] += 1
+    assert by_outcome.get("computed", 0) == 1
+    # The rest waited on the lock (or, if slow to start, hit directly).
+    assert (by_outcome.get("wait_hit", 0) + by_outcome.get("hit", 0)
+            == PROCESSES - 1)
+
+    # Store integrity: one entry, no temp-file debris, loadable.
+    assert len(list(root.glob("*.run"))) == 1
+    assert list(root.glob("*.tmp*")) == []
+    assert RunCache(root).load(KEY).goal == "locked?"
+
+
+def test_usable_narrowing_recomputes_under_lock(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cache.store(KEY, _summary("no-trace"))
+    summary, outcome = cache.load_or_compute(
+        KEY, lambda: _summary("with-trace"),
+        usable=lambda s: s.goal == "with-trace")
+    assert outcome == "computed"
+    assert summary.goal == "with-trace"
+    # And the stored entry was upgraded in place.
+    assert cache.load(KEY).goal == "with-trace"
+
+
+def test_no_fcntl_fallback_recomputes_safely(tmp_path, monkeypatch):
+    """Without fcntl the lock is a no-op and compute runs unguarded —
+    still correct (atomic rename, last writer wins), just not
+    exactly-once."""
+    monkeypatch.setattr(run_cache_mod, "fcntl", None)
+    cache = RunCache(tmp_path / "cache")
+    with cache.lock(KEY) as locked:
+        assert locked is False
+    summary, outcome = cache.load_or_compute(KEY, _summary)
+    assert outcome == "computed"
+    assert cache.load(KEY).goal == summary.goal
+    assert list((tmp_path / "cache").glob("*.lock")) == []
+
+
+def test_clear_sweeps_lock_files(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cache.store(KEY, _summary())
+    with cache.lock(KEY):
+        pass
+    assert list(cache.root.glob("*.lock")) != []
+    assert cache.clear() == 1            # lock files are not counted
+    assert list(cache.root.glob("*.lock")) == []
+    assert cache.entries() == []
+
+
+def _run_psi_contender(cache_dir, barrier, results):
+    """Fork-inherited interpreter state is reset so every process takes
+    the disk-tier path on the same key, concurrently."""
+    os.environ["PSI_CACHE_DIR"] = cache_dir
+    from repro.eval import runner
+
+    runner.clear_cache()
+    runner.set_disk_cache(True)
+    barrier.wait()
+    run = runner.run_psi("nreverse", record_trace=False)
+    results.put((dict(runner.CACHE_EVENTS),
+                 [list(map(list, answer)) for answer in run.answers]))
+
+
+def test_run_psi_concurrent_cold_start_computes_once(tmp_path):
+    """The full stack: N ``run_psi`` processes race one cold cache key;
+    one interprets, the rest block on the lock and load its entry."""
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(3)
+    results = context.Queue()
+    procs = [context.Process(target=_run_psi_contender,
+                             args=(str(tmp_path), barrier, results))
+             for _ in range(3)]
+    for proc in procs:
+        proc.start()
+    outcomes = [results.get(timeout=120) for _ in range(3)]
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    events = [e for e, _ in outcomes]
+    answers = [a for _, a in outcomes]
+    assert answers[0] == answers[1] == answers[2]
+    assert sum(e.get("disk_compute", 0) for e in events) == 1
+    assert all(e.get("disk_compute", 0) + e.get("disk_wait_hit", 0)
+               + e.get("disk_hit", 0) == 1 for e in events)
+    assert len(list(tmp_path.glob("*.run"))) == 1
+    assert list(tmp_path.glob("*.tmp*")) == []

@@ -3,7 +3,13 @@
 import pytest
 
 from repro import obs
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -123,6 +129,31 @@ class TestHistogramPercentile:
         assert merged.to_dict() == direct.to_dict()
         for q in (0, 25, 50, 75, 90, 99, 100):
             assert merged.percentile(q) == pytest.approx(direct.percentile(q))
+
+    def test_quantiles_summary_shape(self):
+        # The dict the serve 'metrics' endpoint returns for latencies.
+        h = Histogram("h", boundaries=LATENCY_MS_BUCKETS)
+        assert h.quantiles() == {"count": 0, "mean": 0.0, "p50": None,
+                                 "p90": None, "p99": None}
+        for value in (0.4, 3.0, 8.0, 40.0, 900.0):
+            h.observe(value)
+        summary = h.quantiles(qs=(50.0, 99.0))
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(sum((0.4, 3.0, 8.0, 40.0,
+                                                     900.0)) / 5)
+        assert 2.0 <= summary["p50"] <= 10.0
+        assert 500.0 <= summary["p99"] <= 1000.0
+        assert "p90" not in summary
+
+    def test_latency_buckets_are_valid_boundaries(self):
+        # Sorted (the Histogram constructor enforces it) and spanning
+        # sub-ms cache hits through ~30 s cold practical-scale runs.
+        h = Histogram("h", boundaries=LATENCY_MS_BUCKETS)
+        assert h.boundaries[0] <= 1.0
+        assert h.boundaries[-1] >= 30000.0
+        h.observe(0.01)
+        h.observe(60000.0)                  # overflow bucket
+        assert h.count == 2
 
 
 class TestRegistry:

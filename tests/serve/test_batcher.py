@@ -1,0 +1,128 @@
+"""ReplayBatcher unit tests against a fake worker pool.
+
+The batching contract under test: same-workload replay requests inside
+one window coalesce into a single pool call over the deduplicated
+config union, and every request gets back exactly its own configs'
+stats, in its own order.  Worker failures propagate to every waiter.
+"""
+
+import asyncio
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batcher import ReplayBatcher
+
+
+class FakePool:
+    """Echoes each config back as its own 'stats' entry."""
+
+    def __init__(self, fail=False):
+        self.calls = []
+        self.fail = fail
+
+    async def run(self, fn, workload, configs):
+        self.calls.append((workload, configs))
+        await asyncio.sleep(0)       # yield, like a real executor hop
+        if self.fail:
+            raise RuntimeError("worker exploded")
+        return {
+            "workload": workload,
+            "trace_entries": 42,
+            "stats": [dict(config, echoed=True) for config in configs],
+            "worker_pid": 999,
+        }
+
+
+def test_concurrent_requests_coalesce_to_one_pool_call():
+    pool = FakePool()
+    metrics = MetricsRegistry()
+
+    async def scenario():
+        batcher = ReplayBatcher(pool, window_s=0.02, metrics=metrics)
+        return await asyncio.gather(
+            batcher.submit("w", [{"capacity_words": 1024}]),
+            batcher.submit("w", [{"capacity_words": 8192}]),
+            batcher.submit("w", [{"capacity_words": 1024}, {}]),
+        )
+
+    r1, r2, r3 = asyncio.run(scenario())
+    assert len(pool.calls) == 1
+    _, union = pool.calls[0]
+    # 1024 is requested twice, and {} canonicalises to the default
+    # geometry (capacity 8192) so it merges with the explicit 8192:
+    # four requested configs, two simulated.
+    assert len(union) == 2
+    assert [s["capacity_words"] for s in r1["stats"]] == [1024]
+    assert [s["capacity_words"] for s in r2["stats"]] == [8192]
+    assert [s["capacity_words"] for s in r3["stats"]] == [1024, 8192]
+    for result in (r1, r2, r3):
+        assert result["batch_size"] == 3
+        assert result["batched_configs"] == 2
+        assert result["trace_entries"] == 42
+    assert metrics.value("serve.replay.batches") == 1
+    assert metrics.value("serve.replay.requests") == 3
+    assert metrics.value("serve.replay.configs_requested") == 4
+    assert metrics.value("serve.replay.configs_simulated") == 2
+
+
+def test_different_workloads_do_not_batch():
+    pool = FakePool()
+
+    async def scenario():
+        batcher = ReplayBatcher(pool, window_s=0.02)
+        return await asyncio.gather(batcher.submit("a", [{}]),
+                                    batcher.submit("b", [{}]))
+
+    ra, rb = asyncio.run(scenario())
+    assert len(pool.calls) == 2
+    assert ra["workload"] == "a" and rb["workload"] == "b"
+    assert ra["batch_size"] == rb["batch_size"] == 1
+
+
+def test_max_configs_flushes_before_window():
+    pool = FakePool()
+
+    async def scenario():
+        # A 10 s window: only the max_configs early-flush path can
+        # complete this test within its timeout.
+        batcher = ReplayBatcher(pool, window_s=10.0, max_configs=2)
+        return await asyncio.wait_for(
+            batcher.submit("w", [{"capacity_words": 1024},
+                                 {"capacity_words": 8192}]),
+            timeout=5.0)
+
+    result = asyncio.run(scenario())
+    assert len(pool.calls) == 1
+    assert result["batched_configs"] == 2
+
+
+def test_worker_failure_propagates_to_every_waiter():
+    pool = FakePool(fail=True)
+
+    async def scenario():
+        batcher = ReplayBatcher(pool, window_s=0.02)
+        return await asyncio.gather(
+            batcher.submit("w", [{}]),
+            batcher.submit("w", [{"capacity_words": 1024}]),
+            return_exceptions=True)
+
+    results = asyncio.run(scenario())
+    assert len(results) == 2
+    for exc in results:
+        assert isinstance(exc, RuntimeError)
+        assert "worker exploded" in str(exc)
+
+
+def test_pending_counts_parked_waiters():
+    pool = FakePool()
+
+    async def scenario():
+        batcher = ReplayBatcher(pool, window_s=0.05)
+        task = asyncio.create_task(batcher.submit("w", [{}]))
+        await asyncio.sleep(0.01)    # inside the window
+        parked = batcher.pending()
+        await task
+        return parked, batcher.pending()
+
+    parked, after = asyncio.run(scenario())
+    assert parked == 1
+    assert after == 0

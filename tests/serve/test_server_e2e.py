@@ -1,0 +1,172 @@
+"""End-to-end tests of ``psi-eval serve`` over a real subprocess.
+
+One server boots per module (ephemeral port parsed from the ready
+line, worker pool of 2); tests drive it with real protocol clients —
+concurrently, from threads — and check the serving answers against the
+same engines run locally.  The teardown drains the server and asserts
+a clean (status 0) exit, so graceful shutdown is under test on every
+run of this module.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import cache_config_from_json, cache_stats_to_json
+
+#: Cheap workloads, so the module stays tier-1 affordable.
+WORKLOADS = ("nreverse", "qsort", "queens-one")
+
+READY_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A live ``psi-eval serve`` subprocess; drained clean at teardown.
+
+    A long batch window (100 ms) makes the concurrent-replay test
+    coalesce deterministically; the suite's session ``PSI_CACHE_DIR``
+    redirect is inherited through the environment, so the server's
+    workers share (and file-lock) the same disk cache as the local
+    comparison runs below.
+    """
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.eval.cli", "serve",
+         "--port", "0", "--workers", "2", "--batch-window-ms", "100"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    line = proc.stdout.readline()
+    match = READY_RE.search(line)
+    if not match:
+        proc.kill()
+        pytest.fail(f"server did not announce readiness: {line!r}")
+    yield match.group(1), int(match.group(2))
+    with ServeClient(match.group(1), int(match.group(2))) as client:
+        drained = client.drain()
+    assert drained["drained"] is True
+    assert proc.wait(timeout=60) == 0, "server exited uncleanly after drain"
+
+
+def test_ping_and_workloads(server):
+    host, port = server
+    with ServeClient(host, port) as client:
+        assert client.ping() == {"pong": True}
+        names = {w["name"] for w in client.request("workloads")["workloads"]}
+    assert set(WORKLOADS) <= names
+
+
+def test_concurrent_solves_match_local_engines(server):
+    """Served answers == locally-run answers, as canonical multisets."""
+    from repro.engine.answers import answer_multiset
+    from repro.eval.runner import run_engine
+
+    host, port = server
+    jobs = [(name, engine) for name in WORKLOADS
+            for engine in ("psi", "baseline")]
+
+    def solve(job):
+        name, engine = job
+        with ServeClient(host, port) as client:
+            return client.solve(name, engine=engine)
+
+    with ThreadPoolExecutor(max_workers=len(jobs)) as executor:
+        results = list(executor.map(solve, jobs))
+
+    for (name, engine), served in zip(jobs, results):
+        assert served["succeeded"], f"{engine} {name} failed server-side"
+        assert served["engine"] == engine
+        local = run_engine(name, engine=engine, record_trace=False)
+        served_answers = [tuple(tuple(pair) for pair in answer)
+                          for answer in served["answers"]]
+        assert (answer_multiset(served_answers)
+                == answer_multiset(local.answers)), \
+            f"served {engine} answers diverged for {name}"
+        assert served["counters"] == dict(local.counters)
+
+
+def test_psi_solve_reports_run_shape(server):
+    host, port = server
+    with ServeClient(host, port) as client:
+        result = client.solve("nreverse")
+    assert result["work_unit"] == "microsteps"
+    assert result["steps"] > 0
+    assert result["solutions"] == 1
+    assert result["worker_pid"] != os.getpid()
+
+
+def test_concurrent_replays_batch_and_match_serial(server):
+    """Batched replay statistics are byte-identical to local serial
+    ``simulate`` — the equivalence contract, end to end."""
+    from repro.eval.runner import run_psi
+    from repro.tools.pmms import simulate
+
+    host, port = server
+    configs = [{"capacity_words": 1024}, {"capacity_words": 8192},
+               {"capacity_words": 4096, "ways": 1}, {}]
+
+    def replay(config):
+        with ServeClient(host, port) as client:
+            return client.replay("qsort", [config])
+
+    with ThreadPoolExecutor(max_workers=len(configs)) as executor:
+        results = list(executor.map(replay, configs))
+
+    trace = run_psi("qsort", record_trace=True).trace
+    for config, served in zip(configs, results):
+        local_stats = cache_stats_to_json(
+            simulate(trace, cache_config_from_json(config)))
+        assert served["trace_entries"] == len(trace)
+        assert len(served["stats"]) == 1
+        assert (json.dumps(served["stats"][0], sort_keys=True)
+                == json.dumps(local_stats, sort_keys=True)), \
+            f"batched replay diverged from serial for {config}"
+    # The 100 ms window plus simultaneous submission must coalesce at
+    # least some of the four single-config requests into one batch.
+    assert any(r["batch_size"] > 1 for r in results)
+
+
+def test_application_errors_leave_connection_usable(server):
+    host, port = server
+    with ServeClient(host, port) as client:
+        with pytest.raises(ServeError, match="unknown workload"):
+            client.solve("no-such-workload")
+        with pytest.raises(ServeError, match="unknown cache config"):
+            client.replay("nreverse", [{"capcity_words": 64}])
+        with pytest.raises(ServeError, match="unknown op"):
+            client.request("frobnicate")
+        # The connection survives ok:false responses.
+        assert client.ping() == {"pong": True}
+
+
+def test_health_and_metrics_endpoints(server):
+    host, port = server
+    with ServeClient(host, port) as client:
+        client.solve("nreverse")
+        health = client.health()
+        metrics = client.metrics()
+    assert health["status"] == "ok"
+    assert health["draining"] is False
+    assert health["pool"]["workers"] == 2
+    assert health["pool"]["failed"] == 0
+    assert health["requests_total"] >= 1
+    snapshot = metrics["server"]
+    assert snapshot["serve.op.solve"]["value"] >= 1
+    assert snapshot["serve.latency_ms"]["kind"] == "histogram"
+    assert metrics["latency_ms"]["count"] >= 1
+    assert metrics["latency_ms"]["p50"] is not None
+
+
+def test_fidelity_endpoint(server):
+    host, port = server
+    with ServeClient(host, port, timeout=1200) as client:
+        report = client.request("fidelity", tables=["table2"])
+    assert set(report) >= {"overall", "passed", "tables"}
+    assert "table2" in report["tables"]

@@ -30,6 +30,7 @@ DOCS = [
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVING.md",
 ]
 
 _SHELL_LANGS = {"sh", "bash", "shell", "text", ""}
