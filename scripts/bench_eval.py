@@ -24,6 +24,12 @@ Times the three layers this harness optimises and writes the results to
   the obs-off rate drops more than ``--max-regress`` percent below the
   previous ``BENCH_eval.json``.  ``--throughput-only`` runs just this
   stage — the CI perf-smoke mode.
+* **debug_replay** — time-travel seek latency
+  (:mod:`repro.obs.timetravel`): builds the checkpointed explorer over
+  a recorded trace, then times ``state_at`` seeks against cold
+  from-scratch replays to the same microsteps.  Records the build
+  time, both seek times, and the speedup, so the checkpoint stride
+  auto-sizing keeps paying for itself PR over PR.
 * **obs** — interpreter wall-clock with the observability layer
   (:mod:`repro.obs`) disabled vs enabled, on one mid-size workload.
   The disabled number is the one that matters: observability must be
@@ -256,6 +262,51 @@ def bench_fused(workload_name: str = "qsort", repeats: int = 5) -> dict:
     }
 
 
+def bench_debug_replay(workload_name: str = "nreverse",
+                       seeks: int = 32) -> dict:
+    """Checkpointed seek vs cold replay, over one recorded trace.
+
+    Seeks to ``seeks`` microsteps spread across the trace.  A warm
+    seek restores the nearest checkpoint and replays at most one
+    stride; a cold seek replays from microstep 0 every time.  The
+    ratio is the payoff of the checkpoint structure — it should grow
+    with trace length (cold is O(n) per seek, warm is O(stride)).
+    """
+    from repro.eval.runner import run_psi
+    from repro.obs.timetravel import TraceExplorer
+
+    run = run_psi(workload_name, record_trace=True)
+
+    t0 = time.perf_counter()
+    explorer = TraceExplorer(run.trace)
+    build_s = time.perf_counter() - t0
+
+    n = explorer.n_steps
+    targets = sorted({(i * n) // seeks for i in range(1, seeks + 1)})
+
+    t0 = time.perf_counter()
+    for step in targets:
+        explorer.state_at(step)
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for step in targets:
+        explorer.cold_state_at(step)
+    cold_s = time.perf_counter() - t0
+
+    return {
+        "workload": workload_name,
+        "trace_entries": n,
+        "stride": explorer.stride,
+        "checkpoints": len(explorer.checkpoint_steps),
+        "seeks": len(targets),
+        "build_s": round(build_s, 3),
+        "warm_seek_s": round(warm_s, 3),
+        "cold_seek_s": round(cold_s, 3),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
@@ -352,6 +403,14 @@ def main(argv: list[str] | None = None) -> int:
           f"single-pass {results['replay']['single_pass_s']}s  "
           f"speedup {results['replay']['speedup']}x")
 
+    print("debug_replay stage (checkpointed seek vs cold replay)...")
+    results["debug_replay"] = bench_debug_replay()
+    dr = results["debug_replay"]
+    print(f"  build {dr['build_s']}s  warm seeks {dr['warm_seek_s']}s  "
+          f"cold seeks {dr['cold_seek_s']}s  speedup {dr['speedup']}x  "
+          f"({dr['trace_entries']:,} entries, stride {dr['stride']}, "
+          f"{dr['seeks']} seeks)")
+
     print("obs stage (observability disabled vs enabled)...")
     results["obs"] = bench_obs()
     print(f"  disabled {results['obs']['disabled_s']}s  "
@@ -382,6 +441,11 @@ def main(argv: list[str] | None = None) -> int:
                     f"(limit {args.max_regress}%) — the disabled "
                     f"observability path must stay free")
 
+    # The "serve" stage is owned by scripts/load_gen.py, which merges
+    # into this file; carry it over so a bench rerun doesn't clobber it.
+    if previous and "serve" in previous:
+        results["serve"] = previous["serve"]
+
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
@@ -393,8 +457,8 @@ def main(argv: list[str] | None = None) -> int:
         store = HistoryStore()
         store.append("bench", {"bench": {
             key: results[key]
-            for key in ("throughput", "fused_vs_unfused", "replay", "obs",
-                        "eval_all")
+            for key in ("throughput", "fused_vs_unfused", "replay",
+                        "debug_replay", "obs", "eval_all")
             if key in results}})
         print(f"appended bench entry to {store.path}")
 

@@ -68,6 +68,31 @@ _AREA_LABELS = {
 AREAS = tuple(Area)
 N_AREAS = len(AREAS)
 
+#: Register-file metadata for state reconstruction: the mnemonic of
+#: the top-of-area pointer register each area contributes to the
+#: machine's register file.  The time-travel state model
+#: (:mod:`repro.obs.timetravel`) rebuilds exactly these registers from
+#: the recorded access stream — the area extents are the part of the
+#: register file the trace determines; work-file registers are not
+#: addressable memory and leave no trace entries.
+AREA_REGISTERS = {
+    Area.HEAP: "HP",       # heap allocation frontier
+    Area.GLOBAL: "GT",     # global-stack top
+    Area.LOCAL: "LT",      # local-stack top
+    Area.CONTROL: "CF",    # control-frame stack top
+    Area.TRAIL: "TR",      # trail top
+}
+
+#: Whether truncation (``settop``) is a legal operation on the area —
+#: the stack areas reclaim on backtracking; the heap only grows.
+AREA_IS_STACK = {
+    Area.HEAP: False,
+    Area.GLOBAL: True,
+    Area.LOCAL: True,
+    Area.CONTROL: True,
+    Area.TRAIL: True,
+}
+
 
 def encode_address(area: Area, offset: int) -> int:
     """Pack (area, offset) into one flat logical address."""
@@ -137,6 +162,25 @@ class TraceRecorder:
 
     def clear(self) -> None:
         del self.data[:]
+
+    # -- checkpoint hooks ------------------------------------------------------
+
+    def entry(self, index: int) -> tuple:
+        """Decode the single entry at ``index`` to ``(CacheCmd, address)``."""
+        packed = self.data[index]
+        return CMD_BY_CODE[packed & 3], packed >> 2
+
+    def segment(self, start: int, stop: int):
+        """The packed entries in ``[start, stop)`` as an int64 array.
+
+        The seek primitive of the time-travel explorer
+        (:mod:`repro.obs.timetravel`): reconstructing machine state at
+        microstep N replays ``segment(checkpoint_step, N)`` on top of
+        the nearest checkpoint instead of the whole stream.  Slicing an
+        ``array('q')`` is a C-level copy, so the per-seek Python cost
+        is the replay of the short segment only.
+        """
+        return self.data[start:stop]
 
     # -- serialisation ---------------------------------------------------------
 

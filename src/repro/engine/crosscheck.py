@@ -54,20 +54,33 @@ class CrosscheckReport:
     """Every workload's verdict plus convenience accessors."""
 
     checks: list[WorkloadCheck] = field(default_factory=list)
+    #: True when the sweep was cut short (Ctrl-C): the report covers
+    #: only the workloads checked so far and must not read as a clean
+    #: full-sweep pass.
+    interrupted: bool = False
+    #: Workloads the interrupted sweep never reached.
+    skipped: list[str] = field(default_factory=list)
 
     @property
     def divergences(self) -> list[WorkloadCheck]:
         return [c for c in self.checks if not c.ok]
 
     @property
+    def divergent_names(self) -> list[str]:
+        return [c.name for c in self.divergences]
+
+    @property
     def ok(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.interrupted
 
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
             "checked": len(self.checks),
             "divergences": len(self.divergences),
+            "divergent": self.divergent_names,
+            "interrupted": self.interrupted,
+            "skipped": list(self.skipped),
             "workloads": [c.to_dict() for c in self.checks],
         }
 
@@ -81,12 +94,22 @@ class CrosscheckReport:
                 line += f"  ({check.detail})"
             lines.append(line)
         lines.append("")
-        if self.ok:
-            lines.append(f"{len(self.checks)} workload(s) checked, "
-                         "zero answer divergences")
+        if self.interrupted:
+            lines.append(f"sweep INTERRUPTED after {len(self.checks)} "
+                         f"workload(s); {len(self.skipped)} never ran"
+                         + (f" ({', '.join(self.skipped)})"
+                            if self.skipped else ""))
+        if not self.divergences:
+            if not self.interrupted:
+                lines.append(f"{len(self.checks)} workload(s) checked, "
+                             "zero answer divergences")
         else:
             lines.append(f"{len(self.divergences)} of {len(self.checks)} "
                          "workload(s) DIVERGED between the engines")
+            lines.append("")
+            lines.append("replay a divergence microstep-by-microstep with:")
+            for name in self.divergent_names:
+                lines.append(f"  psi-eval debug --diff {name}")
         return "\n".join(lines)
 
 
@@ -144,12 +167,25 @@ def crosscheck_workload(name: str) -> WorkloadCheck:
 
 
 def crosscheck(names=None) -> CrosscheckReport:
-    """Crosscheck ``names`` (default: every shared workload)."""
+    """Crosscheck ``names`` (default: every shared workload).
+
+    A ``KeyboardInterrupt`` mid-sweep does not discard the verdicts
+    already gathered: the partial report comes back flagged
+    ``interrupted`` (and therefore not ``ok``), listing the workloads
+    never reached — so ``psi-eval crosscheck --report`` still writes
+    the divergences found so far when a long sweep is cut short.
+    """
     from repro.workloads import shared_workloads
 
     if names is None:
         names = [w.name for w in shared_workloads()]
+    names = list(names)
     report = CrosscheckReport()
-    for name in names:
-        report.checks.append(crosscheck_workload(name))
+    for index, name in enumerate(names):
+        try:
+            report.checks.append(crosscheck_workload(name))
+        except KeyboardInterrupt:
+            report.interrupted = True
+            report.skipped = names[index:]
+            break
     return report

@@ -29,6 +29,13 @@ Usage::
                                      # engines, fail on answer divergence
     psi-eval crosscheck nreverse qsort
     psi-eval crosscheck --all --report crosscheck-report.json
+    psi-eval debug nreverse          # time-travel HTML explorer
+                                     # (psi-debug-nreverse.html)
+    psi-eval debug nreverse --out explorer.html
+    psi-eval debug nreverse --step 1200   # print reconstructed machine
+                                          # state at microstep 1200
+    psi-eval debug --diff qsort      # first-divergence report vs the
+                                     # baseline (psi-diff-qsort.html)
     psi-eval serve --workers 4 --port 7071   # warm-worker evaluation service
     psi-eval serve --port 0                  # ephemeral port (printed on start)
 
@@ -329,6 +336,88 @@ def _crosscheck(args):
     return report.render(), 0 if report.ok else 1
 
 
+def _debug_workload(args):
+    """``psi-eval debug``: the time-travel trace explorer.
+
+    Replays the workload's recorded memory-access stream through the
+    checkpointed state-reconstruction engine
+    (:mod:`repro.obs.timetravel`) and, per workload:
+
+    * default — writes the self-contained HTML explorer (scrubber,
+      per-area heatmaps, cache and choicepoint timelines) to ``--out``
+      (default ``psi-debug-<name>.html``);
+    * ``--step N`` — prints the reconstructed machine state at
+      microstep N as text instead (no file written);
+    * ``--diff`` — also runs the DEC baseline, pinpoints the first
+      diverging answer and the PSI microstep where it was emitted, and
+      writes the side-by-side report (``psi-diff-<name>.html``); exits
+      1 when the engines diverge.  This is the command ``psi-eval
+      crosscheck`` prints for every divergence it finds.
+
+    ``--stride N`` overrides the auto-sized checkpoint interval.
+    """
+    import pathlib
+    import time
+
+    from repro.eval import debughtml
+    from repro.eval.runner import run_psi
+    from repro.obs.timetravel import TraceExplorer, diff_workload
+
+    _validate_workloads(args.programs, "debug")
+    generated = time.strftime("%Y-%m-%dT%H:%M:%S")
+    # --out doubles as the profile artifact directory ("psi-obs", the
+    # parser default); for debug an untouched default means per-name
+    # output files in the working directory.
+    default_out = args.out == "psi-obs"
+
+    def out_path(kind: str, name: str) -> pathlib.Path:
+        if default_out:
+            return pathlib.Path(f"psi-{kind}-{name}.html")
+        path = pathlib.Path(args.out)
+        if len(args.programs) == 1:
+            return path
+        return path.with_name(f"{path.stem}-{name}{path.suffix or '.html'}")
+
+    lines = []
+    status = 0
+    for name in args.programs:
+        if args.diff:
+            divergence, psi, baseline = diff_workload(name)
+            explorer = TraceExplorer(psi.trace, stride=args.stride)
+            html = debughtml.build_diff(name, divergence, psi,
+                                        baseline.answers, explorer,
+                                        generated=generated)
+            out = out_path("diff", name)
+            out.write_text(html)
+            lines.append(f"== {name} ==")
+            lines.append(divergence.describe() if divergence is not None
+                         else f"engines agree on all "
+                              f"{len(psi.answers)} answer(s)")
+            lines.append(f"wrote {out} ({len(html)} bytes)")
+            status = max(status, 1 if divergence is not None else 0)
+            continue
+        run = run_psi(name, record_trace=True)
+        explorer = TraceExplorer(run.trace, stride=args.stride)
+        if args.step is not None:
+            if not 0 <= args.step <= explorer.n_steps:
+                raise SystemExit(
+                    f"psi-eval debug {name}: --step {args.step} outside "
+                    f"[0, {explorer.n_steps}]")
+            lines.append(f"== {name} ==")
+            lines.append(explorer.state_at(args.step).render())
+            continue
+        html = debughtml.build_explorer(name, run, explorer,
+                                        generated=generated)
+        out = out_path("debug", name)
+        out.write_text(html)
+        lines.append(f"== {name} ==")
+        lines.append(f"{explorer.n_steps} microsteps, stride "
+                     f"{explorer.stride}, "
+                     f"{len(explorer.checkpoint_steps)} checkpoint(s)")
+        lines.append(f"wrote {out} ({len(html)} bytes)")
+    return "\n".join(lines), status
+
+
 def _serve(args) -> str:
     """``psi-eval serve``: the long-running evaluation service.
 
@@ -368,12 +457,13 @@ _TARGETS = {
     "diff": _diff,
     "report": _report,
     "crosscheck": _crosscheck,
+    "debug": _debug_workload,
     "serve": _serve,
 }
 
 #: Targets ``psi-eval all`` does not expand to (admin/meta commands).
 _NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff",
-            "report", "crosscheck", "serve")
+            "report", "crosscheck", "debug", "serve")
 
 
 def _target_workloads(target: str, args) -> list[str]:
@@ -431,9 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--obs", action="store_true",
                         help="collect observability metrics during the run "
                              "and print the aggregate registry afterwards")
-    parser.add_argument("--out", default="psi-obs", metavar="DIR",
+    parser.add_argument("--out", default="psi-obs", metavar="PATH",
                         help="output directory for 'profile' artifacts "
-                             "(default: psi-obs/)")
+                             "(default: psi-obs/) or output file for the "
+                             "'debug' HTML explorer (default: "
+                             "psi-debug-<name>.html)")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="rows in the 'profile' top-predicates table")
     parser.add_argument("--sequences", type=int, default=0, metavar="N",
@@ -470,6 +562,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="'crosscheck': also write the JSON mismatch "
                              "report to FILE")
+    parser.add_argument("--step", type=int, default=None, metavar="N",
+                        help="'debug': print the reconstructed machine "
+                             "state at microstep N instead of writing "
+                             "the HTML explorer")
+    parser.add_argument("--diff", action="store_true",
+                        help="'debug': run the workload on both engines, "
+                             "pinpoint the first diverging answer and its "
+                             "PSI microstep, write the side-by-side report")
+    parser.add_argument("--stride", type=int, default=None, metavar="K",
+                        help="'debug': checkpoint every K microsteps "
+                             "(default: auto-sized from the trace length)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
                         help="'serve': warm engine worker processes "
                              "(default: 2)")
@@ -488,7 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    # Intermixed parsing so flag-then-positional orders work too —
+    # ``psi-eval debug --diff qsort`` is the exact command crosscheck
+    # prints for a divergence, and plain parse_args would reject the
+    # workload name after the flag.
+    args = build_parser().parse_intermixed_args(argv)
     # Positional names and --programs are interchangeable; merge them so
     # both `psi-eval run bup-2` and `psi-eval run --programs bup-2` work.
     args.programs = [*args.names, *(args.programs or [])] or None

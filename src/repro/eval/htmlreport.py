@@ -20,90 +20,25 @@ the two series, selective direct labels) and a colorblind-validated
 palette declared once as CSS custom properties with a dark-mode
 variant; every plotted value is also reachable through the table
 views, so color and hover are never the only channel.
+
+The palette, document skeleton and shared marks live in
+:mod:`repro.eval.htmlbase` (also used by the time-travel debug
+explorer, :mod:`repro.eval.debughtml`); this module keeps only the
+dashboard-specific sections.  The extraction is behavior-preserving —
+dashboard bytes are pinned by ``tests/eval/test_htmlbase.py``.
 """
 
 from __future__ import annotations
 
-import html as _html
-
-#: Measured and paper series take categorical slots 1 and 2 (the pair
-#: is CVD-validated in both modes); status colors are the reserved
-#: palette and never reused for series.
-_CSS = """
-:root { color-scheme: light dark; }
-body {
-  margin: 0; padding: 24px;
-  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
-  background: var(--page); color: var(--ink);
-}
-.viz-root {
-  --page: #f9f9f7; --surface-1: #fcfcfb;
-  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
-  --grid: #e1e0d9; --axis: #c3c2b7;
-  --border: rgba(11,11,11,0.10);
-  --measured: #2a78d6; --paper: #eb6834;
-  --status-good: #0ca30c; --status-warning: #fab219;
-  --status-serious: #ec835a; --status-critical: #d03b3b;
-  max-width: 980px; margin: 0 auto;
-}
-@media (prefers-color-scheme: dark) {
-  :root:where(:not([data-theme="light"])) .viz-root {
-    --page: #0d0d0d; --surface-1: #1a1a19;
-    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
-    --grid: #2c2c2a; --axis: #383835;
-    --border: rgba(255,255,255,0.10);
-    --measured: #3987e5; --paper: #d95926;
-  }
-  :root:where(:not([data-theme="light"])) body { background: #0d0d0d; }
-}
-h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
-h2 { font-size: 15px; font-weight: 600; margin: 28px 0 8px; }
-.sub { color: var(--ink-2); font-size: 13px; margin: 0 0 16px; }
-.card {
-  background: var(--surface-1); border: 1px solid var(--border);
-  border-radius: 8px; padding: 16px; margin: 12px 0;
-}
-.hero-row { display: flex; gap: 16px; align-items: stretch; flex-wrap: wrap; }
-.hero { flex: 1 1 220px; }
-.hero .value { font-size: 52px; font-weight: 600; line-height: 1.1; }
-.hero .label, .tile .label {
-  color: var(--ink-2); font-size: 13px; margin-bottom: 4px;
-}
-.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
-.tile {
-  background: var(--surface-1); border: 1px solid var(--border);
-  border-radius: 8px; padding: 12px 14px; min-width: 120px;
-}
-.tile .value { font-size: 24px; font-weight: 600; }
-.tile .detail { color: var(--muted); font-size: 12px; margin-top: 2px; }
-.chip { font-size: 12px; margin-top: 6px; }
-.chip.good    { color: var(--status-good); }
-.chip.warning { color: var(--status-warning); }
-.chip.serious { color: var(--status-serious); }
-.chip.critical{ color: var(--status-critical); }
-.legend { display: flex; gap: 16px; font-size: 12px; color: var(--ink-2);
-          margin: 4px 0 8px; }
-.legend .key { display: inline-block; width: 10px; height: 10px;
-               border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
-details { margin-top: 8px; }
-summary { color: var(--ink-2); font-size: 12px; cursor: pointer; }
-table.cells { border-collapse: collapse; font-size: 12px; margin-top: 8px; }
-table.cells th, table.cells td {
-  padding: 3px 10px; text-align: right;
-  font-variant-numeric: tabular-nums;
-  border-bottom: 1px solid var(--grid);
-}
-table.cells th { color: var(--ink-2); font-weight: 600; }
-table.cells td:first-child, table.cells th:first-child,
-table.cells td:nth-child(2), table.cells th:nth-child(2) { text-align: left; }
-.out-of-band td { color: var(--status-critical); }
-svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
-footer { color: var(--muted); font-size: 12px; margin-top: 24px; }
-"""
-
-
-def _esc(value) -> str:
-    return _html.escape(str(value))
+from repro.eval.htmlbase import (
+    BASE_CSS as _CSS,
+    esc as _esc,
+    fmt as _fmt,
+    legend as _base_legend,
+    page as _page,
+    round_bar as _round_bar,
+    sparkline as _sparkline,
+)
 
 
 def _status(score: float) -> tuple[str, str, str]:
@@ -116,30 +51,9 @@ def _status(score: float) -> tuple[str, str, str]:
     return "critical", "&#10007;", "off paper"
 
 
-def _fmt(value: float) -> str:
-    if value == int(value) and abs(value) < 10000:
-        return str(int(value))
-    return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
-
-
-def _round_bar(x: float, y: float, width: float, height: float,
-               fill: str, title: str) -> str:
-    """Horizontal bar: square at the baseline (left), 3px rounded
-    data-end (right); a <title> child is the native hover tooltip."""
-    r = min(3.0, width / 2, height / 2)
-    d = (f"M{x:.1f},{y:.1f} h{max(width - r, 0):.1f} "
-         f"q{r:.1f},0 {r:.1f},{r:.1f} v{max(height - 2 * r, 0):.1f} "
-         f"q0,{r:.1f} -{r:.1f},{r:.1f} h-{max(width - r, 0):.1f} z")
-    return (f'<path d="{d}" fill="{fill}">'
-            f'<title>{_esc(title)}</title></path>')
-
-
 def _legend() -> str:
-    return ('<div class="legend">'
-            '<span><span class="key" style="background:var(--measured)">'
-            '</span>measured</span>'
-            '<span><span class="key" style="background:var(--paper)">'
-            '</span>paper</span></div>')
+    return _base_legend((("measured", "var(--measured)"),
+                         ("paper", "var(--paper)")))
 
 
 def _table_section(table) -> str:
@@ -275,37 +189,6 @@ def _figure1_section(result, paper_saturation: int) -> str:
         f"</details></div>")
 
 
-def _sparkline(values: list[float], label: str, unit: str = "") -> str:
-    if not values:
-        return ""
-    shown = values[-24:]
-    width, height, pad = 220, 48, 6
-    low, high = min(shown), max(shown)
-    span = (high - low) or 1.0
-    step = (width - 2 * pad) / max(len(shown) - 1, 1)
-
-    def xy(i: int, value: float) -> tuple[float, float]:
-        return (pad + i * step,
-                pad + (height - 2 * pad) * (1 - (value - low) / span))
-
-    coords = [xy(i, v) for i, v in enumerate(shown)]
-    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
-    x_end, y_end = coords[-1]
-    return (
-        f'<div class="tile"><div class="label">{_esc(label)}</div>'
-        f'<svg role="img" width="{width}" height="{height}" '
-        f'viewBox="0 0 {width} {height}" aria-label="{_esc(label)}">'
-        f'<polyline points="{polyline}" fill="none" stroke="var(--muted)" '
-        f'stroke-width="2" stroke-linejoin="round" '
-        f'stroke-linecap="round"/>'
-        f'<circle cx="{x_end:.1f}" cy="{y_end:.1f}" r="4" '
-        f'fill="var(--measured)" stroke="var(--surface-1)" '
-        f'stroke-width="2"/></svg>'
-        f'<div class="detail">latest {_fmt(shown[-1])}{unit} '
-        f"over {len(shown)} entr{'y' if len(shown) == 1 else 'ies'}</div>"
-        f"</div>")
-
-
 def _history_section(entries: list[dict]) -> str:
     scores = [((e.get("fidelity") or {}).get("overall") or {}).get("score")
               for e in entries]
@@ -363,18 +246,12 @@ def build_dashboard(report, figure1_result=None,
         sections.append(_figure1_section(
             figure1_result, paper_data.FIGURE1_SATURATION_WORDS))
     stamp = f" &middot; generated {_esc(generated)}" if generated else ""
-    return (
-        "<!DOCTYPE html>\n"
-        '<html lang="en"><head><meta charset="utf-8">'
-        '<meta name="viewport" content="width=device-width, initial-scale=1">'
-        "<title>PSI reproduction fidelity</title>"
-        f"<style>{_CSS}</style></head>"
-        f'<body><div class="viz-root">'
+    body = (
         f"<h1>PSI reproduction &mdash; fidelity dashboard</h1>"
         f'<p class="sub">measured vs the paper\'s Tables 1&ndash;7 and '
         f"Figure 1; score = percent of published cells the reproduction "
         f"lands inside the tolerance band{stamp}</p>"
         f"{''.join(sections)}"
         f"<footer>self-contained artifact: inline CSS/SVG only, no "
-        f"scripts, no external references.</footer>"
-        f"</div></body></html>\n")
+        f"scripts, no external references.</footer>")
+    return _page("PSI reproduction fidelity", body)

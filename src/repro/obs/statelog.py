@@ -1,0 +1,92 @@
+"""Machine-state log: the explorer's checkpoint stream as JSONL.
+
+The HTML explorer is for eyes; this module is the same reconstruction
+for pipelines.  :func:`write_statelog` walks a built
+:class:`~repro.obs.timetravel.TraceExplorer` and emits one JSON object
+per line:
+
+* line 1 — a ``header`` record: workload goal, trace length, checkpoint
+  stride, per-area register mnemonics, and (when a stats collector is
+  supplied) the run's microinstruction statistics
+  (:meth:`repro.core.stats.StatsCollector.state`);
+* one ``state`` record per checkpoint — the microstep, the derived
+  register file, choicepoint depth, cumulative backtracks, per-area
+  extent/traffic summaries (heat maps elided: they belong to the HTML
+  heatmap, not a log line), and the cache hit/miss totals;
+* a final ``state`` record for the end of the run (appended when the
+  last checkpoint does not already fall on the final microstep).
+
+Like every obs artifact the log is derived and deterministic —
+identical runs produce identical logs — and is never stored in the
+persistent run cache.  :func:`read_statelog` parses a log back into
+``(header, states)``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.memory import AREA_REGISTERS, AREAS
+from repro.obs.timetravel import ReplayState, TraceExplorer
+
+
+def state_record(state: ReplayState) -> dict:
+    """One checkpoint's log record (plain data, heat maps elided)."""
+    record = {
+        "type": "state",
+        "step": state.step,
+        "registers": state.registers,
+        "control_depth": state.control_depth,
+        "backtracks": state.backtracks,
+        "areas": {},
+    }
+    for area in AREAS:
+        a = state.areas[area]
+        record["areas"][area.name.lower()] = {
+            "top": a.top, "high_water": a.high_water,
+            "reads": a.reads, "writes": a.writes,
+            "stack_writes": a.stack_writes,
+            "reclaims": a.reclaims, "reclaimed_words": a.reclaimed_words,
+        }
+    if state.cache is not None:
+        stats = state.cache.stats
+        record["cache"] = {
+            "hits": stats.hits, "misses": stats.misses,
+            "resident_blocks": state.cache.resident_blocks,
+            "writebacks": stats.writebacks,
+        }
+    return record
+
+
+def write_statelog(path, explorer: TraceExplorer, *, goal: str = "",
+                   stats=None) -> int:
+    """Write the explorer's checkpoints to ``path``; returns the number
+    of state records (checkpoints + the final state)."""
+    header = {
+        "type": "header",
+        "goal": goal,
+        "entries": explorer.n_steps,
+        "stride": explorer.stride,
+        "registers": {area.name.lower(): AREA_REGISTERS[area]
+                      for area in AREAS},
+    }
+    if stats is not None:
+        header["stats"] = stats.state()
+    steps = explorer.checkpoint_steps
+    states = [explorer.state_at(step) for step in steps]
+    if explorer.n_steps != steps[-1]:
+        states.append(explorer.final)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for state in states:
+            handle.write(json.dumps(state_record(state), sort_keys=True) + "\n")
+    return len(states)
+
+
+def read_statelog(path) -> tuple[dict, list[dict]]:
+    """Parse a state log back into ``(header, state records)``."""
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("type") != "header":
+        raise ValueError(f"{path}: not a state log (missing header line)")
+    return lines[0], lines[1:]

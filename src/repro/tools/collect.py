@@ -54,6 +54,12 @@ class CollectedRun:
     #: Snapshot of the machine's side-effect counters after the run
     #: (``counter_inc`` et al. — how failure-driven loops report).
     counters: dict[str, int] = field(default_factory=dict)
+    #: Trace length (= microstep) observed right after each solution was
+    #: decoded, one mark per entry of ``answers``.  This is the answer
+    #: index → microstep map the time-travel explorer's differential
+    #: mode uses to pinpoint where a diverging answer was emitted.
+    #: Empty when no trace/cache feed recorded the run.
+    answer_marks: tuple[int, ...] = ()
 
     @property
     def steps(self) -> int:
@@ -93,6 +99,7 @@ class CollectedRun:
             cache_config=self.cache.config if self.cache is not None else None,
             answers=self.answers,
             counters=self.counters,
+            answer_marks=self.answer_marks,
         )
 
 
@@ -136,6 +143,8 @@ class RunSummary:
     #: cache-served and worker-shipped runs stay crosscheckable.
     answers: tuple[Answer, ...] = ()
     counters: dict[str, int] = field(default_factory=dict)
+    #: Per-answer microstep marks (see :attr:`CollectedRun.answer_marks`).
+    answer_marks: tuple[int, ...] = ()
     #: Observability metrics snapshot (plain dict) when the producing
     #: process ran with obs enabled.  Set only on summaries shipped
     #: from ``run_many`` workers to the parent — :meth:`to_summary`
@@ -153,7 +162,8 @@ class RunSummary:
             cache.stats = self.cache_stats
         return CollectedRun(self.goal, self.succeeded, self.solutions,
                             self.stats, trace, cache, machine=None,
-                            answers=self.answers, counters=self.counters)
+                            answers=self.answers, counters=self.counters,
+                            answer_marks=self.answer_marks)
 
 
 def _totals_from_stats(stats: StatsCollector) -> tuple[list, list]:
@@ -231,8 +241,26 @@ def collect(program: str, goal: str, *,
         session.cache_sampler(cache)
 
     solver = machine.solve(goal)
+    # Manual iteration (exactly what ``solver.all()`` does) so each
+    # solution can be paired with the trace length at the moment it was
+    # decoded — the answer → microstep marks the time-travel explorer's
+    # differential mode seeks by.  Marks are taken only from the
+    # caller-requested trace (they index into it; the internal
+    # cache-feed recorder is not returned, and whether it exists
+    # depends on the obs session — summaries must not).  Reading
+    # ``len(trace.data)`` between solutions is a pure observation of
+    # already-recorded state, so the emission stream is identical to
+    # an unmarked run.
+    captured = []
+    marks: list[int] = []
     if all_solutions:
-        captured = solver.all()
+        while True:
+            solution = solver.next()
+            if solution is None:
+                break
+            captured.append(solution)
+            if trace is not None:
+                marks.append(len(trace.data))
         solutions = len(captured)
         succeeded = solutions > 0
     else:
@@ -240,6 +268,8 @@ def collect(program: str, goal: str, *,
         succeeded = solution is not None
         solutions = 1 if succeeded else 0
         captured = [solution] if succeeded else []
+        if succeeded and trace is not None:
+            marks.append(len(trace.data))
     # Canonical answer capture is pure term manipulation over the
     # solver's (unbilled) decode output — the emission stream and all
     # statistics are exactly those of an uncaptured run.
@@ -264,4 +294,5 @@ def collect(program: str, goal: str, *,
         obs.record_run(observation)
     return CollectedRun(goal, succeeded, solutions, stats, trace, cache,
                         machine, observation,
-                        answers=answers, counters=dict(machine.counters))
+                        answers=answers, counters=dict(machine.counters),
+                        answer_marks=tuple(marks))

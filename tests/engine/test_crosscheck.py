@@ -96,3 +96,83 @@ class TestFullRegistry:
         assert {c.name for c in report.checks} == \
             {w.name for w in shared_workloads()}
         assert report.ok, report.render()
+
+
+class TestDivergenceReproRecipe:
+    def test_render_prints_the_debug_diff_command(self):
+        report = CrosscheckReport(checks=[
+            WorkloadCheck("ok-one", ok=True),
+            WorkloadCheck("bad-one", ok=False, detail="answers differ"),
+            WorkloadCheck("bad-two", ok=False, detail="counters differ"),
+        ])
+        rendered = report.render()
+        assert "psi-eval debug --diff bad-one" in rendered
+        assert "psi-eval debug --diff bad-two" in rendered
+        assert "psi-eval debug --diff ok-one" not in rendered
+
+    def test_clean_report_has_no_recipe(self):
+        report = CrosscheckReport(checks=[WorkloadCheck("a", ok=True)])
+        assert "psi-eval debug" not in report.render()
+
+    def test_to_dict_lists_divergent_names(self):
+        report = CrosscheckReport(checks=[
+            WorkloadCheck("a", ok=True),
+            WorkloadCheck("b", ok=False, detail="boom"),
+        ])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["divergent"] == ["b"]
+        assert payload["interrupted"] is False
+        assert payload["skipped"] == []
+
+
+class TestInterruptedSweep:
+    def test_partial_report_survives_keyboard_interrupt(self, monkeypatch):
+        import repro.engine.crosscheck as crosscheck_module
+
+        def check_then_interrupt(name):
+            if name == "second":
+                raise KeyboardInterrupt
+            return WorkloadCheck(name, ok=(name != "first"),
+                                 detail="" if name != "first" else "boom")
+
+        monkeypatch.setattr(crosscheck_module, "crosscheck_workload",
+                            check_then_interrupt)
+        report = crosscheck(["first", "second", "third"])
+        assert report.interrupted
+        assert not report.ok
+        assert [c.name for c in report.checks] == ["first"]
+        assert report.skipped == ["second", "third"]
+        assert report.divergent_names == ["first"]
+        payload = report.to_dict()
+        assert payload["interrupted"] is True
+        assert payload["skipped"] == ["second", "third"]
+        assert "INTERRUPTED" in report.render()
+
+    def test_interrupted_but_clean_sweep_is_still_not_ok(self):
+        report = CrosscheckReport(checks=[WorkloadCheck("a", ok=True)],
+                                  interrupted=True, skipped=["b"])
+        assert not report.ok
+        assert report.to_dict()["divergent"] == []
+
+    def test_cli_writes_the_report_json_when_interrupted(self, tmp_path,
+                                                         monkeypatch,
+                                                         capsys):
+        import repro.engine.crosscheck as crosscheck_module
+
+        from repro.eval.cli import main
+
+        def interrupt_on_second(name):
+            if name != "nreverse":
+                raise KeyboardInterrupt
+            return WorkloadCheck(name, ok=True)
+
+        monkeypatch.setattr(crosscheck_module, "crosscheck_workload",
+                            interrupt_on_second)
+        out = tmp_path / "crosscheck.json"
+        status = main(["crosscheck", "nreverse", "qsort",
+                       "--report", str(out)])
+        assert status == 1
+        payload = json.loads(out.read_text())
+        assert payload["interrupted"] is True
+        assert payload["checked"] == 1
+        assert payload["skipped"] == ["qsort"]

@@ -109,7 +109,10 @@ def test_docs_contain_psi_eval_examples():
 def test_psi_eval_commands_parse(doc, line):
     argv = _normalise(line)
     try:
-        args = build_parser().parse_args(argv)
+        # parse_intermixed_args, exactly as cli.main() parses: documented
+        # commands may put flags before positionals (psi-eval debug --diff
+        # qsort), which plain parse_args rejects.
+        args = build_parser().parse_intermixed_args(argv)
     except SystemExit:
         pytest.fail(f"{doc}: documented command no longer parses: {line!r}")
     assert args.target
