@@ -18,6 +18,14 @@ Times the three layers this harness optimises and writes the results to
   wall-clock speedup, and **fails** when it falls below
   ``--min-fused-speedup`` — the floor that keeps the fused hot path
   from silently eroding.  Runs in ``--throughput-only`` mode too.
+* **indexed vs faithful** — the clause-indexed PSI configuration
+  (``MachineConfig(indexed=True)``, first-argument selection through
+  :mod:`repro.engine.index`) vs the faithful one over the
+  backtracking-heavy workload subset
+  (:data:`repro.eval.indexed.BACKTRACKING_HEAVY`).  Answer multisets
+  must match; the geomean *modelled-step* speedup is recorded and
+  **fails** below ``--min-indexed-speedup`` (default 1.15).  Runs in
+  ``--throughput-only`` mode too.
 * **throughput** — interpreter steps per second (obs off and on) on a
   cheap workload.  A *rate*, so it tracks the emission hot path's cost
   per step independent of workload-set changes; the run **fails** when
@@ -262,6 +270,44 @@ def bench_fused(workload_name: str = "qsort", repeats: int = 5) -> dict:
     }
 
 
+def bench_indexed() -> dict:
+    """Clause-indexed vs faithful PSI over the backtracking-heavy subset.
+
+    Both configurations run through :func:`repro.eval.indexed
+    .compare_workload` (faithful side cache-served, indexed side
+    uncached); the answer multisets must match on every workload, and
+    the *modelled step* geomean speedup is the gated number — steps are
+    deterministic, so the floor cannot flake on a loaded CI runner the
+    way wall-clock would.  Modelled-time speedup is recorded alongside
+    (it folds in the cache simulation).
+    """
+    from repro.eval.indexed import (
+        BACKTRACKING_HEAVY,
+        compare_workload,
+        geomean,
+    )
+
+    rows = [compare_workload(name) for name in BACKTRACKING_HEAVY]
+    diverged = [row.name for row in rows if not row.answers_equal]
+    if diverged:
+        raise AssertionError("indexed configuration changed answers on: "
+                             + ", ".join(diverged))
+    return {
+        "workloads": {
+            row.name: {
+                "faithful_steps": row.faithful_steps,
+                "indexed_steps": row.indexed_steps,
+                "step_speedup": round(row.step_speedup, 3),
+                "choicepoints_avoided": row.choicepoints_avoided,
+            } for row in rows
+        },
+        "geomean_step_speedup": round(
+            geomean([row.step_speedup for row in rows]), 3),
+        "geomean_time_speedup": round(
+            geomean([row.time_speedup for row in rows]), 3),
+    }
+
+
 def bench_debug_replay(workload_name: str = "nreverse",
                        seeks: int = 32) -> dict:
     """Checkpointed seek vs cold replay, over one recorded trace.
@@ -327,6 +373,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if the fused dispatch runs less than this "
                              "many times faster than the per-op loop "
                              "(default 1.1)")
+    parser.add_argument("--min-indexed-speedup", type=float, default=1.15,
+                        metavar="X",
+                        help="fail if the clause-indexed configuration's "
+                             "geomean modelled-step speedup over the "
+                             "faithful one, on the backtracking-heavy "
+                             "workload subset, falls below this floor "
+                             "(default 1.15)")
     parser.add_argument("--max-obs-overhead", type=float, default=150.0,
                         metavar="PCT",
                         help="fail if the obs-enabled interpreter overhead "
@@ -391,6 +444,19 @@ def main(argv: list[str] | None = None) -> int:
             f"fused dispatch speedup {fv['speedup']}x fell below the "
             f"floor ({args.min_fused_speedup}x) — the superinstruction "
             f"hot path eroded")
+
+    print("indexed_vs_faithful stage (clause-indexed PSI configuration)...")
+    results["indexed_vs_faithful"] = bench_indexed()
+    iv = results["indexed_vs_faithful"]
+    print(f"  geomean step speedup {iv['geomean_step_speedup']}x  "
+          f"modelled-time {iv['geomean_time_speedup']}x  "
+          f"({len(iv['workloads'])} backtracking-heavy workloads)")
+    if iv["geomean_step_speedup"] < args.min_indexed_speedup:
+        failures.append(
+            f"indexed-vs-faithful geomean step speedup "
+            f"{iv['geomean_step_speedup']}x fell below the floor "
+            f"({args.min_indexed_speedup}x) — clause selection stopped "
+            f"narrowing the scan")
 
     if args.throughput_only:
         for failure in failures:
@@ -457,7 +523,8 @@ def main(argv: list[str] | None = None) -> int:
         store = HistoryStore()
         store.append("bench", {"bench": {
             key: results[key]
-            for key in ("throughput", "fused_vs_unfused", "replay",
+            for key in ("throughput", "fused_vs_unfused",
+                        "indexed_vs_faithful", "replay",
                         "debug_replay", "obs", "eval_all")
             if key in results}})
         print(f"appended bench entry to {store.path}")

@@ -34,11 +34,13 @@ from repro.prolog.terms import Atom, Struct, Term, Var, is_cons, is_nil
 ARITH_FASTCODE = {("is", 2), ("=:=", 2), ("=\\=", 2),
                   ("<", 2), (">", 2), ("=<", 2), (">=", 2)}
 
-# Indexing key kinds
-KIND_CONST = "const"
-KIND_LIST = "list"
-KIND_STRUCT = "struct"
-KIND_VAR = "var"
+# Indexing taxonomy and first-argument classifier now live in the
+# backend-neutral analysis module (both engines consume it); re-exported
+# here so existing importers keep working.
+from repro.engine.index import (  # noqa: E402  (re-export)
+    KIND_CONST, KIND_LIST, KIND_STRUCT, KIND_VAR, ClauseIndex,
+    first_arg_descriptor,
+)
 
 
 @dataclass
@@ -57,26 +59,17 @@ class CompiledProcedure:
     code: list[Instr] = field(default_factory=list)   # entry + clause bodies
     entry: int = 0
     dirty: bool = True
+    #: Absolute code offset of each clause's body, position-aligned
+    #: with ``clauses`` — what the incremental assert/retract patching
+    #: walks instead of re-deriving the layout.
+    body_offsets: list[int] = field(default_factory=list)
+    #: End (exclusive) of the *live* dispatch region starting at
+    #: ``entry``; chain/table patching never looks outside it.
+    dispatch_end: int = 0
 
     @property
     def indicator(self):
         return (self.functor, self.arity)
-
-
-def first_arg_descriptor(head: Term) -> tuple[str, object]:
-    if not isinstance(head, Struct):
-        return KIND_VAR, None
-    arg = head.args[0]
-    if isinstance(arg, Var):
-        return KIND_VAR, None
-    if isinstance(arg, int):
-        return KIND_CONST, arg
-    if isinstance(arg, Atom):
-        return KIND_CONST, arg.name
-    if is_cons(arg):
-        return KIND_LIST, None
-    assert isinstance(arg, Struct)
-    return KIND_STRUCT, (arg.functor, arg.arity)
 
 
 # ---------------------------------------------------------------------------
@@ -412,6 +405,68 @@ def _goal_parts(goal: Term) -> tuple[str, tuple[Term, ...]]:
 # ---------------------------------------------------------------------------
 
 
+def _generate_dispatch(clauses: list[CompiledClause], arity: int,
+                       body_offsets: list[int], base: int) -> list[Instr]:
+    """Dispatch instructions for clause bodies at absolute
+    ``body_offsets``, assuming the dispatch itself is placed at code
+    offset ``base`` (all chain/table addresses are absolute).
+
+    Bucket construction goes through the backend-neutral
+    :class:`repro.engine.index.ClauseIndex` — the same analysis the PSI
+    interpreter's indexed configuration dispatches through — so both
+    engines provably select from identical candidate chains.  The
+    ``indexable`` precondition (no var first arguments) means the
+    eagerly-merged buckets degenerate to plain per-key clause lists
+    here, keeping the emitted dispatch identical to the historical
+    DEC-10 layout.
+    """
+    code: list[Instr] = []
+
+    def emit_chain(targets: list[int]) -> int:
+        """Emit a try/retry/trust chain over clause body addresses."""
+        if len(targets) == 1:
+            return targets[0]
+        at = base + len(code)
+        code.append(Instr(Op.TRY, targets[0]))
+        for target in targets[1:-1]:
+            code.append(Instr(Op.RETRY, target))
+        code.append(Instr(Op.TRUST, targets[-1]))
+        return at
+
+    indexable = (arity >= 1
+                 and len(clauses) > 1
+                 and all(c.first_arg_kind != KIND_VAR for c in clauses))
+    if not indexable:
+        if len(clauses) > 1:
+            emit_chain(list(body_offsets))
+        return code
+
+    index = ClauseIndex()
+    for clause in clauses:
+        index.add_clause(clause.first_arg_kind, clause.first_arg_key)
+    # Reserve slot 0 for switch_on_term; chains follow.
+    code.append(Instr(Op.NOOP))  # placeholder, patched below
+    var_at = emit_chain(list(body_offsets))
+    const_table = {}
+    for key, ids in index.const_buckets.items():
+        const_table[key] = emit_chain([body_offsets[i] for i in ids])
+    struct_table = {}
+    for key, ids in index.struct_buckets.items():
+        struct_table[key] = emit_chain([body_offsets[i] for i in ids])
+    list_at = emit_chain([body_offsets[i] for i in index.list_ids]) \
+        if index.list_ids else -1
+    const_at = -1
+    if const_table:
+        const_at = base + len(code)
+        code.append(Instr(Op.SWITCH_ON_CONSTANT, const_table))
+    struct_at = -1
+    if struct_table:
+        struct_at = base + len(code)
+        code.append(Instr(Op.SWITCH_ON_STRUCTURE, struct_table))
+    code[0] = Instr(Op.SWITCH_ON_TERM, var_at, const_at, list_at, struct_at)
+    return code
+
+
 def assemble_procedure(proc: CompiledProcedure) -> None:
     """(Re)build a procedure's entry code with indexing.
 
@@ -419,32 +474,7 @@ def assemble_procedure(proc: CompiledProcedure) -> None:
     targets are absolute indices into ``proc.code``.
     """
     clauses = proc.clauses
-    code: list[Instr] = []
-
-    def emit_chain(targets: list[int]) -> int:
-        """Emit a try/retry/trust chain over clause body addresses."""
-        if len(targets) == 1:
-            return targets[0]
-        at = len(code)
-        code.append(Instr(Op.TRY, targets[0]))
-        for target in targets[1:-1]:
-            code.append(Instr(Op.RETRY, target))
-        code.append(Instr(Op.TRUST, targets[-1]))
-        return at
-
-    # First pass: lay out clause bodies after a reserved dispatch region.
-    # We build dispatch lazily by emitting clause code first into a side
-    # list, then the dispatch, then fixing offsets.
     bodies: list[list[Instr]] = [c.code for c in clauses]
-
-    indexable = (proc.arity >= 1
-                 and len(clauses) > 1
-                 and all(c.first_arg_kind != KIND_VAR for c in clauses))
-
-    # Compute dispatch size by generating with placeholder targets, then
-    # regenerate once real offsets are known.  Simpler: emit bodies first
-    # at the *end*, entry at the start, using a two-phase approach.
-    dispatch: list[Instr] = []
     body_offsets: list[int] = []
 
     def layout(dispatch_length: int) -> None:
@@ -454,55 +484,15 @@ def assemble_procedure(proc: CompiledProcedure) -> None:
             body_offsets.append(cursor)
             cursor += len(body)
 
-    # Build dispatch given body_offsets; returns instruction list.
-    def generate() -> list[Instr]:
-        nonlocal code
-        code = []
-        if not indexable:
-            if len(clauses) > 1:
-                emit_chain(body_offsets)
-        else:
-            # Buckets
-            const_buckets: dict[object, list[int]] = {}
-            list_targets: list[int] = []
-            struct_buckets: dict[object, list[int]] = {}
-            for i, clause in enumerate(clauses):
-                if clause.first_arg_kind == KIND_CONST:
-                    const_buckets.setdefault(clause.first_arg_key, []).append(body_offsets[i])
-                elif clause.first_arg_kind == KIND_LIST:
-                    list_targets.append(body_offsets[i])
-                else:
-                    struct_buckets.setdefault(clause.first_arg_key, []).append(body_offsets[i])
-            # Reserve slot 0 for switch_on_term; chains follow.
-            code.append(Instr(Op.NOOP))  # placeholder, patched below
-            var_at = emit_chain(body_offsets)
-            const_table = {}
-            for key, targets in const_buckets.items():
-                const_table[key] = emit_chain(targets)
-            struct_table = {}
-            for key, targets in struct_buckets.items():
-                struct_table[key] = emit_chain(targets)
-            list_at = emit_chain(list_targets) if list_targets else -1
-            const_at = -1
-            if const_table:
-                const_at = len(code)
-                code.append(Instr(Op.SWITCH_ON_CONSTANT, const_table))
-            struct_at = -1
-            if struct_table:
-                struct_at = len(code)
-                code.append(Instr(Op.SWITCH_ON_STRUCTURE, struct_table))
-            code[0] = Instr(Op.SWITCH_ON_TERM, var_at, const_at, list_at, struct_at)
-        return code
-
     # Iterate to a fixed point on dispatch length (it converges in two
     # rounds because chain shapes depend only on clause counts).
     layout(0)
-    dispatch = generate()
+    dispatch = _generate_dispatch(clauses, proc.arity, body_offsets, 0)
     previous_length = -1
     while len(dispatch) != previous_length:
         previous_length = len(dispatch)
         layout(previous_length)
-        dispatch = generate()
+        dispatch = _generate_dispatch(clauses, proc.arity, body_offsets, 0)
 
     final_code = list(dispatch)
     for body in bodies:
@@ -510,3 +500,101 @@ def assemble_procedure(proc: CompiledProcedure) -> None:
     proc.code = final_code
     proc.entry = 0
     proc.dirty = False
+    proc.body_offsets = list(body_offsets)
+    proc.dispatch_end = len(dispatch)
+
+
+def append_clause(proc: CompiledProcedure, compiled: CompiledClause) -> None:
+    """Incremental assert: splice one compiled clause into an already
+    assembled procedure without reassembling it.
+
+    The new body goes at the end of the code vector and a fresh
+    dispatch region is appended after it (``proc.entry`` moves; the old
+    dispatch becomes dead code).  Only the dispatch — O(#clauses)
+    instructions — is regenerated; no clause body is recompiled or
+    copied, so heavy assert loops cost O(new clause) instead of
+    O(procedure).  Existing body offsets never move, which also keeps
+    any live choice point's saved code addresses valid — something the
+    full reassembly could not guarantee.
+    """
+    proc.clauses.append(compiled)
+    base = len(proc.code)
+    proc.code.extend(compiled.code)
+    proc.body_offsets.append(base)
+    dispatch_base = len(proc.code)
+    dispatch = _generate_dispatch(proc.clauses, proc.arity,
+                                  proc.body_offsets, dispatch_base)
+    if dispatch:
+        proc.code.extend(dispatch)
+        proc.entry = dispatch_base
+        proc.dispatch_end = len(proc.code)
+    else:
+        # Single clause: enter the body directly, no dispatch region.
+        proc.entry = proc.body_offsets[0]
+        proc.dispatch_end = proc.entry
+    proc.dirty = False
+
+
+def patch_out_clause(proc: CompiledProcedure, position: int) -> None:
+    """In-place retract patch: drop clause ``position``'s targets from
+    the live dispatch region without reassembling the procedure.
+
+    The caller has already popped ``proc.clauses[position]``.  Every
+    try/retry/trust chain containing the clause's body offset is
+    rewritten *within its own span* (shrunk chains are padded with
+    unreachable FAILs; a chain reduced to one target becomes a JUMP,
+    to zero targets a FAIL), and switch-table entries pointing directly
+    at the body are deleted.  Remaining body offsets never move, so no
+    other target in the procedure — including addresses saved in live
+    choice points — needs fixing.
+    """
+    target = proc.body_offsets.pop(position)
+    code = proc.code
+    if not proc.clauses:
+        # Last clause gone: the procedure now always fails.
+        proc.entry = len(code)
+        code.append(Instr(Op.FAIL))
+        proc.dispatch_end = len(code)
+        return
+    i, end = proc.entry, proc.dispatch_end
+    while i < end:
+        ins = code[i]
+        op = ins.op
+        if op is Op.TRY:
+            j = i
+            targets = [ins[1]]
+            while code[j + 1].op is Op.RETRY:
+                j += 1
+                targets.append(code[j][1])
+            j += 1
+            assert code[j].op is Op.TRUST
+            targets.append(code[j][1])
+            if target in targets:
+                remaining = [t for t in targets if t != target]
+                if len(remaining) == 1:
+                    fill = [Instr(Op.JUMP, remaining[0])]
+                else:
+                    fill = ([Instr(Op.TRY, remaining[0])]
+                            + [Instr(Op.RETRY, t) for t in remaining[1:-1]]
+                            + [Instr(Op.TRUST, remaining[-1])])
+                fill += [Instr(Op.FAIL)] * (j - i + 1 - len(fill))
+                code[i:j + 1] = fill
+            i = j + 1
+        elif op is Op.JUMP:
+            # A chain already reduced to one clause by an earlier patch.
+            if ins[1] == target:
+                code[i] = Instr(Op.FAIL)
+            i += 1
+        elif op is Op.SWITCH_ON_CONSTANT or op is Op.SWITCH_ON_STRUCTURE:
+            table = ins[1]
+            for key in [k for k, v in table.items() if v == target]:
+                del table[key]
+            i += 1
+        elif op is Op.SWITCH_ON_TERM:
+            if target in (ins[1], ins[2], ins[3], ins[4]):
+                code[i] = Instr(Op.SWITCH_ON_TERM,
+                                *[-1 if t == target else t
+                                  for t in (ins[1], ins[2], ins[3], ins[4])])
+            i += 1
+        else:
+            i += 1

@@ -77,6 +77,8 @@ class Op(Enum):
     BUILTIN_ARITH = auto()    # descriptor, arg_specs (fast-code arithmetic)
     FAIL = auto()
     NOOP = auto()             # label placeholder
+    JUMP = auto()             # label — a dispatch chain that the in-place
+    #                           retract patch reduced to a single clause
 
 
 #: Registers: ("x", n) temporaries / argument registers, ("y", n) permanents.
@@ -156,6 +158,10 @@ COSTS_NS: dict[Op, int] = {
     Op.BUILTIN_ARITH: 2520,
     Op.FAIL: 1440,
     Op.NOOP: 0,
+    # Zero-cost like NOOP: a reassembled procedure would enter the sole
+    # remaining clause directly with no chain instruction at all, so the
+    # patched-in jump must not perturb the DEC timing model.
+    Op.JUMP: 0,
 }
 
 #: Extra dynamic costs the emulator charges per event (ns).

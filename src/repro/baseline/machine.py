@@ -28,7 +28,9 @@ from dataclasses import dataclass, field
 from repro.baseline.compiler import (
     ClauseCompiler,
     CompiledProcedure,
+    append_clause,
     assemble_procedure,
+    patch_out_clause,
 )
 from repro.baseline.isa import COSTS_NS, DYNAMIC_COSTS_NS, Instr, Op, X, Y
 from repro.engine.frontend import Frontend
@@ -152,9 +154,16 @@ class WAMMachine:
         for norm in clauses:
             proc = self.procedures.setdefault(
                 norm.indicator, CompiledProcedure(*norm.indicator))
-            proc.clauses.append(
-                ClauseCompiler(norm, self.builtin_table).compile())
-            proc.dirty = True
+            compiled = ClauseCompiler(norm, self.builtin_table).compile()
+            if proc.code and not proc.dirty:
+                # Runtime assert into an already-assembled procedure:
+                # splice incrementally (O(#clauses) dispatch regen, no
+                # body recompilation) — dynamic predicates keep their
+                # first-argument index without a full rebuild.
+                append_clause(proc, compiled)
+            else:
+                proc.clauses.append(compiled)
+                proc.dirty = True
         for proc in self.procedures.values():
             if proc.dirty:
                 assemble_procedure(proc)
@@ -162,8 +171,10 @@ class WAMMachine:
     def retract_fact(self, cell) -> bool:
         """Remove the first fact whose head unifies with ``cell``.
 
-        Mirrors the PSI machine's retract: facts only.  The procedure is
-        reassembled after removal so indexing stays consistent.
+        Mirrors the PSI machine's retract: facts only.  The dispatch
+        chains are patched in place (:func:`patch_out_clause`) — the
+        procedure is *not* reassembled, so heavy retract loops never
+        re-run the compiler and remaining clause addresses stay put.
         """
         from repro.errors import TypeError_
         value = self.deref(cell)
@@ -182,7 +193,7 @@ class WAMMachine:
             trial = self._head_match_fact(clause, arg_cells)
             if trial:
                 proc.clauses.pop(index)
-                assemble_procedure(proc)
+                patch_out_clause(proc, index)
                 return True
         return False
 
@@ -431,6 +442,7 @@ class WAMMachine:
         _CUT = Op.CUT
         _FAIL = Op.FAIL
         _NOOP = Op.NOOP
+        _JUMP = Op.JUMP
         while True:
             if self.pc is None:
                 return False
@@ -722,6 +734,8 @@ class WAMMachine:
                     return False
             elif op is _NOOP:
                 pass
+            elif op is _JUMP:
+                self.pc = (proc, instr[1])
             else:  # pragma: no cover
                 raise MachineError(f"unknown opcode {op}")
 

@@ -226,6 +226,10 @@ class Procedure:
     clauses: list[Clause] = field(default_factory=list)
     descriptor_base: int = -1  # heap address of the clause-address table
     is_auxiliary: bool = False
+    #: First-argument :class:`repro.engine.index.ClauseIndex`, built
+    #: lazily by the machine's indexed configuration and maintained
+    #: incrementally by assert/retract; ``None`` on faithful runs.
+    clause_index: object = None
 
     @property
     def indicator(self) -> tuple[str, int]:

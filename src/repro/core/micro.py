@@ -570,3 +570,25 @@ MEM_ROUTINES = {
 MEM_ROUTINE_BY_CODE = tuple(MEM_ROUTINES[cmd] for cmd in CMD_BY_CODE)
 MEM_PAIR_BASE = tuple(r.pair_base for r in MEM_ROUTINE_BY_CODE)
 MEM_STEPS = tuple(r.n_steps for r in MEM_ROUTINE_BY_CODE)
+
+# -- clause indexing (indexed configuration only) -------------------------------
+# Declared routines for the first-argument clause-selection dispatch the
+# real PSI did *not* have — the "evaluation the paper couldn't run".
+# They are billed only under ``MachineConfig.indexed``; the faithful
+# emission stream never contains them.  Registered after every faithful
+# routine so all pre-existing routine ids (and pair bases) are unchanged.
+#
+# switch_on_term: case-dispatch on the dereferenced first argument's tag
+# (var / const / list-cell / struct), landing in the matching chain.
+R_SWITCH_ON_TERM = routine("control.switch_on_term", [
+    S(wf1=W0, wf2=W0, br=B.CASE_TAG),
+    S(wf1=W1, dest=W1, br=B.LOAD_JR),
+    S(br=B.GOTO_JR1),
+])
+# index_hash: hash the constant value / functor word and probe the
+# bucket table for the candidate-clause chain head.
+R_INDEX_HASH = routine("control.index_hash", [
+    S(wf1=W0, wf2=W0, dest=W1, br=B.NOP1),
+    S(wf1=W1, dest=W0, br=B.LOAD_JR),
+    S(wf1=W1, br=B.GOTO_JR1),
+])

@@ -29,7 +29,10 @@ from typing import Protocol, runtime_checkable
 from repro.engine.answers import Answer, canonical_answer
 
 #: Names :func:`create_engine` accepts, in preference order.
-ENGINE_NAMES = ("psi", "baseline")
+#: ``psi-indexed`` is the PSI machine under
+#: :class:`~repro.core.machine.MachineConfig` ``indexed=True`` —
+#: first-argument clause selection, same answer semantics.
+ENGINE_NAMES = ("psi", "psi-indexed", "baseline")
 
 
 @dataclass(frozen=True)
@@ -159,9 +162,15 @@ class WAMEngine:
 
 
 def create_engine(name: str) -> AbstractEngine:
-    """Instantiate a fresh engine by name (``psi`` or ``baseline``)."""
+    """Instantiate a fresh engine by name (``psi``, ``psi-indexed`` or
+    ``baseline``)."""
     if name == "psi":
         return PSIEngine()
+    if name in ("psi-indexed", "indexed"):
+        from repro.core.machine import MachineConfig, PSIMachine
+        engine = PSIEngine(PSIMachine(config=MachineConfig(indexed=True)))
+        engine.name = "psi-indexed"
+        return engine
     if name in ("baseline", "dec", "wam"):
         return WAMEngine()
     raise ValueError(f"unknown engine {name!r}; expected one of "

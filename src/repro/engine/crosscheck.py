@@ -19,6 +19,16 @@ crash on one engine *is* a differential finding.
 ``psi-eval crosscheck`` (see :mod:`repro.eval.cli`) renders the report
 and exits non-zero on any divergence; ``--report FILE`` writes the
 machine-readable form for CI artifact upload.
+
+``--indexed`` switches the sweep to the clause-indexed PSI
+configuration (:class:`~repro.core.machine.MachineConfig` with
+``indexed=True``): every workload — including the ``psi_only`` ones,
+so the default scope widens to the *full* registry — runs under both
+PSI configurations, the indexed answers/counters are compared against
+the faithful ones, and on shared workloads additionally against the
+DEC baseline.  This is the semantic gate for the indexing
+optimisation: indexing may only ever narrow the clause *scan*, never
+the answer multiset.
 """
 
 from __future__ import annotations
@@ -60,6 +70,9 @@ class CrosscheckReport:
     interrupted: bool = False
     #: Workloads the interrupted sweep never reached.
     skipped: list[str] = field(default_factory=list)
+    #: True when the sweep compared the clause-indexed PSI
+    #: configuration against the faithful one (``--indexed``).
+    indexed: bool = False
 
     @property
     def divergences(self) -> list[WorkloadCheck]:
@@ -76,6 +89,7 @@ class CrosscheckReport:
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
+            "indexed": self.indexed,
             "checked": len(self.checks),
             "divergences": len(self.divergences),
             "divergent": self.divergent_names,
@@ -85,7 +99,10 @@ class CrosscheckReport:
         }
 
     def render(self) -> str:
-        lines = ["differential crosscheck: PSI vs DEC baseline", ""]
+        header = ("differential crosscheck: indexed PSI vs faithful PSI "
+                  "(and DEC baseline)" if self.indexed
+                  else "differential crosscheck: PSI vs DEC baseline")
+        lines = [header, ""]
         width = max((len(c.name) for c in self.checks), default=4)
         for check in self.checks:
             status = "ok" if check.ok else "DIVERGED"
@@ -114,7 +131,9 @@ class CrosscheckReport:
 
 
 def _diff_answers(psi: tuple[Answer, ...],
-                  baseline: tuple[Answer, ...]) -> str:
+                  baseline: tuple[Answer, ...],
+                  psi_label: str = "PSI",
+                  other_label: str = "baseline") -> str:
     psi_set = answer_multiset(psi)
     base_set = answer_multiset(baseline)
     if psi_set == base_set:
@@ -123,22 +142,25 @@ def _diff_answers(psi: tuple[Answer, ...],
     only_base = [a for a in base_set if a not in psi_set]
     parts = []
     if len(psi_set) != len(base_set):
-        parts.append(f"{len(psi_set)} PSI answer(s) vs "
-                     f"{len(base_set)} baseline answer(s)")
+        parts.append(f"{len(psi_set)} {psi_label} answer(s) vs "
+                     f"{len(base_set)} {other_label} answer(s)")
     if only_psi:
-        parts.append("PSI only: "
+        parts.append(f"{psi_label} only: "
                      + " | ".join(render_answer(a) for a in only_psi[:3]))
     if only_base:
-        parts.append("baseline only: "
+        parts.append(f"{other_label} only: "
                      + " | ".join(render_answer(a) for a in only_base[:3]))
     return "; ".join(parts)
 
 
-def _diff_counters(psi: dict[str, int], baseline: dict[str, int]) -> str:
+def _diff_counters(psi: dict[str, int], baseline: dict[str, int],
+                   psi_label: str = "psi",
+                   other_label: str = "baseline") -> str:
     if psi == baseline:
         return ""
     keys = sorted(set(psi) | set(baseline))
-    diffs = [f"{key}: psi={psi.get(key)} baseline={baseline.get(key)}"
+    diffs = [f"{key}: {psi_label}={psi.get(key)} "
+             f"{other_label}={baseline.get(key)}"
              for key in keys if psi.get(key) != baseline.get(key)]
     return "counters differ — " + ", ".join(diffs)
 
@@ -166,8 +188,56 @@ def crosscheck_workload(name: str) -> WorkloadCheck:
                          baseline_answers=baseline.answers)
 
 
-def crosscheck(names=None) -> CrosscheckReport:
+def crosscheck_workload_indexed(name: str) -> WorkloadCheck:
+    """Compare the clause-indexed PSI run against the faithful one
+    (and, on shared workloads, against the DEC baseline too).
+
+    ``psi_answers`` carries the *indexed* run's answers and
+    ``baseline_answers`` the faithful reference's — same slots, same
+    report plumbing, different oracle.
+    """
+    from repro.eval.runner import run_engine
+    from repro.workloads import get
+
+    try:
+        indexed = run_engine(name, engine="psi-indexed", record_trace=False)
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"indexed PSI run failed: {exc}")
+    try:
+        faithful = run_engine(name, engine="psi", record_trace=False)
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"faithful PSI run failed: {exc}")
+
+    detail = _diff_answers(indexed.answers, faithful.answers,
+                           psi_label="indexed", other_label="faithful")
+    if not detail:
+        detail = _diff_counters(indexed.counters, faithful.counters,
+                                psi_label="indexed", other_label="faithful")
+    if not detail and not get(name).psi_only:
+        try:
+            baseline = run_engine(name, engine="baseline")
+        except Exception as exc:
+            return WorkloadCheck(name, ok=False,
+                                 detail=f"baseline run failed: {exc}")
+        detail = _diff_answers(indexed.answers, baseline.answers,
+                               psi_label="indexed")
+        if not detail:
+            detail = _diff_counters(indexed.counters, baseline.counters,
+                                    psi_label="indexed")
+    return WorkloadCheck(name, ok=not detail, detail=detail,
+                         psi_answers=indexed.answers,
+                         baseline_answers=faithful.answers)
+
+
+def crosscheck(names=None, indexed: bool = False) -> CrosscheckReport:
     """Crosscheck ``names`` (default: every shared workload).
+
+    With ``indexed=True`` the sweep validates the clause-indexed PSI
+    configuration against the faithful one instead (default scope: the
+    *full* registry, ``psi_only`` workloads included, since no baseline
+    is required for that comparison).
 
     A ``KeyboardInterrupt`` mid-sweep does not discard the verdicts
     already gathered: the partial report comes back flagged
@@ -175,15 +245,17 @@ def crosscheck(names=None) -> CrosscheckReport:
     never reached — so ``psi-eval crosscheck --report`` still writes
     the divergences found so far when a long sweep is cut short.
     """
-    from repro.workloads import shared_workloads
+    from repro.workloads import all_workloads, shared_workloads
 
     if names is None:
-        names = [w.name for w in shared_workloads()]
+        names = (sorted(all_workloads()) if indexed
+                 else [w.name for w in shared_workloads()])
     names = list(names)
-    report = CrosscheckReport()
+    check_one = crosscheck_workload_indexed if indexed else crosscheck_workload
+    report = CrosscheckReport(indexed=indexed)
     for index, name in enumerate(names):
         try:
-            report.checks.append(crosscheck_workload(name))
+            report.checks.append(check_one(name))
         except KeyboardInterrupt:
             report.interrupted = True
             report.skipped = names[index:]

@@ -29,11 +29,18 @@ Usage::
                                      # engines, fail on answer divergence
     psi-eval crosscheck nreverse qsort
     psi-eval crosscheck --all --report crosscheck-report.json
+    psi-eval crosscheck --all --indexed  # indexed PSI vs faithful PSI
+                                     # (full registry, incl. psi_only)
+    psi-eval indexed                 # faithful vs indexed PSI, per
+                                     # workload: steps, speedup, counters
+    psi-eval indexed bup-2 queens-all
     psi-eval debug nreverse          # time-travel HTML explorer
                                      # (psi-debug-nreverse.html)
     psi-eval debug nreverse --out explorer.html
     psi-eval debug nreverse --step 1200   # print reconstructed machine
                                           # state at microstep 1200
+    psi-eval debug bup-2 --indexed   # explore the clause-indexed run
+                                     # (choicepoint timeline + counters)
     psi-eval debug --diff qsort      # first-divergence report vs the
                                      # baseline (psi-diff-qsort.html)
     psi-eval serve --workers 4 --port 7071   # warm-worker evaluation service
@@ -311,6 +318,10 @@ def _crosscheck(args):
     no workload names) sweeps every shared (non-``psi_only``) workload;
     ``--report FILE`` additionally writes the machine-readable JSON
     report (the CI job uploads it as the mismatch artifact).
+    ``--indexed`` validates the clause-indexed PSI configuration
+    against the faithful one instead (and, on shared workloads, against
+    the baseline); its default sweep is the full registry, ``psi_only``
+    workloads included.
     """
     import json
     import pathlib
@@ -321,19 +332,49 @@ def _crosscheck(args):
     names = None if (args.all or not args.programs) else args.programs
     if names:
         _validate_workloads(names, "crosscheck")
-        psi_only = [name for name in names if get(name).psi_only]
-        if psi_only:
-            raise SystemExit(
-                f"cannot crosscheck psi_only workload(s): "
-                f"{', '.join(psi_only)} (KL0-only builtins have no "
-                "baseline implementation)")
-    report = crosscheck(names)
+        if not args.indexed:
+            psi_only = [name for name in names if get(name).psi_only]
+            if psi_only:
+                raise SystemExit(
+                    f"cannot crosscheck psi_only workload(s): "
+                    f"{', '.join(psi_only)} (KL0-only builtins have no "
+                    "baseline implementation; use --indexed to compare "
+                    "the two PSI configurations instead)")
+    report = crosscheck(names, indexed=args.indexed)
     if args.report:
         path = pathlib.Path(args.report)
         path.write_text(json.dumps(report.to_dict(), indent=2,
                                    sort_keys=True) + "\n")
         print(f"wrote {path}", file=sys.stderr)
     return report.render(), 0 if report.ok else 1
+
+
+def _indexed_report(args):
+    """``psi-eval indexed``: faithful vs clause-indexed PSI, side by side.
+
+    Runs every named workload (default: the full registry) under both
+    PSI configurations and prints per-workload microsteps, modelled
+    time, step/time speedups and the clause-selection counters (index
+    hits/misses, choicepoints avoided), plus the geomean speedup over
+    all rows and over the backtracking-heavy subset the perf gate
+    tracks.  Answer multisets are compared on every row; exits 1 on
+    any divergence.  ``--report FILE`` writes the JSON form.
+    """
+    import json
+    import pathlib
+
+    from repro.eval import indexed
+
+    names = args.programs or None
+    if names:
+        _validate_workloads(names, "indexed")
+    report = indexed.generate(names)
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.write_text(json.dumps(report.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return indexed.render(report), 0 if report.ok else 1
 
 
 def _debug_workload(args):
@@ -348,6 +389,10 @@ def _debug_workload(args):
       (default ``psi-debug-<name>.html``);
     * ``--step N`` — prints the reconstructed machine state at
       microstep N as text instead (no file written);
+    * ``--indexed`` — replays the workload under the clause-indexed
+      PSI configuration instead: the choicepoint timeline shows the
+      narrower control stack and the header reports the index
+      hit/miss and choicepoints-avoided counters;
     * ``--diff`` — also runs the DEC baseline, pinpoints the first
       diverging answer and the PSI microstep where it was emitted, and
       writes the side-by-side report (``psi-diff-<name>.html``); exits
@@ -360,10 +405,14 @@ def _debug_workload(args):
     import time
 
     from repro.eval import debughtml
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_psi, run_psi_indexed
     from repro.obs.timetravel import TraceExplorer, diff_workload
 
     _validate_workloads(args.programs, "debug")
+    if args.indexed and args.diff:
+        raise SystemExit("psi-eval debug: --indexed and --diff are "
+                         "mutually exclusive (the differential replay "
+                         "is defined against the faithful configuration)")
     generated = time.strftime("%Y-%m-%dT%H:%M:%S")
     # --out doubles as the profile artifact directory ("psi-obs", the
     # parser default); for debug an untouched default means per-name
@@ -396,7 +445,8 @@ def _debug_workload(args):
             lines.append(f"wrote {out} ({len(html)} bytes)")
             status = max(status, 1 if divergence is not None else 0)
             continue
-        run = run_psi(name, record_trace=True)
+        run = (run_psi_indexed(name, record_trace=True) if args.indexed
+               else run_psi(name, record_trace=True))
         explorer = TraceExplorer(run.trace, stride=args.stride)
         if args.step is not None:
             if not 0 <= args.step <= explorer.n_steps:
@@ -457,13 +507,14 @@ _TARGETS = {
     "diff": _diff,
     "report": _report,
     "crosscheck": _crosscheck,
+    "indexed": _indexed_report,
     "debug": _debug_workload,
     "serve": _serve,
 }
 
 #: Targets ``psi-eval all`` does not expand to (admin/meta commands).
 _NON_ALL = ("run", "profile", "cache", "fidelity", "history", "diff",
-            "report", "crosscheck", "debug", "serve")
+            "report", "crosscheck", "indexed", "debug", "serve")
 
 
 def _target_workloads(target: str, args) -> list[str]:
@@ -560,8 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="'crosscheck': sweep every shared "
                              "(non-psi_only) workload")
     parser.add_argument("--report", default=None, metavar="FILE",
-                        help="'crosscheck': also write the JSON mismatch "
+                        help="'crosscheck'/'indexed': also write the JSON "
                              "report to FILE")
+    parser.add_argument("--indexed", action="store_true",
+                        help="'crosscheck': validate the clause-indexed "
+                             "PSI configuration against the faithful one "
+                             "(full registry by default); 'debug': replay "
+                             "the workload under the indexed configuration")
     parser.add_argument("--step", type=int, default=None, metavar="N",
                         help="'debug': print the reconstructed machine "
                              "state at microstep N instead of writing "

@@ -364,6 +364,25 @@ def build_explorer(name: str, run, explorer: TraceExplorer, *,
     cache_ratio = (f"{final.cache.stats.hit_ratio:.2f}%"
                    if final.cache is not None else "n/a")
     peak_depth = max((p.control_depth for p in explorer.timeline), default=0)
+    # Clause-selection counters exist only on runs collected under
+    # MachineConfig(indexed=True) (psi-eval debug --indexed); a faithful
+    # run carries all-zero stats and gets no tile.
+    index_stats = getattr(run, "index_stats", None) or {}
+    index_tile = ""
+    index_note = ""
+    if any(index_stats.values()):
+        hits = index_stats.get("index_hits", 0)
+        misses = index_stats.get("index_misses", 0)
+        avoided = index_stats.get("choicepoints_avoided", 0)
+        index_tile = _hero("choicepoints avoided", fmt(avoided),
+                           f"clause indexing: {fmt(hits)} hits / "
+                           f"{fmt(misses)} misses")
+        index_note = (
+            f'<p class="sub">clause-indexed configuration — first-argument '
+            f"selection answered {fmt(hits)} call(s) from the index "
+            f"({fmt(misses)} full scans) and skipped choicepoint creation "
+            f"{fmt(avoided)} time(s); the depth curve above is "
+            "correspondingly narrower than the faithful replay.</p>")
     marks = getattr(run, "answer_marks", ()) or ()
     jump_answers = "".join(
         f'<button type="button" class="jump" data-jump="{mark}">'
@@ -391,6 +410,7 @@ def build_explorer(name: str, run, explorer: TraceExplorer, *,
                 if final.cache is not None else "")
         + _hero("peak choicepoints", fmt(peak_depth),
                 f"{final.control_depth} live at end")
+        + index_tile
         + "</div>"
         "<h2>Cache timeline</h2>"
         + legend((("misses per bucket", "var(--paper)"),
@@ -400,7 +420,8 @@ def build_explorer(name: str, run, explorer: TraceExplorer, *,
         + legend(tuple((area.label, AREA_COLORS[area]) for area in AREAS))
         + f'<div class="card">{_timeline_areas_svg(explorer)}</div>'
         "<h2>Choicepoints and backtracking</h2>"
-        + f'<div class="card">{_timeline_control_svg(explorer)}</div>'
+        + f'<div class="card">{_timeline_control_svg(explorer)}{index_note}'
+          '</div>'
         + (f'<div class="card"><div class="heat-label">jump to a backtrack '
            f"burst</div>{jump_backtracks}</div>" if jump_backtracks else "")
         + "<h2>State scrubber</h2>"

@@ -38,6 +38,7 @@ logger = logging.getLogger(__name__)
 
 _PSI_CACHE: dict[str, CollectedRun] = {}
 _BASELINE_CACHE: dict[str, "BaselineRun"] = {}
+_INDEXED_CACHE: dict[str, CollectedRun] = {}
 
 _DISK_CACHE_ENABLED = True
 
@@ -288,16 +289,48 @@ def run_engine(name: str, engine: str = "psi",
     ``engine="psi"`` returns the cached :class:`CollectedRun` (the full
     three-tier cache path of :func:`run_psi`); ``engine="baseline"``
     (or ``"dec"``/``"wam"``) returns a :class:`BaselineRun` cached per
-    process.  Both carry canonical answers and a counter snapshot, so
-    engine-agnostic consumers (the crosscheck oracle) can compare
-    results without knowing which machine produced them.
+    process; ``engine="psi-indexed"`` (or ``"indexed"``) returns the
+    PSI run under the clause-indexed configuration (see
+    :func:`run_psi_indexed`).  All carry canonical answers and a
+    counter snapshot, so engine-agnostic consumers (the crosscheck
+    oracle) can compare results without knowing which machine produced
+    them.
     """
     if engine == "psi":
         return run_psi(name, record_trace=record_trace)
+    if engine in ("psi-indexed", "indexed"):
+        return run_psi_indexed(name, record_trace=record_trace)
     if engine in ("baseline", "dec", "wam"):
         return _run_baseline(name)
-    raise ValueError(f"unknown engine {engine!r}; expected 'psi' or "
-                     f"'baseline'")
+    raise ValueError(f"unknown engine {engine!r}; expected 'psi', "
+                     f"'psi-indexed' or 'baseline'")
+
+
+def run_psi_indexed(name: str, record_trace: bool = False) -> CollectedRun:
+    """Run a workload on the PSI model with clause indexing enabled.
+
+    The three-tier run cache is keyed on the *default*
+    :class:`~repro.core.machine.MachineConfig`, so indexed runs bypass
+    it entirely (they would otherwise collide with faithful entries) —
+    only a per-process memo keyed by workload name is kept.  A
+    ``record_trace=True`` request always executes fresh: indexed traces
+    are one-off debugging artifacts, not cacheable table inputs.
+    """
+    cached = _INDEXED_CACHE.get(name)
+    if cached is not None and not record_trace:
+        return cached
+    from repro.core.machine import MachineConfig
+
+    workload = get(name)
+    run = collect(workload.source, workload.goal,
+                  all_solutions=workload.all_solutions,
+                  record_trace=record_trace,
+                  machine_config=MachineConfig(indexed=True),
+                  setup_goals=workload.setup_goals)
+    _check_expected(name, "psi-indexed", workload, run.answers, run.counters)
+    if not record_trace:
+        _INDEXED_CACHE[name] = run
+    return run
 
 
 def run_baseline(name: str) -> BaselineRun:
@@ -340,6 +373,7 @@ def clear_cache(disk: bool = False) -> None:
     """Drop the per-process tiers; with ``disk=True`` purge ``.psi-cache`` too."""
     _PSI_CACHE.clear()
     _BASELINE_CACHE.clear()
+    _INDEXED_CACHE.clear()
     CACHE_EVENTS.clear()
     if disk:
         RunCache().clear()

@@ -60,6 +60,10 @@ class CollectedRun:
     #: mode uses to pinpoint where a diverging answer was emitted.
     #: Empty when no trace/cache feed recorded the run.
     answer_marks: tuple[int, ...] = ()
+    #: Clause-selection counters (``index_hits`` / ``index_misses`` /
+    #: ``choicepoints_avoided``) from the machine's first-argument
+    #: index.  All zero on a faithful (non-``indexed``) run.
+    index_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def steps(self) -> int:
@@ -100,6 +104,7 @@ class CollectedRun:
             answers=self.answers,
             counters=self.counters,
             answer_marks=self.answer_marks,
+            index_stats=dict(self.index_stats),
         )
 
 
@@ -145,6 +150,8 @@ class RunSummary:
     counters: dict[str, int] = field(default_factory=dict)
     #: Per-answer microstep marks (see :attr:`CollectedRun.answer_marks`).
     answer_marks: tuple[int, ...] = ()
+    #: Clause-selection counters (see :attr:`CollectedRun.index_stats`).
+    index_stats: dict[str, int] = field(default_factory=dict)
     #: Observability metrics snapshot (plain dict) when the producing
     #: process ran with obs enabled.  Set only on summaries shipped
     #: from ``run_many`` workers to the parent — :meth:`to_summary`
@@ -163,7 +170,8 @@ class RunSummary:
         return CollectedRun(self.goal, self.succeeded, self.solutions,
                             self.stats, trace, cache, machine=None,
                             answers=self.answers, counters=self.counters,
-                            answer_marks=self.answer_marks)
+                            answer_marks=self.answer_marks,
+                            index_stats=dict(self.index_stats))
 
 
 def _totals_from_stats(stats: StatsCollector) -> tuple[list, list]:
@@ -290,9 +298,16 @@ def collect(program: str, goal: str, *,
     observation = None
     if session is not None:
         machine.mem.observer = None
+        # Clause-selection counters live on the machine, not the
+        # collector, so they flow into the metrics registry here.
+        # Faithful runs contribute zeros (the counters never move
+        # unless ``MachineConfig.indexed`` is on).
+        for key, value in machine.index_stats.items():
+            session.metrics.counter(f"psi.index.{key}").inc(value)
         observation = session.finish(cache)
         obs.record_run(observation)
     return CollectedRun(goal, succeeded, solutions, stats, trace, cache,
                         machine, observation,
                         answers=answers, counters=dict(machine.counters),
-                        answer_marks=tuple(marks))
+                        answer_marks=tuple(marks),
+                        index_stats=dict(machine.index_stats))

@@ -1,0 +1,90 @@
+"""Baseline dynamic predicates must not re-run the compiler.
+
+``assertz`` splices the new clause body at the end of the procedure's
+code and regenerates only the (O(#clauses)) dispatch prologue;
+``retract`` patches the TRY/RETRY/TRUST chains and switch tables in
+place.  Neither path may call :func:`assemble_procedure` — a heavy
+assert/retract loop used to pay a full recompilation per retraction.
+"""
+
+import pytest
+
+import repro.baseline.machine as baseline_machine
+from repro.baseline import WAMMachine
+
+
+@pytest.fixture
+def machine():
+    m = WAMMachine()
+    m.consult("seed(s0). seed(s1).")
+    return m
+
+
+def solutions(machine, goal):
+    return [s.bindings for s in machine.solve(goal).all()]
+
+
+def test_assert_retract_loop_never_reassembles(machine, monkeypatch):
+    # The predicate exists (assembled once at consult time) before the
+    # dynamic loop starts — from then on the compiler must stay cold.
+    machine.consult("ev(init, -1).")
+    calls = []
+    real = baseline_machine.assemble_procedure
+
+    def counting(proc):
+        calls.append(proc.functor)
+        return real(proc)
+
+    monkeypatch.setattr(baseline_machine, "assemble_procedure", counting)
+    # 60 asserts then 60 retracts on one predicate: zero reassemblies
+    # of it (each goal still assembles its own one-shot $query_N proc).
+    for i in range(60):
+        assert machine.run(f"assertz(ev(k{i % 7}, {i}))") is not None
+    for i in range(60):
+        assert machine.run(f"retract(ev(k{i % 7}, {i}))") is not None
+    assert [name for name in calls if not name.startswith("$query")] == []
+    assert [s["V"] for s in solutions(machine, "ev(K, V)")] == [-1]
+
+
+def test_asserted_clauses_dispatch_correctly(machine):
+    machine.run("assertz(route(a, 1)), assertz(route(b, 2)), "
+                "assertz(route(V, 0)), assertz(route(a, 3))")
+    assert [s["R"] for s in solutions(machine, "route(a, R)")] == [1, 0, 3]
+    assert [s["R"] for s in solutions(machine, "route(b, R)")] == [2, 0]
+    assert [s["R"] for s in solutions(machine, "route(zz, R)")] == [0]
+
+
+def test_retract_middle_clause_patches_chain(machine):
+    machine.run("assertz(c(x, 1)), assertz(c(x, 2)), assertz(c(x, 3))")
+    assert machine.run("retract(c(x, 2))") is not None
+    assert [s["R"] for s in solutions(machine, "c(x, R)")] == [1, 3]
+
+
+def test_retract_down_to_one_clause_then_zero(machine):
+    machine.run("assertz(d(p, 1)), assertz(d(q, 2))")
+    assert machine.run("retract(d(p, 1))") is not None
+    # One clause left: the patched chain degenerates to a jump.
+    assert [s["R"] for s in solutions(machine, "d(q, R)")] == [2]
+    assert solutions(machine, "d(p, R)") == []
+    assert machine.run("retract(d(q, 2))") is not None
+    # Zero clauses left: the entry now fails outright...
+    assert solutions(machine, "d(W, R)") == []
+    # ...and a later assert brings the predicate back to life.
+    assert machine.run("assertz(d(r, 9))") is not None
+    assert [s["R"] for s in solutions(machine, "d(r, R)")] == [9]
+
+
+def test_retract_during_enumeration_keeps_remaining_answers(machine):
+    # Open a choicepoint over e/2, retract an *untried* clause from
+    # inside the enumeration: the live chain addresses must stay valid
+    # because patching rewrites instructions in place, never moves them.
+    machine.run("assertz(e(k, 1)), assertz(e(k, 2)), assertz(e(k, 3))")
+    machine.consult("""
+        sweep(R) :- e(k, R), tick(R).
+        tick(1) :- retract(e(k, 2)), !.
+        tick(R) :- R \\== 1.
+    """)
+    values = [s["R"] for s in solutions(machine, "sweep(R)")]
+    # DEC-10/WAM immediate-update semantics: clause 2 was retracted
+    # before the enumeration reached it, 1 and 3 survive.
+    assert values == [1, 3]

@@ -1,0 +1,115 @@
+"""PSI clause-indexed configuration: counters, incremental dynamic-DB
+maintenance, and answer equivalence with the faithful configuration.
+
+The faithful emission stream is pinned bit-for-bit by the golden
+digests in ``tests/core/test_stream_equivalence.py``; these tests cover
+the *other* half of the bargain — that ``MachineConfig(indexed=True)``
+actually narrows the scan (counters move, choicepoints disappear) while
+answers stay identical, and that assert/retract patch the live
+:class:`~repro.engine.index.ClauseIndex` in place instead of rebuilding
+it.
+"""
+
+from repro.core import PSIMachine
+from repro.core.machine import MachineConfig
+from repro.engine.index import ClauseIndex
+
+BACKTRACKY = """
+color(red). color(green). color(blue).
+pick(red, warm).
+pick(green, cool).
+pick(blue, cool).
+pair(C, T) :- color(C), pick(C, T).
+"""
+
+
+def indexed_machine(source: str) -> PSIMachine:
+    machine = PSIMachine(config=MachineConfig(indexed=True))
+    machine.consult(source)
+    return machine
+
+
+def all_bindings(machine, goal):
+    return [s.bindings for s in machine.solve(goal).all()]
+
+
+class TestCounters:
+    def test_faithful_run_never_moves_the_counters(self):
+        machine = PSIMachine()
+        machine.consult(BACKTRACKY)
+        assert all_bindings(machine, "pair(C, T)")
+        assert machine.index_stats == {"index_hits": 0, "index_misses": 0,
+                                       "choicepoints_avoided": 0}
+
+    def test_indexed_run_hits_and_avoids_choicepoints(self):
+        machine = indexed_machine(BACKTRACKY)
+        # pick(green, T): the "green" bucket holds exactly one clause,
+        # so dispatch is an index hit AND an avoided choicepoint.
+        assert all_bindings(machine, "pick(green, T)")
+        stats = machine.index_stats
+        assert stats["index_hits"] >= 1
+        assert stats["choicepoints_avoided"] >= 1
+
+    def test_unbound_first_argument_counts_a_miss(self):
+        machine = indexed_machine(BACKTRACKY)
+        assert all_bindings(machine, "pick(C, cool)")
+        assert machine.index_stats["index_misses"] >= 1
+
+    def test_empty_selection_fails_without_choicepoint(self):
+        machine = indexed_machine(BACKTRACKY)
+        assert all_bindings(machine, "pick(magenta, T)") == []
+        # No clause has a "magenta" bucket and none is var-headed: the
+        # call fails straight from the index, no choicepoint, no trial.
+        assert machine.index_stats["choicepoints_avoided"] >= 1
+
+    def test_indexed_answers_match_faithful(self):
+        faithful = PSIMachine()
+        faithful.consult(BACKTRACKY)
+        indexed = indexed_machine(BACKTRACKY)
+        for goal in ("pair(C, T)", "pick(C, cool)", "pick(red, T)"):
+            assert all_bindings(faithful, goal) == \
+                all_bindings(indexed, goal)
+
+
+class TestIncrementalMaintenance:
+    def test_first_indexed_call_builds_the_index(self):
+        machine = indexed_machine("p(a, 1). p(b, 2). p(c, 3).")
+        proc = machine.program.procedure("p", 2)
+        assert proc.clause_index is None
+        assert all_bindings(machine, "p(b, R)")
+        assert isinstance(proc.clause_index, ClauseIndex)
+        assert len(proc.clause_index) == len(proc.clauses) == 3
+
+    def test_assert_extends_the_live_index_in_place(self):
+        machine = indexed_machine("p(a, 1). p(b, 2). p(c, 3).")
+        assert all_bindings(machine, "p(b, R)")
+        proc = machine.program.procedure("p", 2)
+        index = proc.clause_index
+        machine.run("assertz(p(d, 4))")
+        # Same object — extended, not rebuilt — and position-aligned.
+        assert proc.clause_index is index
+        assert len(index) == len(proc.clauses) == 4
+        assert [b["R"] for b in all_bindings(machine, "p(d, R)")] == [4]
+
+    def test_retract_patches_the_live_index_in_place(self):
+        machine = indexed_machine("p(a, 1). p(b, 2). p(b, 3). p(c, 4).")
+        assert all_bindings(machine, "p(b, R)")
+        proc = machine.program.procedure("p", 2)
+        index = proc.clause_index
+        assert machine.run("retract(p(b, 2))") is not None
+        assert proc.clause_index is index
+        assert len(index) == len(proc.clauses) == 3
+        assert [b["R"] for b in all_bindings(machine, "p(b, R)")] == [3]
+        assert [b["R"] for b in all_bindings(machine, "p(a, R)")] == [1]
+
+    def test_backtracking_survives_renumbering_retract(self):
+        # A choicepoint snapshots its candidate *clause objects*; a
+        # retract between solutions renumbers ids but must not derail
+        # the already-open enumeration (logical-update view).
+        machine = indexed_machine(
+            "q(k, 1). q(k, 2). q(k, 3).\n"
+            "probe(R) :- q(k, R), maybe_cut(R).\n"
+            "maybe_cut(2) :- retract(q(k, 1)), !.\n"
+            "maybe_cut(R) :- R \\== 2.")
+        values = [b["R"] for b in all_bindings(machine, "probe(R)")]
+        assert values == [1, 2, 3]

@@ -9,6 +9,7 @@ from repro.engine.crosscheck import (
     WorkloadCheck,
     crosscheck,
     crosscheck_workload,
+    crosscheck_workload_indexed,
 )
 from repro.workloads import all_workloads, shared_workloads
 
@@ -96,6 +97,21 @@ class TestFullRegistry:
         assert {c.name for c in report.checks} == \
             {w.name for w in shared_workloads()}
         assert report.ok, report.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(all_workloads()))
+class TestIndexedRegistryEquivalence:
+    """The clause-indexed PSI configuration must reproduce the faithful
+    answer multisets (and side-effect counters) on *every* registry
+    workload — ``psi_only`` ones included, since both runs are PSI.
+    The CI crosscheck job runs the same sweep through
+    ``psi-eval crosscheck --all --indexed``."""
+
+    def test_indexed_agrees_with_faithful(self, name):
+        check = crosscheck_workload_indexed(name)
+        assert check.ok, f"{name}: {check.detail}"
+        assert check.psi_answers  # indexed answers actually captured
 
 
 class TestDivergenceReproRecipe:

@@ -1,0 +1,152 @@
+"""Property tests for the backend-neutral clause-selection analysis.
+
+The load-bearing invariant is the supersequence guarantee: ``select``
+must return a source-ordered subsequence of the clause list containing
+*every* clause the call could unify with.  We check it against the
+brute-force ``reference_select`` oracle across randomized add/remove
+histories, and pin the taxonomy of ``first_arg_descriptor`` on parsed
+program text.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.index import (
+    KIND_CONST,
+    KIND_LIST,
+    KIND_STRUCT,
+    KIND_VAR,
+    ClauseIndex,
+    build_index,
+    first_arg_descriptor,
+)
+from repro.prolog.reader import parse_program
+from repro.prolog.terms import clause_parts
+
+#: Descriptor pool the randomized histories draw from: two integer
+#: constants, two atoms (nil among them), list cells, two functors
+#: (same name, different arity — they must not share a bucket), vars.
+DESCRIPTORS = [
+    (KIND_CONST, 1),
+    (KIND_CONST, 2),
+    (KIND_CONST, "a"),
+    (KIND_CONST, "[]"),
+    (KIND_LIST, None),
+    (KIND_STRUCT, ("f", 1)),
+    (KIND_STRUCT, ("f", 2)),
+    (KIND_VAR, None),
+]
+
+#: Every probe a caller could present, including keys with no bucket.
+PROBES = DESCRIPTORS + [
+    (KIND_CONST, 99),
+    (KIND_CONST, "zz"),
+    (KIND_STRUCT, ("g", 3)),
+]
+
+
+def check_against_oracle(index: ClauseIndex):
+    for kind, key in PROBES:
+        got = index.select(kind, key)
+        want = index.reference_select(kind, key)
+        assert got == want, (kind, key, got, want)
+        # Source order: strictly increasing ids within range.
+        assert all(0 <= i < len(index) for i in got)
+        assert got == sorted(set(got))
+
+
+def clause_heads(index: ClauseIndex):
+    return list(zip(index.kinds, index.keys))
+
+
+def test_static_build_matches_oracle():
+    index = build_index(DESCRIPTORS)
+    assert len(index) == len(DESCRIPTORS)
+    check_against_oracle(index)
+
+
+def test_var_probe_scans_everything():
+    index = build_index(DESCRIPTORS)
+    assert index.select(KIND_VAR, None) == list(range(len(DESCRIPTORS)))
+    assert not index.selects_exactly(KIND_VAR, None)
+    assert index.selects_exactly(KIND_CONST, 1)
+
+
+def test_var_clauses_appear_in_every_bucket():
+    # var, const, var, struct: both non-var buckets must interleave the
+    # var clauses at their source positions.
+    index = build_index([(KIND_VAR, None), (KIND_CONST, 7),
+                         (KIND_VAR, None), (KIND_STRUCT, ("f", 1))])
+    assert index.select(KIND_CONST, 7) == [0, 1, 2]
+    assert index.select(KIND_STRUCT, ("f", 1)) == [0, 2, 3]
+    # Unknown keys fall back to the var chain only.
+    assert index.select(KIND_CONST, 8) == [0, 2]
+    assert index.select(KIND_STRUCT, ("f", 9)) == [0, 2]
+
+
+def test_bucket_created_after_var_clauses_is_seeded_from_them():
+    index = ClauseIndex()
+    index.add_clause(KIND_VAR, None)
+    index.add_clause(KIND_CONST, "a")
+    # "b" bucket did not exist when the var clause arrived; creating it
+    # now must still begin with the var clause.
+    index.add_clause(KIND_CONST, "b")
+    assert index.select(KIND_CONST, "b") == [0, 2]
+    check_against_oracle(index)
+
+
+def test_remove_renumbers_down():
+    index = build_index(DESCRIPTORS)
+    heads = clause_heads(index)
+    index.remove_clause(3)          # the "[]" const clause
+    heads.pop(3)
+    assert clause_heads(index) == heads
+    check_against_oracle(index)
+    # The "[]" bucket now holds only the interleaved var clause — a
+    # probe on "[]" degenerates to the var chain.
+    assert index.select(KIND_CONST, "[]") == index.var_ids
+
+
+def test_remove_last_bucket_member_deletes_bucket():
+    index = build_index([(KIND_CONST, "a"), (KIND_CONST, "b")])
+    index.remove_clause(1)
+    assert "b" not in index.const_buckets
+    check_against_oracle(index)
+
+
+def test_randomized_add_remove_history_matches_oracle():
+    rng = random.Random(19870401)
+    for _ in range(30):
+        index = ClauseIndex()
+        model = []
+        for _ in range(60):
+            if model and rng.random() < 0.4:
+                cid = rng.randrange(len(model))
+                index.remove_clause(cid)
+                model.pop(cid)
+            else:
+                kind, key = rng.choice(DESCRIPTORS)
+                cid = index.add_clause(kind, key)
+                assert cid == len(model)
+                model.append((kind, key))
+            assert clause_heads(index) == model
+            check_against_oracle(index)
+
+
+@pytest.mark.parametrize("clause,expected", [
+    ("p(X, c).", (KIND_VAR, None)),
+    ("p(42, X).", (KIND_CONST, 42)),
+    ("p(foo).", (KIND_CONST, "foo")),
+    ("p([]).", (KIND_CONST, "[]")),
+    ("p([H|T]).", (KIND_LIST, None)),
+    ("p([1,2]).", (KIND_LIST, None)),
+    ("p(f(a, B)).", (KIND_STRUCT, ("f", 2))),
+    ("p(f(a, B)) :- q(B).", (KIND_STRUCT, ("f", 2))),
+    ("p.", (KIND_VAR, None)),        # arity 0: nothing to dispatch on
+])
+def test_first_arg_descriptor_taxonomy(clause, expected):
+    parsed = parse_program(clause)
+    assert len(parsed) == 1
+    head, _body = clause_parts(parsed[0])
+    assert first_arg_descriptor(head) == expected
