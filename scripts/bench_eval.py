@@ -12,6 +12,11 @@ Times the three layers this harness optimises and writes the results to
   serial without the disk cache (the from-scratch path), ``--jobs N``
   cold (first parallel run, populates ``.psi-cache``), and ``--jobs N``
   warm (disk cache hot — the steady state of repeated invocations).
+* **spec_cache** — cold vs warm ``psi-eval indexed --all``: both PSI
+  columns of the indexed report run through the unified run-spec path
+  (:mod:`repro.eval.specs`), so the second invocation is served from
+  the spec-fingerprinted disk cache.  The speedup is the payoff of
+  non-faithful specs being first-class cache citizens.
 * **fused vs unfused** — the same workload with the superinstruction
   dispatch (:mod:`repro.core.fusion`) enabled vs ``fused=False``.
   Verifies the modelled step count is identical both ways, records the
@@ -83,11 +88,11 @@ sys.path.insert(0, str(REPO / "src"))
 
 def bench_replay() -> dict:
     """Per-config simulate vs single-pass simulate_many, same 15 configs."""
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
     from repro.memsys import CacheConfig, WritePolicy
     from repro.tools.pmms import FIGURE1_CAPACITIES, simulate, simulate_many
 
-    run = run_psi("window-1", record_trace=True)
+    run = run_spec("window-1", "faithful", record_trace=True)
     trace = run.trace
 
     base = CacheConfig()
@@ -152,6 +157,36 @@ def bench_eval_all(jobs: int) -> dict:
         "serial_warm_s": round(serial_warm, 2),
         "speedup_jobs_warm": round(serial_cold / jobs_warm, 2),
         "speedup_serial_warm": round(serial_cold / serial_warm, 2),
+    }
+
+
+def bench_spec_cache() -> dict:
+    """Cold vs warm ``psi-eval indexed --all`` in a throwaway cache dir.
+
+    Cold executes every workload under both the faithful and indexed
+    run specs and stores each under its spec-fingerprinted key; warm
+    must be served entirely from disk (both specs), so the ratio
+    tracks how much of the indexed report's cost the spec-keyed run
+    cache absorbs.
+    """
+    with tempfile.TemporaryDirectory(prefix="psi-bench-spec-") as cache_dir:
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"),
+                   PSI_CACHE_DIR=cache_dir)
+
+        def run_once() -> float:
+            t0 = time.perf_counter()
+            subprocess.run([sys.executable, "-m", "repro.eval.cli",
+                            "indexed", "--all"],
+                           check=True, cwd=REPO, env=env,
+                           stdout=subprocess.DEVNULL)
+            return time.perf_counter() - t0
+
+        cold = run_once()
+        warm = run_once()
+    return {
+        "cold_s": round(cold, 2),
+        "warm_s": round(warm, 2),
+        "speedup": round(cold / warm, 2) if warm else 0.0,
     }
 
 
@@ -318,10 +353,10 @@ def bench_debug_replay(workload_name: str = "nreverse",
     ratio is the payoff of the checkpoint structure — it should grow
     with trace length (cold is O(n) per seek, warm is O(stride)).
     """
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
     from repro.obs.timetravel import TraceExplorer
 
-    run = run_psi(workload_name, record_trace=True)
+    run = run_spec(workload_name, "faithful", record_trace=True)
 
     t0 = time.perf_counter()
     explorer = TraceExplorer(run.trace)
@@ -507,6 +542,12 @@ def main(argv: list[str] | None = None) -> int:
                     f"(limit {args.max_regress}%) — the disabled "
                     f"observability path must stay free")
 
+        print("spec_cache stage (psi-eval indexed --all, cold vs warm)...")
+        results["spec_cache"] = bench_spec_cache()
+        sc = results["spec_cache"]
+        print(f"  cold {sc['cold_s']}s  warm {sc['warm_s']}s  "
+              f"speedup {sc['speedup']}x")
+
     # The "serve" stage is owned by scripts/load_gen.py, which merges
     # into this file; carry it over so a bench rerun doesn't clobber it.
     if previous and "serve" in previous:
@@ -525,7 +566,7 @@ def main(argv: list[str] | None = None) -> int:
             key: results[key]
             for key in ("throughput", "fused_vs_unfused",
                         "indexed_vs_faithful", "replay",
-                        "debug_replay", "obs", "eval_all")
+                        "debug_replay", "obs", "eval_all", "spec_cache")
             if key in results}})
         print(f"appended bench entry to {store.path}")
 

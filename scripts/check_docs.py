@@ -15,7 +15,10 @@ When checking the default set, a **CLI coverage** gate additionally
 requires every ``psi-eval`` subcommand (the real ``_TARGETS`` registry
 imported from ``repro.eval.cli``) to appear as ``psi-eval <command>``
 in at least one default document — a new subcommand cannot ship
-undocumented.
+undocumented.  A **run-spec coverage** gate does the same for the
+spec surface: the ``--spec``/``--specs`` flags and every built-in run
+spec name (the live :mod:`repro.eval.specs` registry) must each appear
+somewhere in the default documents.
 
 Exit status 0 when everything resolves, 1 with a report otherwise.
 
@@ -120,6 +123,33 @@ def check_cli_coverage(names: list[str]) -> list[str]:
     return problems
 
 
+def check_spec_coverage(names: list[str]) -> list[str]:
+    """The run-spec CLI surface must appear in the documents.
+
+    ``--spec`` and ``--specs`` are the configuration axis the CLI
+    exposes (``psi-eval run --spec``, ``psi-eval crosscheck --specs``);
+    they and every built-in run spec name must show up somewhere in
+    the default doc set, code fences included.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.eval.specs import spec_names
+
+    corpus = "\n".join((REPO / name).read_text() for name in names
+                       if (REPO / name).exists())
+    problems: list[str] = []
+    for flag in ("--spec", "--specs"):
+        if not re.search(rf"{re.escape(flag)}\b", corpus):
+            problems.append(
+                f"undocumented run-spec flag: {flag!r} (add a psi-eval "
+                f"example using it to one of the default documents)")
+    for name in spec_names():
+        if not re.search(rf"\b{re.escape(name)}\b", corpus):
+            problems.append(
+                f"undocumented run spec: {name!r} (mention it in the "
+                f"run-spec documentation)")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     names = (argv if argv else None) or DEFAULT_DOCS
     failures = 0
@@ -134,11 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         for problem in problems:
             print(f"{name}: {problem}")
         failures += len(problems)
-    if not argv:                 # default set: the CLI coverage gate too
-        coverage_problems = check_cli_coverage(names)
-        for problem in coverage_problems:
-            print(problem)
-        failures += len(coverage_problems)
+    if not argv:                 # default set: the coverage gates too
+        for gate in (check_cli_coverage, check_spec_coverage):
+            coverage_problems = gate(names)
+            for problem in coverage_problems:
+                print(problem)
+            failures += len(coverage_problems)
     if failures:
         print(f"\n{failures} broken reference(s)")
         return 1

@@ -9,6 +9,8 @@ from a shared, seed-shuffled queue.  The request mix mirrors what the
 service exists to serve:
 
 * ``solve`` on the PSI engine for every workload,
+* ``solve`` under the ``indexed`` run spec for every workload (the
+  spec-parameterized traffic, disk-cached under its own fingerprint),
 * ``solve`` on the baseline engine for every non-KL0-only workload
   (the crosscheck traffic), and
 * ``replay`` with a small config sweep per workload (the batchable
@@ -94,6 +96,7 @@ def build_requests(workloads: list[dict], seed: int) -> list[tuple]:
     for info in workloads:
         name = info["name"]
         requests.append(("solve", name, {"engine": "psi"}))
+        requests.append(("solve", name, {"spec": "indexed"}))
         if not info["psi_only"]:
             requests.append(("solve", name, {"engine": "baseline"}))
         requests.append(("replay", name, {"configs": [

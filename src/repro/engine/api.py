@@ -162,8 +162,17 @@ class WAMEngine:
 
 
 def create_engine(name: str) -> AbstractEngine:
-    """Instantiate a fresh engine by name (``psi``, ``psi-indexed`` or
-    ``baseline``)."""
+    """Instantiate a fresh engine by name.
+
+    Accepts the legacy engine vocabulary (``psi``, ``psi-indexed``,
+    ``baseline`` and their aliases) plus any registered run-spec name
+    (:mod:`repro.eval.specs`): a PSI-engine spec yields a
+    :class:`PSIEngine` whose machine is built from the spec's
+    configuration, a baseline-engine spec a :class:`WAMEngine`.  The
+    legacy names keep their historical ``engine.name`` values
+    (``test_api`` pins them); spec-built engines are named after the
+    spec.
+    """
     if name == "psi":
         return PSIEngine()
     if name in ("psi-indexed", "indexed"):
@@ -173,5 +182,24 @@ def create_engine(name: str) -> AbstractEngine:
         return engine
     if name in ("baseline", "dec", "wam"):
         return WAMEngine()
-    raise ValueError(f"unknown engine {name!r}; expected one of "
-                     f"{ENGINE_NAMES}")
+    # Fall through to the run-spec registry (imported lazily: eval sits
+    # above engine in the layer diagram, so the dependency must not be
+    # at module scope).
+    try:
+        from repro.eval.specs import get_spec
+        spec = get_spec(name)
+    except Exception:
+        raise ValueError(f"unknown engine {name!r}; expected one of "
+                         f"{ENGINE_NAMES} or a registered run spec") from None
+    if spec.engine == "baseline":
+        return WAMEngine()
+    import dataclasses
+
+    from repro.core.machine import PSIMachine
+
+    # Copy the config: MachineConfig is a plain mutable dataclass and
+    # the registry's instance must not be aliased by a live machine.
+    engine = PSIEngine(PSIMachine(
+        config=dataclasses.replace(spec.machine_config)))
+    engine.name = spec.name
+    return engine

@@ -20,15 +20,18 @@ crash on one engine *is* a differential finding.
 and exits non-zero on any divergence; ``--report FILE`` writes the
 machine-readable form for CI artifact upload.
 
-``--indexed`` switches the sweep to the clause-indexed PSI
-configuration (:class:`~repro.core.machine.MachineConfig` with
-``indexed=True``): every workload — including the ``psi_only`` ones,
-so the default scope widens to the *full* registry — runs under both
-PSI configurations, the indexed answers/counters are compared against
-the faithful ones, and on shared workloads additionally against the
-DEC baseline.  This is the semantic gate for the indexing
-optimisation: indexing may only ever narrow the clause *scan*, never
-the answer multiset.
+``--specs A,B`` generalizes the oracle to any registered run-spec pair
+(:mod:`repro.eval.specs`): ``psi-eval crosscheck --specs
+faithful,indexed`` validates the clause-indexed configuration against
+the faithful one (subsuming the older ``--indexed`` flag, which is
+kept as an alias), and a future ``--specs faithful,unfused`` or any
+pair involving a freshly registered spec works the same way.  When
+both specs run the PSI engine the default scope widens to the *full*
+registry (``psi_only`` workloads included) and, on shared workloads,
+the pair is additionally checked against the independent DEC baseline.
+This is the semantic gate for every optimisation spec: a configuration
+may only ever change *how* answers are found, never the answer
+multiset.
 """
 
 from __future__ import annotations
@@ -71,8 +74,12 @@ class CrosscheckReport:
     #: Workloads the interrupted sweep never reached.
     skipped: list[str] = field(default_factory=list)
     #: True when the sweep compared the clause-indexed PSI
-    #: configuration against the faithful one (``--indexed``).
+    #: configuration against the faithful one (``--indexed`` or
+    #: ``--specs faithful,indexed``).
     indexed: bool = False
+    #: The run-spec pair the sweep compared (names), e.g.
+    #: ``("faithful", "baseline")`` or ``("faithful", "indexed")``.
+    specs: tuple[str, str] | None = None
 
     @property
     def divergences(self) -> list[WorkloadCheck]:
@@ -90,6 +97,7 @@ class CrosscheckReport:
         return {
             "ok": self.ok,
             "indexed": self.indexed,
+            "specs": list(self.specs) if self.specs else None,
             "checked": len(self.checks),
             "divergences": len(self.divergences),
             "divergent": self.divergent_names,
@@ -99,9 +107,14 @@ class CrosscheckReport:
         }
 
     def render(self) -> str:
-        header = ("differential crosscheck: indexed PSI vs faithful PSI "
-                  "(and DEC baseline)" if self.indexed
-                  else "differential crosscheck: PSI vs DEC baseline")
+        if self.indexed:
+            header = ("differential crosscheck: indexed PSI vs faithful PSI "
+                      "(and DEC baseline)")
+        elif self.specs and set(self.specs) != {"faithful", "baseline"}:
+            header = (f"differential crosscheck: {self.specs[0]} vs "
+                      f"{self.specs[1]} run specs")
+        else:
+            header = "differential crosscheck: PSI vs DEC baseline"
         lines = [header, ""]
         width = max((len(c.name) for c in self.checks), default=4)
         for check in self.checks:
@@ -231,13 +244,66 @@ def crosscheck_workload_indexed(name: str) -> WorkloadCheck:
                          baseline_answers=faithful.answers)
 
 
-def crosscheck(names=None, indexed: bool = False) -> CrosscheckReport:
+def crosscheck_workload_specs(name: str, spec_a, spec_b) -> WorkloadCheck:
+    """Run one workload under two run specs and compare canonical results.
+
+    When both specs run the PSI engine and the workload is shared, the
+    first spec's results are additionally compared against the DEC
+    baseline — an independent implementation is a stronger oracle than
+    two configurations of one machine.  ``psi_answers`` carries the
+    first spec's answers, ``baseline_answers`` the second's (same
+    report plumbing as the fixed checkers, different oracle).
+    """
+    from repro.eval.runner import run_spec
+    from repro.eval.specs import get_spec
+    from repro.workloads import get
+
+    spec_a, spec_b = get_spec(spec_a), get_spec(spec_b)
+    try:
+        first = run_spec(name, spec_a, record_trace=False)
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"{spec_a.name} run failed: {exc}")
+    try:
+        second = run_spec(name, spec_b, record_trace=False)
+    except Exception as exc:
+        return WorkloadCheck(name, ok=False,
+                             detail=f"{spec_b.name} run failed: {exc}")
+
+    detail = _diff_answers(first.answers, second.answers,
+                           psi_label=spec_a.name, other_label=spec_b.name)
+    if not detail:
+        detail = _diff_counters(first.counters, second.counters,
+                                psi_label=spec_a.name,
+                                other_label=spec_b.name)
+    if (not detail and spec_a.engine == "psi" and spec_b.engine == "psi"
+            and not get(name).psi_only):
+        try:
+            baseline = run_spec(name, "baseline")
+        except Exception as exc:
+            return WorkloadCheck(name, ok=False,
+                                 detail=f"baseline run failed: {exc}")
+        detail = _diff_answers(first.answers, baseline.answers,
+                               psi_label=spec_a.name)
+        if not detail:
+            detail = _diff_counters(first.counters, baseline.counters,
+                                    psi_label=spec_a.name)
+    return WorkloadCheck(name, ok=not detail, detail=detail,
+                         psi_answers=first.answers,
+                         baseline_answers=second.answers)
+
+
+def crosscheck(names=None, indexed: bool = False,
+               specs=None) -> CrosscheckReport:
     """Crosscheck ``names`` (default: every shared workload).
 
-    With ``indexed=True`` the sweep validates the clause-indexed PSI
-    configuration against the faithful one instead (default scope: the
-    *full* registry, ``psi_only`` workloads included, since no baseline
-    is required for that comparison).
+    ``specs`` names any registered run-spec pair to compare (``("faithful",
+    "indexed")``, ``("faithful", "unfused")``, …); when both specs run
+    the PSI engine the default scope is the *full* registry
+    (``psi_only`` workloads included) and the pair is additionally
+    checked against the DEC baseline on shared workloads.
+    ``indexed=True`` is the legacy spelling of ``specs=("indexed",
+    "faithful")``.
 
     A ``KeyboardInterrupt`` mid-sweep does not discard the verdicts
     already gathered: the partial report comes back flagged
@@ -247,12 +313,32 @@ def crosscheck(names=None, indexed: bool = False) -> CrosscheckReport:
     """
     from repro.workloads import all_workloads, shared_workloads
 
-    if names is None:
-        names = (sorted(all_workloads()) if indexed
-                 else [w.name for w in shared_workloads()])
+    if specs is not None:
+        from repro.eval.specs import get_spec
+
+        spec_a, spec_b = (get_spec(spec) for spec in specs)
+        psi_pair = spec_a.engine == "psi" and spec_b.engine == "psi"
+        if names is None:
+            names = (sorted(all_workloads()) if psi_pair
+                     else [w.name for w in shared_workloads()])
+
+        def check_one(name):
+            return crosscheck_workload_specs(name, spec_a, spec_b)
+
+        report = CrosscheckReport(
+            indexed={spec_a.name, spec_b.name} == {"faithful", "indexed"},
+            specs=(spec_a.name, spec_b.name))
+    else:
+        if names is None:
+            names = (sorted(all_workloads()) if indexed
+                     else [w.name for w in shared_workloads()])
+        check_one = (crosscheck_workload_indexed if indexed
+                     else crosscheck_workload)
+        report = CrosscheckReport(
+            indexed=indexed,
+            specs=(("indexed", "faithful") if indexed
+                   else ("faithful", "baseline")))
     names = list(names)
-    check_one = crosscheck_workload_indexed if indexed else crosscheck_workload
-    report = CrosscheckReport(indexed=indexed)
     for index, name in enumerate(names):
         try:
             report.checks.append(check_one(name))

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 from repro.tools.pmms import (
     ComparisonResult,
     compare_associativity,
@@ -34,14 +34,14 @@ def generate() -> AblationResults:
     associativity = {}
     policy = None
     for paper_name, workload in ASSOCIATIVITY_PROGRAMS.items():
-        run = run_psi(workload, record_trace=True)
+        run = run_spec(workload, record_trace=True)
         # Pass the recorder itself: simulate_many's packed fast path
         # replays the raw int entries without rebuilding cmd objects.
         associativity[paper_name] = compare_associativity(run.trace, run.steps)
         if workload == POLICY_PROGRAM:
             policy = compare_write_policy(run.trace, run.steps)
     if policy is None:
-        run = run_psi(POLICY_PROGRAM, record_trace=True)
+        run = run_spec(POLICY_PROGRAM, record_trace=True)
         policy = compare_write_policy(run.trace, run.steps)
     return AblationResults(associativity, policy)
 

@@ -29,11 +29,16 @@ Usage::
                                      # engines, fail on answer divergence
     psi-eval crosscheck nreverse qsort
     psi-eval crosscheck --all --report crosscheck-report.json
-    psi-eval crosscheck --all --indexed  # indexed PSI vs faithful PSI
-                                     # (full registry, incl. psi_only)
+    psi-eval crosscheck --specs faithful,indexed --all
+                                     # any registered run-spec pair
+                                     # (--indexed is the legacy alias)
     psi-eval indexed                 # faithful vs indexed PSI, per
                                      # workload: steps, speedup, counters
+    psi-eval indexed --all --jobs 4  # full registry, both specs
+                                     # pre-warmed on 4 processes
     psi-eval indexed bup-2 queens-all
+    psi-eval run bup-2 --spec indexed    # any target under another
+                                     # registered run spec
     psi-eval debug nreverse          # time-travel HTML explorer
                                      # (psi-debug-nreverse.html)
     psi-eval debug nreverse --out explorer.html
@@ -47,9 +52,13 @@ Usage::
     psi-eval serve --port 0                  # ephemeral port (printed on start)
 
 Workload runs are cached persistently under ``.psi-cache/`` (keyed by
-workload content + simulator code version), so repeated invocations
-skip re-interpretation.  ``--jobs N`` executes independent workloads on
+workload content + run-spec fingerprint + simulator code version), so
+repeated invocations skip re-interpretation — for every spec, faithful
+and indexed alike.  ``--jobs N`` executes independent workloads on
 ``N`` processes; outputs are byte-identical to the serial path.
+``--spec NAME`` sets the run spec (:mod:`repro.eval.specs`) the
+spec-agnostic targets execute under; ``fidelity`` refuses to score any
+spec but ``faithful``.
 
 ``profile`` always executes its workload fresh (observability data is
 derived from execution and never cached); see ``docs/OBSERVABILITY.md``
@@ -75,14 +84,19 @@ from repro.eval import (
 
 def _run_workload(args) -> str:
     from repro.core.micro import CacheCmd
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
+    from repro.eval.specs import default_spec
     from repro.tools.map import module_analysis, routine_histogram
     _validate_workloads(args.programs, "run")
+    spec = default_spec()
     lines = []
     for name in args.programs:
-        run = run_psi(name)
+        run = run_spec(name)
         stats = run.stats
-        lines.append(f"== {name} ==")
+        # The spec tag appears only off the faithful default, keeping
+        # the historical output byte-stable.
+        lines.append(f"== {name} ==" if spec.name == "faithful"
+                     else f"== {name} [spec {spec.name}] ==")
         lines.append(f"steps {run.steps}, inferences {stats.inferences}, "
                      f"time {run.time_ms:.2f} ms, "
                      f"{run.lips / 1000:.1f} KLIPS")
@@ -96,6 +110,21 @@ def _run_workload(args) -> str:
             f"{name_}({steps})" for _, name_, steps in
             routine_histogram(stats, top=5)))
     return "\n".join(lines)
+
+
+def _parse_spec_pair(value: str) -> tuple[str, str]:
+    """Split and validate a ``--specs A,B`` operand."""
+    parts = [part.strip() for part in value.split(",") if part.strip()]
+    if len(parts) != 2:
+        raise SystemExit(f"--specs expects exactly two comma-separated run "
+                         f"spec names (got {value!r})")
+    from repro.eval.specs import get_spec
+    for part in parts:
+        try:
+            get_spec(part)
+        except ValueError as exc:
+            raise SystemExit(f"psi-eval: {exc}")
+    return parts[0], parts[1]
 
 
 def _validate_workloads(names, command: str) -> None:
@@ -131,14 +160,17 @@ def _profile_workload(args) -> str:
     :mod:`repro.obs.seqmine`), prints them, and stores them in the
     ``.profile.json`` snapshot.
     """
+    import dataclasses
     import pathlib
 
     from repro import obs
+    from repro.eval.specs import default_spec
     from repro.obs import diffprof, seqmine
     from repro.tools.collect import collect
     from repro.workloads import get
 
     _validate_workloads(args.programs, "profile")
+    spec = default_spec()
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     lines = []
@@ -148,6 +180,10 @@ def _profile_workload(args) -> str:
             run = collect(workload.source, workload.goal,
                           all_solutions=workload.all_solutions,
                           record_trace=False,
+                          with_cache=spec.with_cache,
+                          cache_config=dataclasses.replace(spec.cache_config),
+                          machine_config=dataclasses.replace(
+                              spec.machine_config),
                           setup_goals=workload.setup_goals)
         observation = run.observation
         sequences = (seqmine.mine_workload(name, top=args.sequences)
@@ -164,7 +200,8 @@ def _profile_workload(args) -> str:
             observation.write_collapsed(fp, root=name)
         diffprof.write_snapshot(snapshot_path, name, observation,
                                 sequences=sequences)
-        lines.append(f"== {name} ==")
+        lines.append(f"== {name} ==" if spec.name == "faithful"
+                     else f"== {name} [spec {spec.name}] ==")
         lines.append(f"{observation.total_steps} microsteps, "
                      f"{len(observation.tracer)} trace events")
         lines.append(observation.top_table(args.top))
@@ -190,9 +227,16 @@ def _cache_admin(args) -> str:
     if action == "info":
         entries = cache.entries()
         size = cache.size_bytes()
-        return (f"run cache at {cache.root}: {len(entries)} entr"
-                f"{'y' if len(entries) == 1 else 'ies'}, "
-                f"{size / 1e6:.1f} MB")
+        lines = [f"run cache at {cache.root}: {len(entries)} entr"
+                 f"{'y' if len(entries) == 1 else 'ies'}, "
+                 f"{size / 1e6:.1f} MB"]
+        by_spec = cache.info_by_spec()
+        for label in sorted(by_spec):
+            group = by_spec[label]
+            lines.append(f"  {label:<14} {group['entries']:>4} entr"
+                         f"{'y' if group['entries'] == 1 else 'ies'}, "
+                         f"{group['bytes'] / 1e6:.1f} MB")
+        return "\n".join(lines)
     raise SystemExit(f"unknown cache action {action!r} (use: clear, info)")
 
 
@@ -211,8 +255,15 @@ def _fidelity(args):
     """
     import json
 
+    from repro.eval import specs
     from repro.obs import fidelity
 
+    # Fidelity scores paper drift; the numbers are only meaningful for
+    # the configuration the paper describes.
+    try:
+        specs.assert_faithful("psi-eval fidelity")
+    except RuntimeError as exc:
+        raise SystemExit(str(exc))
     report = fidelity.collect(tables=_selected_tables(args),
                               threshold=args.max_drift
                               if args.max_drift is not None
@@ -318,10 +369,12 @@ def _crosscheck(args):
     no workload names) sweeps every shared (non-``psi_only``) workload;
     ``--report FILE`` additionally writes the machine-readable JSON
     report (the CI job uploads it as the mismatch artifact).
-    ``--indexed`` validates the clause-indexed PSI configuration
-    against the faithful one instead (and, on shared workloads, against
-    the baseline); its default sweep is the full registry, ``psi_only``
-    workloads included.
+    ``--specs A,B`` compares any registered run-spec pair —
+    ``--specs faithful,indexed`` is the semantic gate for the indexing
+    optimisation (and what ``--indexed`` now aliases); when both specs
+    run the PSI engine the default sweep is the full registry,
+    ``psi_only`` workloads included, with the DEC baseline as an extra
+    oracle on shared workloads.
     """
     import json
     import pathlib
@@ -329,18 +382,27 @@ def _crosscheck(args):
     from repro.engine.crosscheck import crosscheck
     from repro.workloads import get
 
+    spec_pair = _parse_spec_pair(args.specs) if args.specs else None
+    if spec_pair and args.indexed:
+        raise SystemExit("psi-eval crosscheck: --indexed is an alias for "
+                         "--specs faithful,indexed; pass one or the other")
+    psi_pair = args.indexed
+    if spec_pair:
+        from repro.eval.specs import get_spec
+        psi_pair = all(get_spec(s).engine == "psi" for s in spec_pair)
     names = None if (args.all or not args.programs) else args.programs
     if names:
         _validate_workloads(names, "crosscheck")
-        if not args.indexed:
+        if not psi_pair:
             psi_only = [name for name in names if get(name).psi_only]
             if psi_only:
                 raise SystemExit(
                     f"cannot crosscheck psi_only workload(s): "
                     f"{', '.join(psi_only)} (KL0-only builtins have no "
-                    "baseline implementation; use --indexed to compare "
-                    "the two PSI configurations instead)")
-    report = crosscheck(names, indexed=args.indexed)
+                    "baseline implementation; use --specs with two PSI "
+                    "specs, e.g. faithful,indexed, to compare PSI "
+                    "configurations instead)")
+    report = crosscheck(names, indexed=args.indexed, specs=spec_pair)
     if args.report:
         path = pathlib.Path(args.report)
         path.write_text(json.dumps(report.to_dict(), indent=2,
@@ -352,23 +414,26 @@ def _crosscheck(args):
 def _indexed_report(args):
     """``psi-eval indexed``: faithful vs clause-indexed PSI, side by side.
 
-    Runs every named workload (default: the full registry) under both
-    PSI configurations and prints per-workload microsteps, modelled
-    time, step/time speedups and the clause-selection counters (index
-    hits/misses, choicepoints avoided), plus the geomean speedup over
-    all rows and over the backtracking-heavy subset the perf gate
-    tracks.  Answer multisets are compared on every row; exits 1 on
-    any divergence.  ``--report FILE`` writes the JSON form.
+    Runs every named workload (``--all`` or no names: the full
+    registry) under both PSI run specs and prints per-workload
+    microsteps, modelled time, step/time speedups and the
+    clause-selection counters (index hits/misses, choicepoints
+    avoided), plus the geomean speedup over all rows and over the
+    backtracking-heavy subset the perf gate tracks.  Both specs go
+    through the spec-keyed disk cache, so a second invocation executes
+    nothing; ``--jobs N`` pre-warms cold entries on N processes.
+    Answer multisets are compared on every row; exits 1 on any
+    divergence.  ``--report FILE`` writes the JSON form.
     """
     import json
     import pathlib
 
     from repro.eval import indexed
 
-    names = args.programs or None
+    names = None if (args.all or not args.programs) else args.programs
     if names:
         _validate_workloads(names, "indexed")
-    report = indexed.generate(names)
+    report = indexed.generate(names, jobs=args.jobs)
     if args.report:
         path = pathlib.Path(args.report)
         path.write_text(json.dumps(report.to_dict(), indent=2,
@@ -404,8 +469,8 @@ def _debug_workload(args):
     import pathlib
     import time
 
-    from repro.eval import debughtml
-    from repro.eval.runner import run_psi, run_psi_indexed
+    from repro.eval import debughtml, specs
+    from repro.eval.runner import run_spec
     from repro.obs.timetravel import TraceExplorer, diff_workload
 
     _validate_workloads(args.programs, "debug")
@@ -413,6 +478,16 @@ def _debug_workload(args):
         raise SystemExit("psi-eval debug: --indexed and --diff are "
                          "mutually exclusive (the differential replay "
                          "is defined against the faithful configuration)")
+    if args.diff:
+        # Same reasoning as the flag exclusion above: a --spec override
+        # must not silently fall back to faithful replays.
+        specs.assert_faithful("psi-eval debug --diff")
+    debug_spec = specs.get_spec("indexed") if args.indexed \
+        else specs.default_spec()
+    if debug_spec.engine != "psi":
+        raise SystemExit(f"psi-eval debug: spec {debug_spec.name!r} runs "
+                         "the baseline engine, which records no memory "
+                         "trace to explore")
     generated = time.strftime("%Y-%m-%dT%H:%M:%S")
     # --out doubles as the profile artifact directory ("psi-obs", the
     # parser default); for debug an untouched default means per-name
@@ -445,8 +520,7 @@ def _debug_workload(args):
             lines.append(f"wrote {out} ({len(html)} bytes)")
             status = max(status, 1 if divergence is not None else 0)
             continue
-        run = (run_psi_indexed(name, record_trace=True) if args.indexed
-               else run_psi(name, record_trace=True))
+        run = run_spec(name, debug_spec, record_trace=True)
         explorer = TraceExplorer(run.trace, stride=args.stride)
         if args.step is not None:
             if not 0 <= args.step <= explorer.n_steps:
@@ -609,15 +683,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="'history show': only the newest N entries")
     parser.add_argument("--all", action="store_true",
                         help="'crosscheck': sweep every shared "
-                             "(non-psi_only) workload")
+                             "(non-psi_only) workload; 'indexed': sweep "
+                             "the full registry (the default when no "
+                             "names are given)")
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="'crosscheck'/'indexed': also write the JSON "
                              "report to FILE")
     parser.add_argument("--indexed", action="store_true",
-                        help="'crosscheck': validate the clause-indexed "
-                             "PSI configuration against the faithful one "
-                             "(full registry by default); 'debug': replay "
-                             "the workload under the indexed configuration")
+                        help="'crosscheck': alias for --specs "
+                             "faithful,indexed; 'debug': replay "
+                             "the workload under the indexed run spec")
+    parser.add_argument("--spec", default=None, metavar="NAME",
+                        help="run spec the spec-agnostic targets execute "
+                             "under (faithful, indexed, unfused, baseline, "
+                             "or any registered spec; default: faithful). "
+                             "'fidelity' refuses any spec but faithful")
+    parser.add_argument("--specs", default=None, metavar="A,B",
+                        help="'crosscheck': compare this run-spec pair "
+                             "(e.g. faithful,indexed) instead of PSI vs "
+                             "the DEC baseline")
     parser.add_argument("--step", type=int, default=None, metavar="N",
                         help="'debug': print the reconstructed machine "
                              "state at microstep N instead of writing "
@@ -659,6 +743,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.eval import runner
     if args.no_disk_cache:
         runner.set_disk_cache(False)
+    if args.spec:
+        from repro.eval import specs
+        try:
+            specs.set_default_spec(args.spec)
+        except ValueError as exc:
+            raise SystemExit(f"psi-eval: {exc}")
     if args.obs:
         from repro import obs
         obs.enable()

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 from repro.tools.pmms import FIGURE1_CAPACITIES, SweepPoint, capacity_sweep
 
 WORKLOAD = "window-1"
@@ -32,7 +32,7 @@ class Figure1Result:
 
 
 def generate(workload: str = WORKLOAD, capacities=FIGURE1_CAPACITIES) -> Figure1Result:
-    run = run_psi(workload, record_trace=True)
+    run = run_spec(workload, record_trace=True)
     points = capacity_sweep(run.trace, run.steps, capacities)
     return Figure1Result(points)
 

@@ -67,8 +67,14 @@ class HistoryStore:
     # -- writing ---------------------------------------------------------------
 
     def append(self, kind: str, payload: dict) -> dict:
-        """Stamp and append one entry; returns the stored object."""
+        """Stamp and append one entry; returns the stored object.
+
+        Every entry records the active run spec alongside the code
+        version, so a time series mixing faithful and optimized
+        configurations can be disentangled after the fact.
+        """
         from repro.eval.run_cache import code_version
+        from repro.eval.specs import default_spec
 
         entry = {
             "schema": SCHEMA_VERSION,
@@ -76,6 +82,7 @@ class HistoryStore:
             "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "git_sha": git_sha(),
             "code_version": code_version()[:16],
+            "spec": default_spec().name,
             **payload,
         }
         self.root.mkdir(parents=True, exist_ok=True)

@@ -13,11 +13,13 @@ microroutines — and put the two PSI configurations side by side, so
 Tables 1–5's PSI column can be re-derived as if the machine had
 indexing.
 
-Faithful numbers come from the cached :func:`repro.eval.runner.run_psi`
-path; indexed numbers from the uncached
-:func:`repro.eval.runner.run_psi_indexed` path.  Answer multisets are
-compared for every row — a speedup that changes answers is a bug, not
-a win — and the per-row clause-selection counters (index hits/misses,
+Both columns come from the same spec-parameterized
+:func:`repro.eval.runner.run_spec` path — the ``faithful`` and
+``indexed`` run specs — so both sides are memory- and disk-cached
+(``psi-eval indexed --all`` is free the second time) and ``--jobs``
+can pre-warm them in parallel.  Answer multisets are compared for
+every row — a speedup that changes answers is a bug, not a win — and
+the per-row clause-selection counters (index hits/misses,
 choicepoints avoided) are reported alongside.
 """
 
@@ -121,10 +123,10 @@ def geomean(values: list[float]) -> float:
 
 def compare_workload(name: str) -> IndexedRow:
     """Run ``name`` under both PSI configurations and diff them."""
-    from repro.eval.runner import run_psi, run_psi_indexed
+    from repro.eval.runner import run_spec
 
-    faithful = run_psi(name, record_trace=False)
-    indexed = run_psi_indexed(name)
+    faithful = run_spec(name, "faithful", record_trace=False)
+    indexed = run_spec(name, "indexed", record_trace=False)
     stats = indexed.index_stats
     return IndexedRow(
         name=name,
@@ -140,12 +142,23 @@ def compare_workload(name: str) -> IndexedRow:
     )
 
 
-def generate(names: list[str] | None = None) -> IndexedReport:
-    """Compare every workload (default: the full registry)."""
+def generate(names: list[str] | None = None,
+             jobs: int | None = None) -> IndexedReport:
+    """Compare every workload (default: the full registry).
+
+    ``jobs`` pre-warms both specs' cache tiers through
+    :func:`repro.eval.runner.run_many` before the (then-free) serial
+    comparison loop — ``psi-eval indexed --jobs N``.
+    """
     from repro.workloads import all_workloads
 
     if names is None:
         names = sorted(all_workloads())
+    if jobs and jobs > 1:
+        from repro.eval.runner import run_many
+
+        for spec in ("faithful", "indexed"):
+            run_many(names, jobs=jobs, record_trace=False, spec=spec)
     return IndexedReport(rows=[compare_workload(name) for name in names])
 
 

@@ -58,7 +58,9 @@ from repro.tools.collect import RunSummary
 logger = logging.getLogger(__name__)
 
 #: Bumped when the entry layout (header/payload format) changes.
-FORMAT_VERSION = 1
+#: Version 2: keys fold in the run-spec fingerprint and entries carry a
+#: ``spec=<name>`` header line so ``cache info`` can group per spec.
+FORMAT_VERSION = 2
 
 _MAGIC = b"psi-run-cache\n"
 
@@ -91,12 +93,19 @@ def code_version() -> str:
 
 def run_key(*, source: str, goal: str, setup_goals: tuple[str, ...],
             all_solutions: bool, machine_config: object,
-            cache_config: object) -> str:
-    """Content hash identifying one deterministic run."""
+            cache_config: object, spec_fingerprint: str = "") -> str:
+    """Content hash identifying one deterministic run.
+
+    ``spec_fingerprint`` is the :class:`~repro.eval.specs.RunSpec`
+    content hash — two specs that differ in any result-affecting field
+    get disjoint keys, while aliases of one configuration share
+    entries.  The machine/cache configs still participate directly so
+    pre-spec callers keep well-defined keys.
+    """
     digest = hashlib.sha256()
     for part in (code_version(), source, goal, repr(tuple(setup_goals)),
                  repr(bool(all_solutions)), repr(machine_config),
-                 repr(cache_config)):
+                 repr(cache_config), spec_fingerprint):
         digest.update(part.encode())
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -131,6 +140,9 @@ class RunCache:
             if stream.readline() != _MAGIC:
                 raise ValueError("bad magic")
             header_key = stream.readline().strip().decode()
+            label_line = stream.readline()
+            if not label_line.startswith(b"spec="):
+                raise ValueError("missing spec label (pre-v2 entry)")
             payload_digest = stream.readline().strip().decode()
             payload = stream.read()
             if header_key != key:
@@ -150,13 +162,21 @@ class RunCache:
             return None
         return summary
 
-    def store(self, key: str, summary: RunSummary) -> None:
-        """Persist ``summary`` under ``key`` (atomic rename)."""
+    def store(self, key: str, summary: RunSummary, *,
+              label: str = "") -> None:
+        """Persist ``summary`` under ``key`` (atomic rename).
+
+        ``label`` is the run-spec *name* (display metadata only —
+        integrity and matching ride on the key, which already folds in
+        the spec fingerprint).  It lets ``cache info`` group entries
+        per spec without unpickling payloads.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
         blob = b"".join([
             _MAGIC,
             key.encode() + b"\n",
+            b"spec=" + label.encode() + b"\n",
             hashlib.sha256(payload).hexdigest().encode() + b"\n",
             payload,
         ])
@@ -187,7 +207,8 @@ class RunCache:
             finally:
                 fcntl.flock(fp, fcntl.LOCK_UN)
 
-    def load_or_compute(self, key: str, compute, usable=None):
+    def load_or_compute(self, key: str, compute, usable=None, *,
+                        label: str = ""):
         """Return ``(summary, outcome)``, computing and storing on miss.
 
         ``outcome`` is ``"hit"`` (entry served without contention),
@@ -211,7 +232,7 @@ class RunCache:
             if summary is not None and (usable is None or usable(summary)):
                 return summary, "wait_hit"
             summary = compute()
-            self.store(key, summary)
+            self.store(key, summary, label=label)
             return summary, "computed"
 
     def clear(self) -> int:
@@ -241,3 +262,39 @@ class RunCache:
 
     def size_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.entries())
+
+    def entry_label(self, path: pathlib.Path) -> str | None:
+        """Read one entry's spec label from its header (no unpickle).
+
+        Returns the label (possibly ``""`` for entries stored outside
+        any spec) or ``None`` for unreadable/pre-v2 entries.
+        """
+        try:
+            with open(path, "rb") as fp:
+                if fp.readline() != _MAGIC:
+                    return None
+                fp.readline()            # key
+                label_line = fp.readline()
+        except OSError:
+            return None
+        if not label_line.startswith(b"spec="):
+            return None
+        return label_line[len(b"spec="):].strip().decode(errors="replace")
+
+    def info_by_spec(self) -> dict[str, dict[str, int]]:
+        """Per-spec entry counts and byte sizes for ``cache info``.
+
+        Header-only scan — cheap even with traces in the payloads.
+        Unlabelled or pre-v2 entries are grouped under ``"(unlabelled)"``.
+        """
+        groups: dict[str, dict[str, int]] = {}
+        for path in self.entries():
+            label = self.entry_label(path)
+            label = label if label else "(unlabelled)"
+            group = groups.setdefault(label, {"entries": 0, "bytes": 0})
+            group["entries"] += 1
+            try:
+                group["bytes"] += path.stat().st_size
+            except OSError:
+                pass
+        return groups

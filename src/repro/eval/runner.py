@@ -1,28 +1,42 @@
 """Shared run orchestration for the evaluation harness.
 
-Three cache tiers keep re-interpretation — minutes per practical-scale
-workload — off the hot path:
+Every run is parameterized by a :class:`~repro.eval.specs.RunSpec` —
+a named (engine, machine config, cache config, options) bundle — and
+flows through one path, :func:`run_spec`, with three cache tiers
+keeping re-interpretation (minutes per practical-scale workload) off
+the hot path:
 
 * **per-process**: Table 3, Table 4 and Table 5 analyse the same seven
-  programs; within one ``psi-eval`` invocation each executes once,
+  programs; within one ``psi-eval`` invocation each executes once per
+  spec (memo dictionaries are keyed by spec fingerprint),
 * **on disk**: collected runs persist under ``.psi-cache/`` keyed by a
-  content hash of (workload source, goal, setup goals, machine config,
-  code version), so *repeated* invocations skip interpretation too
+  content hash of (workload source, goal, setup goals, spec
+  fingerprint, code version), so *repeated* invocations skip
+  interpretation too — for every PSI spec, faithful and indexed alike
   (``--no-disk-cache`` bypasses, ``psi-eval cache clear`` purges; see
   :mod:`repro.eval.run_cache` for the integrity story),
 * **across processes**: :func:`run_many` fans independent workloads
   over a ``ProcessPoolExecutor``; workers ship back picklable
   :class:`~repro.tools.collect.RunSummary` objects that rebuild into
-  table-ready runs.
+  table-ready runs.  The spec object itself is picklable and travels
+  with the task, so unregistered ad-hoc specs parallelize too.
+
+``run_psi`` / ``run_psi_indexed`` / ``run_baseline`` survive as thin
+deprecated wrappers over :func:`run_spec`; they return the *same
+objects* the spec path does (shared memo tiers), so mixed old/new
+callers never double-execute.
 
 ``clear_cache`` exists for tests that need isolation.  ``CACHE_EVENTS``
 counts hits/misses/upgrades so callers (and tests) can observe what the
-tiers actually did.
+tiers actually did — each event is counted both bare (``disk_hit``) and
+per spec (``disk_hit:indexed``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import logging
+import warnings
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -31,14 +45,25 @@ from repro import obs
 from repro.baseline import BaselineStats, WAMMachine
 from repro.engine.answers import Answer, canonical_answer, check_expected
 from repro.eval.run_cache import RunCache, run_key
+from repro.eval.specs import RunSpec, get_spec
 from repro.tools.collect import CollectedRun, collect
 from repro.workloads import Workload, get
 
 logger = logging.getLogger(__name__)
 
+#: Per-process memo tier for the built-in ``faithful`` spec.  Kept as a
+#: named module attribute (rather than only an entry in ``_MEMO``)
+#: because tests seed it directly; it is the same dict object the spec
+#: path consults, cleared *in place* by :func:`clear_cache`.
 _PSI_CACHE: dict[str, CollectedRun] = {}
 _BASELINE_CACHE: dict[str, "BaselineRun"] = {}
-_INDEXED_CACHE: dict[str, CollectedRun] = {}
+
+#: spec fingerprint -> {workload name -> run}.  One memo dict per spec;
+#: aliases of one configuration share a fingerprint and hence a memo.
+_MEMO: dict[str, dict] = {
+    get_spec("faithful").fingerprint: _PSI_CACHE,
+    get_spec("baseline").fingerprint: _BASELINE_CACHE,
+}
 
 _DISK_CACHE_ENABLED = True
 
@@ -46,7 +71,10 @@ _DISK_CACHE_ENABLED = True
 #: "memory_hit"; every "disk_miss" is also classified as "disk_compute"
 #: (this process executed the workload inside the key lock) or
 #: "disk_wait_hit" (another process stored the entry while this one
-#: held or waited for the lock).  Reset by :func:`clear_cache`.
+#: held or waited for the lock).  Each event increments both its bare
+#: key and a ``<event>:<spec>`` key, so per-spec behaviour is
+#: observable without changing existing consumers.  Reset by
+#: :func:`clear_cache`.
 CACHE_EVENTS: Counter = Counter()
 
 
@@ -60,27 +88,57 @@ def disk_cache_enabled() -> bool:
     return _DISK_CACHE_ENABLED
 
 
-def _workload_key(workload: Workload) -> str:
-    from repro.core.machine import MachineConfig
-    from repro.memsys import CacheConfig
+def _memo(spec: RunSpec) -> dict:
+    return _MEMO.setdefault(spec.fingerprint, {})
 
+
+def _event(event: str, spec: RunSpec) -> None:
+    CACHE_EVENTS[event] += 1
+    CACHE_EVENTS[f"{event}:{spec.name}"] += 1
+
+
+def _spec_all_solutions(workload: Workload, spec: RunSpec) -> bool:
+    return (workload.all_solutions if spec.all_solutions is None
+            else spec.all_solutions)
+
+
+def _spec_run_key(workload: Workload, spec: RunSpec) -> str:
     return run_key(source=workload.source, goal=workload.goal,
                    setup_goals=workload.setup_goals,
-                   all_solutions=workload.all_solutions,
-                   machine_config=MachineConfig(),
-                   cache_config=CacheConfig())
+                   all_solutions=_spec_all_solutions(workload, spec),
+                   machine_config=spec.machine_config,
+                   cache_config=spec.cache_config,
+                   spec_fingerprint=spec.fingerprint)
 
 
-def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
-    """Run a workload on the PSI model (memory- and disk-cached).
+def _workload_key(workload: Workload) -> str:
+    """Disk key for a workload under the faithful spec (compat shim)."""
+    return _spec_run_key(workload, get_spec("faithful"))
 
-    Cache semantics (see :mod:`repro.eval.run_cache` for the format):
+
+def run_spec(name: str, spec: RunSpec | str | None = None,
+             record_trace: bool = True) -> "CollectedRun | BaselineRun":
+    """Run a workload under a run spec (memory- and disk-cached).
+
+    ``spec`` is a :class:`~repro.eval.specs.RunSpec`, a registered spec
+    name (``"faithful"``, ``"indexed"``, ``"unfused"``, ``"baseline"``,
+    or anything added via :func:`~repro.eval.specs.register_spec`), or
+    ``None`` for the process default
+    (:func:`~repro.eval.specs.default_spec`, settable with the CLI's
+    ``--spec``).  PSI specs return a :class:`CollectedRun`; the
+    baseline engine returns a :class:`BaselineRun` (memoised per
+    process, no disk tier — baseline runs are cheap and carry no
+    trace).
+
+    Cache semantics for PSI specs (see :mod:`repro.eval.run_cache` for
+    the format):
 
     * The disk key is a content hash over the workload source, goal,
-      setup goals, solution mode, machine and cache configurations,
-      and the simulator code version — editing simulator code or a
-      workload silently invalidates only the affected entries.  The
-      cache directory is ``.psi-cache/`` or ``$PSI_CACHE_DIR``.
+      setup goals, solution mode, the spec fingerprint, and the
+      simulator code version — editing simulator code, a workload, or
+      a spec's configuration silently invalidates only the affected
+      entries.  The cache directory is ``.psi-cache/`` or
+      ``$PSI_CACHE_DIR``.
     * When the disk cache is enabled the trace is always recorded on a
       real execution, so the stored variant satisfies later
       ``record_trace=True`` callers without a second run.
@@ -92,43 +150,60 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
     Observability (:mod:`repro.obs`) is orthogonal: cached runs carry
     no observation (obs artifacts are derived data and never stored);
     a fresh execution with obs enabled attaches one to the returned
-    run and merges its metrics into the process-global registry.
+    run, merges its metrics into the process-global registry, and
+    bumps the spec-labelled counter ``psi.run.spec.<name>``.
     """
-    cached = _PSI_CACHE.get(name)
+    spec = get_spec(spec)
+    if spec.engine == "baseline":
+        return _run_baseline_spec(name, spec)
+
+    memo = _memo(spec)
+    cached = memo.get(name)
     if cached is not None and (cached.trace is not None or not record_trace):
-        CACHE_EVENTS["memory_hit"] += 1
+        _event("memory_hit", spec)
         return cached
     if cached is not None:
         # A no-trace run was cached but the caller needs the memory
         # trace: the workload has to execute again.  This used to be
         # silent double work — make it visible.
-        CACHE_EVENTS["trace_upgrade"] += 1
+        _event("trace_upgrade", spec)
         logger.warning(
-            "run_psi(%r): cached run has no trace; re-running to record one "
-            "(call with record_trace=True first, or keep the disk cache "
-            "enabled, to avoid the double execution)", name)
+            "run_spec(%r, %r): cached run has no trace; re-running to record "
+            "one (call with record_trace=True first, or keep the disk cache "
+            "enabled, to avoid the double execution)", name, spec.name)
 
     workload = get(name)
+    all_solutions = _spec_all_solutions(workload, spec)
 
     def execute() -> CollectedRun:
-        # Always record the trace on a real execution: the recorder is
-        # the memory system's single-listener fast path, which the
-        # deferred cache replay keeps busy anyway, so recording costs
-        # almost nothing — and the cached run then serves every later
-        # ``record_trace=True`` caller without the trace-upgrade double
-        # execution.
+        # Always record the trace on a real execution (unless the spec
+        # opts out): the recorder is the memory system's
+        # single-listener fast path, which the deferred cache replay
+        # keeps busy anyway, so recording costs almost nothing — and
+        # the cached run then serves every later ``record_trace=True``
+        # caller without the trace-upgrade double execution.
+        # Configs are copied: MachineConfig/CacheConfig are plain
+        # mutable dataclasses, and a live machine aliasing the
+        # registry's instances would silently corrupt the spec (and
+        # its fingerprint stability).
         run = collect(workload.source, workload.goal,
-                      all_solutions=workload.all_solutions,
-                      record_trace=True,
+                      all_solutions=all_solutions,
+                      record_trace=spec.record_trace or record_trace,
+                      with_cache=spec.with_cache,
+                      cache_config=dataclasses.replace(spec.cache_config),
+                      machine_config=dataclasses.replace(spec.machine_config),
                       setup_goals=workload.setup_goals)
         if not run.succeeded:
-            raise RuntimeError(f"workload {name} failed on the PSI model")
-        _check_expected(name, "psi", workload, run.answers, run.counters)
+            raise RuntimeError(f"workload {name} failed on the PSI model "
+                               f"(spec {spec.name!r})")
+        _check_expected(name, spec.name, workload, run.answers, run.counters)
+        if obs.enabled():
+            obs.global_metrics().counter(f"psi.run.spec.{spec.name}").inc()
         return run
 
     if not _DISK_CACHE_ENABLED:
         run = execute()
-        _PSI_CACHE[name] = run
+        memo[name] = run
         return run
 
     # Disk tier, behind the per-key file lock: when several processes
@@ -146,50 +221,57 @@ def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
         return summary.trace_bytes is not None or not record_trace
 
     summary, outcome = RunCache().load_or_compute(
-        _workload_key(workload), compute, usable=usable)
+        _spec_run_key(workload, spec), compute, usable=usable,
+        label=spec.name)
     if outcome == "hit":
-        CACHE_EVENTS["disk_hit"] += 1
+        _event("disk_hit", spec)
     else:
-        CACHE_EVENTS["disk_miss"] += 1
-        CACHE_EVENTS["disk_wait_hit" if outcome == "wait_hit"
-                     else "disk_compute"] += 1
+        _event("disk_miss", spec)
+        _event("disk_wait_hit" if outcome == "wait_hit"
+               else "disk_compute", spec)
     if computed:
         run = computed[0]       # the live run (keeps the machine handle)
     else:
         run = summary.to_collected_run()
-        _check_expected(name, "psi", workload, run.answers, run.counters)
-    _PSI_CACHE[name] = run
+        _check_expected(name, spec.name, workload, run.answers, run.counters)
+    memo[name] = run
     return run
 
 
 def _collect_summary(name: str, record_trace: bool, disk_cache: bool,
-                     obs_config=None):
+                     obs_config=None, spec: RunSpec | None = None):
     """Worker-process entry point: run one workload, return its summary.
 
     ``obs_config`` is the parent's :class:`~repro.obs.ObsConfig` when
     observability is enabled there (workers are fresh processes, so the
-    flag must travel explicitly).  The worker attaches its run's metrics
-    snapshot to the shipped summary — the one obs artifact that crosses
-    the process boundary; traces and profiles stay worker-local.
+    flag must travel explicitly), and ``spec`` the parent's resolved
+    :class:`RunSpec` (shipped as a value — the worker does not need the
+    parent's registry).  The worker attaches its run's metrics snapshot
+    to the shipped summary — the one obs artifact that crosses the
+    process boundary; traces and profiles stay worker-local.
     """
     set_disk_cache(disk_cache)
     if obs_config is not None:
         obs.enable(obs_config)
-    run = run_psi(name, record_trace=record_trace)
+    run = run_spec(name, spec if spec is not None else "faithful",
+                   record_trace=record_trace)
     summary = run.to_summary()
     if run.observation is not None:
         summary.metrics = run.observation.metrics_snapshot
     return name, summary
 
 
-def run_many(names, jobs: int | None = None,
-             record_trace: bool = True) -> dict[str, CollectedRun]:
-    """Run several workloads, optionally across ``jobs`` processes.
+def run_many(names, jobs: int | None = None, record_trace: bool = True,
+             spec: RunSpec | str | None = None) -> dict[str, CollectedRun]:
+    """Run several workloads under one spec, optionally across processes.
 
-    Returns ``{name: CollectedRun}`` in first-seen input order.  Cache
-    tiers are consulted first; only workloads that actually need
-    execution are fanned out.  Results land in the per-process cache,
-    so subsequent :func:`run_psi` calls (the table generators) are free.
+    Returns ``{name: run}`` in first-seen input order.  Cache tiers are
+    consulted first; only workloads that actually need execution are
+    fanned out over ``jobs`` processes.  Results land in the spec's
+    per-process memo, so subsequent :func:`run_spec` calls (the table
+    generators) are free.  Baseline-engine specs run serially in the
+    parent — baseline execution is cheap and its runs carry no
+    summary form worth shipping.
 
     Execution order never affects results — every workload runs on a
     fresh machine — so the parallel path renders byte-identical tables
@@ -199,42 +281,54 @@ def run_many(names, jobs: int | None = None,
     serial run's (merging is commutative; runs served from a cache tier
     contribute no metrics on either path).
     """
+    spec = get_spec(spec)
     ordered = list(dict.fromkeys(names))
+    if spec.engine == "baseline":
+        return {name: run_spec(name, spec) for name in ordered}
+
+    memo = _memo(spec)
     pending = []
     for name in ordered:
-        cached = _PSI_CACHE.get(name)
+        cached = memo.get(name)
         if cached is not None and (cached.trace is not None or not record_trace):
             continue
         if _DISK_CACHE_ENABLED:
-            summary = RunCache().load(_workload_key(get(name)))
+            summary = RunCache().load(_spec_run_key(get(name), spec))
             if summary is not None and (summary.trace_bytes is not None
                                         or not record_trace):
-                CACHE_EVENTS["disk_hit"] += 1
-                _PSI_CACHE[name] = summary.to_collected_run()
+                _event("disk_hit", spec)
+                memo[name] = summary.to_collected_run()
                 continue
         pending.append(name)
 
     if pending and jobs and jobs > 1 and len(pending) > 1:
-        logger.info("run_many: executing %d workload(s) on %d processes",
-                    len(pending), jobs)
+        logger.info("run_many: executing %d workload(s) on %d processes "
+                    "(spec %s)", len(pending), jobs, spec.name)
         obs_config = obs.config() if obs.enabled() else None
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [pool.submit(_collect_summary, name, record_trace,
-                                   _DISK_CACHE_ENABLED, obs_config)
+                                   _DISK_CACHE_ENABLED, obs_config, spec)
                        for name in pending]
             for future in futures:
                 name, summary = future.result()
                 if summary.metrics is not None:
                     obs.merge_snapshot(summary.metrics)
+                    # A shipped snapshot means the worker really
+                    # executed with obs on; mirror the spec-labelled
+                    # counter the serial path bumps (the worker's
+                    # process-global registry stays worker-local).
+                    obs.global_metrics().counter(
+                        f"psi.run.spec.{spec.name}").inc()
                 run = summary.to_collected_run()
                 # Workers store their own disk entries; the parent only
                 # needs the in-process tier.
-                _PSI_CACHE[name] = run
+                memo[name] = run
     else:
         for name in pending:
-            run_psi(name, record_trace=record_trace)
+            run_spec(name, spec, record_trace=record_trace)
 
-    return {name: run_psi(name, record_trace=record_trace) for name in ordered}
+    return {name: run_spec(name, spec, record_trace=record_trace)
+            for name in ordered}
 
 
 @dataclass
@@ -284,63 +378,55 @@ def _check_expected(name: str, engine: str, workload: Workload,
 
 def run_engine(name: str, engine: str = "psi",
                record_trace: bool = True) -> CollectedRun | BaselineRun:
-    """Run a workload on either engine by name.
+    """Run a workload on any engine/spec by name.
 
-    ``engine="psi"`` returns the cached :class:`CollectedRun` (the full
-    three-tier cache path of :func:`run_psi`); ``engine="baseline"``
-    (or ``"dec"``/``"wam"``) returns a :class:`BaselineRun` cached per
-    process; ``engine="psi-indexed"`` (or ``"indexed"``) returns the
-    PSI run under the clause-indexed configuration (see
-    :func:`run_psi_indexed`).  All carry canonical answers and a
-    counter snapshot, so engine-agnostic consumers (the crosscheck
-    oracle) can compare results without knowing which machine produced
-    them.
+    ``engine`` accepts every registered spec name plus the legacy
+    engine vocabulary (``"psi"`` → ``faithful``, ``"psi-indexed"`` /
+    ``"indexed"`` → ``indexed``, ``"dec"`` / ``"wam"`` →
+    ``baseline``).  All results carry canonical answers and a counter
+    snapshot, so engine-agnostic consumers (the crosscheck oracle) can
+    compare results without knowing which machine produced them.
     """
-    if engine == "psi":
-        return run_psi(name, record_trace=record_trace)
-    if engine in ("psi-indexed", "indexed"):
-        return run_psi_indexed(name, record_trace=record_trace)
-    if engine in ("baseline", "dec", "wam"):
-        return _run_baseline(name)
-    raise ValueError(f"unknown engine {engine!r}; expected 'psi', "
-                     f"'psi-indexed' or 'baseline'")
+    return run_spec(name, get_spec(engine), record_trace=record_trace)
+
+
+def run_psi(name: str, record_trace: bool = True) -> CollectedRun:
+    """Deprecated: use ``run_spec(name, "faithful")``.
+
+    Returns the identical object the spec path would (shared memo), so
+    mixed old/new callers never re-execute.
+    """
+    warnings.warn("run_psi() is deprecated; use run_spec(name, 'faithful')",
+                  DeprecationWarning, stacklevel=2)
+    return run_spec(name, "faithful", record_trace=record_trace)
 
 
 def run_psi_indexed(name: str, record_trace: bool = False) -> CollectedRun:
-    """Run a workload on the PSI model with clause indexing enabled.
+    """Deprecated: use ``run_spec(name, "indexed")``.
 
-    The three-tier run cache is keyed on the *default*
-    :class:`~repro.core.machine.MachineConfig`, so indexed runs bypass
-    it entirely (they would otherwise collide with faithful entries) —
-    only a per-process memo keyed by workload name is kept.  A
-    ``record_trace=True`` request always executes fresh: indexed traces
-    are one-off debugging artifacts, not cacheable table inputs.
+    The historical per-process-only memo is gone: indexed runs now go
+    through the same spec-keyed disk cache as faithful ones
+    (exactly-once under ``flock``, ``run_many``-parallelizable).
     """
-    cached = _INDEXED_CACHE.get(name)
-    if cached is not None and not record_trace:
-        return cached
-    from repro.core.machine import MachineConfig
-
-    workload = get(name)
-    run = collect(workload.source, workload.goal,
-                  all_solutions=workload.all_solutions,
-                  record_trace=record_trace,
-                  machine_config=MachineConfig(indexed=True),
-                  setup_goals=workload.setup_goals)
-    _check_expected(name, "psi-indexed", workload, run.answers, run.counters)
-    if not record_trace:
-        _INDEXED_CACHE[name] = run
-    return run
+    warnings.warn(
+        "run_psi_indexed() is deprecated; use run_spec(name, 'indexed')",
+        DeprecationWarning, stacklevel=2)
+    return run_spec(name, "indexed", record_trace=record_trace)
 
 
 def run_baseline(name: str) -> BaselineRun:
-    """Run a workload on the DEC baseline (cached per process)."""
-    return run_engine(name, engine="baseline")
+    """Deprecated: use ``run_spec(name, "baseline")``."""
+    warnings.warn(
+        "run_baseline() is deprecated; use run_spec(name, 'baseline')",
+        DeprecationWarning, stacklevel=2)
+    return run_spec(name, "baseline")
 
 
-def _run_baseline(name: str) -> BaselineRun:
-    cached = _BASELINE_CACHE.get(name)
+def _run_baseline_spec(name: str, spec: RunSpec) -> BaselineRun:
+    memo = _memo(spec)
+    cached = memo.get(name)
     if cached is not None:
+        _event("memory_hit", spec)
         return cached
     workload = get(name)
     if workload.psi_only:
@@ -353,7 +439,7 @@ def _run_baseline(name: str) -> BaselineRun:
     # Fresh stats so measurement excludes setup, mirroring collect().
     machine.stats = BaselineStats()
     solver = machine.solve(workload.goal)
-    if workload.all_solutions:
+    if _spec_all_solutions(workload, spec):
         solutions = solver.all()
     else:
         first = solver.next()
@@ -364,16 +450,22 @@ def _run_baseline(name: str) -> BaselineRun:
                       answers=tuple(canonical_answer(s.bindings)
                                     for s in solutions),
                       counters=dict(machine.counters))
-    _check_expected(name, "baseline", workload, run.answers, run.counters)
-    _BASELINE_CACHE[name] = run
+    _check_expected(name, spec.name, workload, run.answers, run.counters)
+    if obs.enabled():
+        obs.global_metrics().counter(f"psi.run.spec.{spec.name}").inc()
+    memo[name] = run
     return run
 
 
 def clear_cache(disk: bool = False) -> None:
-    """Drop the per-process tiers; with ``disk=True`` purge ``.psi-cache`` too."""
-    _PSI_CACHE.clear()
-    _BASELINE_CACHE.clear()
-    _INDEXED_CACHE.clear()
+    """Drop the per-process tiers; with ``disk=True`` purge ``.psi-cache`` too.
+
+    Memo dicts are cleared *in place* so module-level aliases
+    (``_PSI_CACHE``, ``_BASELINE_CACHE``) and any test-held references
+    stay live.
+    """
+    for memo in _MEMO.values():
+        memo.clear()
     CACHE_EVENTS.clear()
     if disk:
         RunCache().clear()

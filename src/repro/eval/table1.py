@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_baseline, run_psi
+from repro.eval.runner import run_spec
 from repro.workloads import table1_workloads
 
 
@@ -48,8 +48,8 @@ def generate(workload_names: list[str] | None = None) -> list[Table1Row]:
     if workload_names is not None:
         workloads = [w for w in workloads if w.name in workload_names]
     for workload in workloads:
-        psi = run_psi(workload.name, record_trace=False)
-        dec = run_baseline(workload.name)
+        psi = run_spec(workload.name, record_trace=False)
+        dec = run_spec(workload.name, "baseline")
         psi_ms = psi.time_ms
         dec_ms = dec.time_ms
         paper_psi, paper_dec, paper_ratio = paper_data.TABLE1[workload.name]

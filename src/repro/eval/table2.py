@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.micro import Module
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 
 #: Paper's Table 2 program -> our workload name.
 PROGRAMS = {
@@ -38,7 +38,7 @@ class Table2Row:
 def generate(programs: dict[str, str] | None = None) -> list[Table2Row]:
     rows = []
     for paper_name, workload_name in (programs or PROGRAMS).items():
-        run = run_psi(workload_name, record_trace=False)
+        run = run_spec(workload_name, record_trace=False)
         stats = run.stats
         calls = stats.inferences + stats.builtin_calls
         rows.append(Table2Row(

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.micro import CacheCmd
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 
 #: Paper's Table 3/4/5 programs -> our workload names, in paper order.
 HARDWARE_PROGRAMS = {
@@ -50,7 +50,7 @@ class Table3Row:
 def generate(programs: dict[str, str] | None = None) -> list[Table3Row]:
     rows = []
     for paper_name, workload_name in (programs or HARDWARE_PROGRAMS).items():
-        run = run_psi(workload_name, record_trace=False)
+        run = run_spec(workload_name, record_trace=False)
         ratios = run.stats.cache_command_ratios()
         rows.append(Table3Row(
             program=paper_name,

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.memory import Area
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 from repro.eval.table3 import HARDWARE_PROGRAMS
 
 AREA_ORDER = [Area.HEAP, Area.GLOBAL, Area.LOCAL, Area.CONTROL, Area.TRAIL]
@@ -23,7 +23,7 @@ class Table4Row:
 def generate(programs: dict[str, str] | None = None) -> list[Table4Row]:
     rows = []
     for paper_name, workload_name in (programs or HARDWARE_PROGRAMS).items():
-        run = run_psi(workload_name, record_trace=False)
+        run = run_spec(workload_name, record_trace=False)
         ratios = run.stats.area_access_ratios()
         rows.append(Table4Row(
             program=paper_name,

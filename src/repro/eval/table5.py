@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from repro.core.memory import Area
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 from repro.eval.table3 import HARDWARE_PROGRAMS
 from repro.eval.table4 import AREA_ORDER
 from repro.memsys import CacheConfig
@@ -30,7 +30,7 @@ def generate(programs: dict[str, str] | None = None,
              config: CacheConfig | None = None) -> list[Table5Row]:
     rows = []
     for paper_name, workload_name in (programs or HARDWARE_PROGRAMS).items():
-        run = run_psi(workload_name, record_trace=True)
+        run = run_spec(workload_name, record_trace=True)
         cfg = config or CacheConfig()
         if run.cache is not None and run.cache.config == cfg:
             # The run already carries this exact configuration's stats

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.micro import WFMode
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 from repro.tools.map import wf_analysis
 
 WORKLOAD = "bup-eval"
@@ -25,7 +25,7 @@ class Table6Result:
 
 
 def generate(workload: str = WORKLOAD) -> Table6Result:
-    run = run_psi(workload, record_trace=False)
+    run = run_spec(workload, record_trace=False)
     stats = run.stats
     table = stats.wf_table()
     counts = stats.wf_field_counts()

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.micro import BRANCH_TYPE, BranchOp, NO_OPERATION_OPS
 from repro.eval import paper_data
 from repro.eval.report import format_table
-from repro.eval.runner import run_psi
+from repro.eval.runner import run_spec
 
 PROGRAMS = {"bup": "bup-eval", "window": "window-1", "puzzle8": "puzzle8"}
 
@@ -33,7 +33,7 @@ def generate(programs: dict[str, str] | None = None) -> Table7Result:
     ratios = {}
     rates = {}
     for paper_name, workload in (programs or PROGRAMS).items():
-        run = run_psi(workload, record_trace=False)
+        run = run_spec(workload, record_trace=False)
         ratios[paper_name] = run.stats.branch_ratios()
         rates[paper_name] = run.stats.branch_operation_rate()
     return Table7Result(ratios, rates)

@@ -332,7 +332,13 @@ def collect(tables=None, threshold: float = DEFAULT_MAX_DRIFT) -> FidelityReport
     ``tables`` is an iterable of names from :data:`TABLES` (default:
     all of them — note ``table1`` also executes the DEC baseline, the
     expensive half; CI's cheap gate passes the subset without it).
+
+    Fidelity is defined against the paper's machine, so scoring under
+    any run spec but ``faithful`` fails loudly here — paper-drift
+    numbers must never silently come from an optimized configuration.
     """
+    from repro.eval.specs import assert_faithful
+    assert_faithful("fidelity scoring")
     selected = list(tables) if tables is not None else list(TABLES)
     unknown = [name for name in selected if name not in TABLES]
     if unknown:

@@ -511,10 +511,10 @@ def diff_workload(name: str):
     runs fresh per process.  This is the engine behind ``psi-eval debug
     --diff`` and the reproduction recipe crosscheck prints.
     """
-    from repro.eval.runner import run_baseline, run_psi
+    from repro.eval.runner import run_spec
 
-    psi = run_psi(name, record_trace=True)
-    baseline = run_baseline(name)
+    psi = run_spec(name, "faithful", record_trace=True)
+    baseline = run_spec(name, "baseline")
     total = len(psi.trace.data) if psi.trace is not None else 0
     divergence = first_divergence(name, psi.answers, psi.answer_marks,
                                   baseline.answers, total)

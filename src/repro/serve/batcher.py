@@ -4,8 +4,9 @@ Replay is the service's cheapest op per unit of asked-for work — one
 ``simulate_many`` pass decodes a workload's packed trace once and runs
 any number of cache configurations over it (PR 1).  The batcher turns
 that property into a serving win: replay requests that name the **same
-workload** (the compatibility criterion — one workload, one trace) and
-arrive within one *batch window* are merged into a single worker task
+workload and run spec** (the compatibility criterion — one workload
+under one spec yields one trace) and arrive within one *batch window*
+are merged into a single worker task
 over the union of their configurations, deduplicated by canonical
 config identity.  Each request is answered with exactly its own
 configurations' statistics, in its own requested order, so batching is
@@ -30,9 +31,10 @@ from repro.serve.protocol import canonical_config_key
 
 @dataclass
 class _Batch:
-    """One workload's pending replay requests within the current window."""
+    """One (workload, spec)'s pending replay requests in this window."""
 
     workload: str
+    spec: str
     #: canonical config key -> JSON dict, in first-seen order.
     union: dict[tuple, dict] = field(default_factory=dict)
     #: one (requested keys, future) pair per client request.
@@ -51,21 +53,25 @@ class ReplayBatcher:
         self.window_s = window_s
         self.max_configs = max_configs
         self.metrics = metrics
-        self._pending: dict[str, _Batch] = {}
+        self._pending: dict[tuple[str, str], _Batch] = {}
 
-    async def submit(self, workload: str, configs: list[dict]) -> dict:
+    async def submit(self, workload: str, configs: list[dict],
+                     spec: str = "faithful") -> dict:
         """Queue one replay request; await its (possibly batched) result.
 
         ``configs`` must already be validated (the server normalizes
-        them through :func:`canonical_config_key` before calling), so
-        the only failures surfacing here are worker-side ones, which
-        propagate to every waiter of the batch.
+        them through :func:`canonical_config_key` before calling), and
+        ``spec`` must already name a PSI run spec, so the only failures
+        surfacing here are worker-side ones, which propagate to every
+        waiter of the batch.  Requests are coalesced per (workload,
+        spec) — a faithful and an indexed replay of the same workload
+        never share a batch (their traces differ).
         """
         keys = []
-        batch = self._pending.get(workload)
+        batch = self._pending.get((workload, spec))
         if batch is None:
-            batch = _Batch(workload)
-            self._pending[workload] = batch
+            batch = _Batch(workload, spec)
+            self._pending[(workload, spec)] = batch
             batch.timer = asyncio.create_task(self._flush_after(batch))
         for config in configs:
             key = canonical_config_key(config)
@@ -85,9 +91,10 @@ class ReplayBatcher:
         self._flush_now(batch)
 
     def _flush_now(self, batch: _Batch) -> None:
-        if self._pending.get(batch.workload) is not batch:
+        key = (batch.workload, batch.spec)
+        if self._pending.get(key) is not batch:
             return                      # already flushed (max_configs path)
-        del self._pending[batch.workload]
+        del self._pending[key]
         if batch.timer is not None and not batch.timer.done():
             batch.timer.cancel()
         asyncio.create_task(self._run_batch(batch))
@@ -97,13 +104,15 @@ class ReplayBatcher:
             self.metrics.counter("serve.replay.batches").inc()
             self.metrics.counter("serve.replay.requests").inc(
                 len(batch.waiters))
+            self.metrics.counter(f"serve.replay.spec.{batch.spec}").inc(
+                len(batch.waiters))
             self.metrics.counter("serve.replay.configs_simulated").inc(
                 len(batch.union))
             self.metrics.counter("serve.replay.configs_requested").inc(
                 sum(len(keys) for keys, _ in batch.waiters))
         try:
             result = await self.pool.run(pool_mod.worker_replay,
-                                         batch.workload,
+                                         batch.workload, batch.spec,
                                          list(batch.union.values()))
         except Exception as exc:
             for _, future in batch.waiters:
@@ -118,6 +127,7 @@ class ReplayBatcher:
                 continue
             future.set_result({
                 "workload": batch.workload,
+                "spec": batch.spec,
                 "trace_entries": result["trace_entries"],
                 "stats": [by_key[key] for key in keys],
                 "batch_size": len(batch.waiters),

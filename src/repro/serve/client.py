@@ -100,12 +100,19 @@ class ServeClient:
     def ping(self) -> dict:
         return self.request("ping")
 
-    def solve(self, workload: str, engine: str = "psi") -> dict:
-        return self.request("solve", workload=workload, engine=engine)
+    def solve(self, workload: str, engine: str = "psi",
+              spec: str | None = None) -> dict:
+        fields = {"workload": workload, "engine": engine}
+        if spec is not None:
+            fields["spec"] = spec
+        return self.request("solve", **fields)
 
-    def replay(self, workload: str, configs: list[dict] | None = None) -> dict:
-        return self.request("replay", workload=workload,
-                            configs=configs or [{}])
+    def replay(self, workload: str, configs: list[dict] | None = None,
+               spec: str | None = None) -> dict:
+        fields = {"workload": workload, "configs": configs or [{}]}
+        if spec is not None:
+            fields["spec"] = spec
+        return self.request("replay", **fields)
 
     def metrics(self) -> dict:
         return self.request("metrics")
@@ -130,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--engine", default="psi",
                         help="'solve': engine to run on (psi or baseline)")
+    parser.add_argument("--spec", default=None, metavar="NAME",
+                        help="'solve'/'replay'/'warm': run spec to evaluate "
+                             "under (e.g. faithful, indexed); overrides "
+                             "--engine")
     parser.add_argument("--capacity", type=int, action="append", default=[],
                         metavar="WORDS",
                         help="'replay': cache capacity in words; repeatable "
@@ -147,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.op == "replay":
         fields["configs"] = ([{"capacity_words": c} for c in args.capacity]
                              or [{}])
+    if args.op in ("solve", "replay", "warm") and args.spec:
+        fields["spec"] = args.spec
     if args.op in ("warm", "fidelity") and args.operands:
         fields["workloads" if args.op == "warm" else "tables"] = args.operands
 

@@ -45,23 +45,32 @@ def _cache_events_delta(before: Counter, after: Counter) -> dict[str, int]:
     return {name: count for name, count in sorted(delta.items()) if count}
 
 
-def worker_solve(name: str, engine: str) -> dict:
-    """Run one workload on one engine; return the wire-ready result."""
-    from repro.eval.runner import CACHE_EVENTS, run_engine
+def worker_solve(name: str, spec_name: str) -> dict:
+    """Run one workload under one run spec; return the wire-ready result.
 
+    ``spec_name`` is resolved through the worker's own spec registry
+    (:mod:`repro.eval.specs`); the pool uses a ``fork`` context, so
+    specs registered in the server process before the pool starts are
+    visible here.  Legacy engine names (``psi``/``baseline``/…) resolve
+    through the registry's aliases.
+    """
+    from repro.eval.runner import CACHE_EVENTS, run_spec
+    from repro.eval.specs import get_spec
+
+    spec = get_spec(spec_name)
     before = Counter(CACHE_EVENTS)
-    run = run_engine(name, engine="psi" if engine == "psi" else "baseline",
-                     record_trace=False)
+    run = run_spec(name, spec, record_trace=False)
     result = {
         "workload": name,
-        "engine": "psi" if engine == "psi" else "baseline",
+        "engine": spec.engine,
+        "spec": spec.name,
         "succeeded": run.succeeded,
         "answers": [list(map(list, answer)) for answer in run.answers],
         "counters": dict(run.counters),
         "worker_pid": os.getpid(),
         "cache_events": _cache_events_delta(before, Counter(CACHE_EVENTS)),
     }
-    if engine == "psi":
+    if spec.engine == "psi":
         result.update(solutions=run.solutions,
                       steps=run.steps,
                       inferences=run.stats.inferences,
@@ -79,23 +88,26 @@ def worker_solve(name: str, engine: str) -> dict:
     return result
 
 
-def worker_replay(name: str, configs: list[dict]) -> dict:
+def worker_replay(name: str, spec_name: str, configs: list[dict]) -> dict:
     """Replay one workload's recorded trace through many cache configs.
 
-    One ``simulate_many`` pass serves the whole batch — the trace is
+    The trace comes from the ``spec_name`` run (any PSI spec — the
+    server rejects baseline specs, which record no trace).  One
+    ``simulate_many`` pass serves the whole batch — the trace is
     decoded once no matter how many client requests were coalesced into
     ``configs``.  Statistics are bit-identical to a per-config
     ``simulate`` (the PR-1 equivalence contract, re-asserted end-to-end
     by ``tests/serve/test_server_e2e.py``).
     """
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
     from repro.tools.pmms import simulate_many
 
-    run = run_psi(name, record_trace=True)
+    run = run_spec(name, spec_name, record_trace=True)
     stats = simulate_many(run.trace, [cache_config_from_json(c)
                                       for c in configs])
     return {
         "workload": name,
+        "spec": spec_name,
         "trace_entries": len(run.trace),
         "stats": [cache_stats_to_json(s) for s in stats],
         "worker_pid": os.getpid(),
@@ -110,13 +122,14 @@ def worker_fidelity(tables: list[str] | None) -> dict:
     return report.to_dict(cell_limit=3)
 
 
-def worker_warm(names: list[str]) -> dict:
+def worker_warm(names: list[str], spec_name: str = "faithful") -> dict:
     """Pre-populate this worker's cache tiers for ``names``."""
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
 
     for name in names:
-        run_psi(name, record_trace=False)
-    return {"warmed": len(names), "worker_pid": os.getpid()}
+        run_spec(name, spec_name, record_trace=False)
+    return {"warmed": len(names), "spec": spec_name,
+            "worker_pid": os.getpid()}
 
 
 class WorkerPool:

@@ -213,20 +213,39 @@ class EvalServer:
                 f"unknown workload {name!r} (see the 'workloads' op)")
         return known[name]
 
+    def _resolved_spec(self, message: dict):
+        """The request's run spec: ``spec`` field, legacy ``engine``, or
+        the faithful default.  Unknown names are protocol errors."""
+        from repro.eval.specs import get_spec, spec_names
+
+        name = message.get("spec")
+        if name is None:
+            name = message.get("engine", "psi")
+        if not isinstance(name, str):
+            raise ProtocolError("'spec' must be a run-spec name")
+        try:
+            return get_spec(name)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown run spec {name!r} (valid: "
+                f"{', '.join(spec_names())})") from None
+
     async def _op_solve(self, message: dict) -> dict:
         workload = self._validated_workload(message)
-        engine = message.get("engine", "psi")
-        if engine not in ("psi", "baseline", "dec", "wam"):
-            raise ProtocolError(f"unknown engine {engine!r} "
-                                "(valid: psi, baseline)")
-        if engine != "psi" and workload.psi_only:
+        spec = self._resolved_spec(message)
+        if spec.engine != "psi" and workload.psi_only:
             raise ProtocolError(f"workload {workload.name!r} uses KL0-only "
-                                "builtins; only engine 'psi' can run it")
+                                "builtins; only PSI run specs can run it")
+        self.metrics.counter(f"serve.solve.spec.{spec.name}").inc()
         return await self.pool.run(pool_mod.worker_solve, workload.name,
-                                   "psi" if engine == "psi" else "baseline")
+                                   spec.name)
 
     async def _op_replay(self, message: dict) -> dict:
         workload = self._validated_workload(message)
+        spec = self._resolved_spec(message)
+        if spec.engine != "psi":
+            raise ProtocolError(f"run spec {spec.name!r} records no PMMS "
+                                "trace; replay needs a PSI spec")
         configs = message.get("configs", [{}])
         if not isinstance(configs, list) or not configs:
             raise ProtocolError("'configs' must be a non-empty list of "
@@ -240,18 +259,21 @@ class EvalServer:
             except (TypeError, ValueError) as exc:
                 raise ProtocolError(f"invalid cache config {config!r}: "
                                     f"{exc}") from None
-        return await self.batcher.submit(workload.name, configs)
+        return await self.batcher.submit(workload.name, configs,
+                                         spec=spec.name)
 
     async def _op_warm(self, message: dict) -> dict:
         from repro.workloads import shared_workloads
 
+        spec = self._resolved_spec(message)
         names = message.get("workloads")
         if names is None:
             names = [w.name for w in shared_workloads()]
         else:
             for name in names:
                 self._validated_workload({"workload": name})
-        return await self.pool.run(pool_mod.worker_warm, list(names))
+        return await self.pool.run(pool_mod.worker_warm, list(names),
+                                   spec.name)
 
     async def _op_fidelity(self, message: dict) -> dict:
         return await self.pool.run(pool_mod.worker_fidelity,

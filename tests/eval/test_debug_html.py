@@ -163,16 +163,19 @@ class TestCli:
     def test_debug_diff_seeded_divergence_exits_1(self, tmp_path, capsys,
                                                   monkeypatch):
         from repro.eval import runner
+        from repro.eval.specs import get_spec
 
-        real = runner.run_baseline
+        real = runner.run_spec
 
-        def forged(name):
-            result = real(name)
+        def forged(name, spec=None, record_trace=True):
+            result = real(name, spec, record_trace=record_trace)
+            if get_spec(spec).engine != "baseline":
+                return result
             return runner.BaselineRun(stats=result.stats,
                                       answers=((("X", "WRONG"),),),
                                       counters=result.counters)
 
-        monkeypatch.setattr(runner, "run_baseline", forged)
+        monkeypatch.setattr(runner, "run_spec", forged)
         out = tmp_path / "diff.html"
         assert main(["debug", "--diff", "nreverse", "--out", str(out)]) == 1
         assert "diverges at PSI microstep" in capsys.readouterr().out

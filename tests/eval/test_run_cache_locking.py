@@ -131,6 +131,65 @@ def _run_psi_contender(cache_dir, barrier, results):
                  [list(map(list, answer)) for answer in run.answers]))
 
 
+def _run_spec_contender(cache_dir, spec_name, barrier, results):
+    """Like :func:`_run_psi_contender`, parameterized by run spec."""
+    os.environ["PSI_CACHE_DIR"] = cache_dir
+    from repro.eval import runner
+
+    runner.clear_cache()
+    runner.set_disk_cache(True)
+    barrier.wait()
+    run = runner.run_spec("nreverse", spec_name, record_trace=False)
+    results.put((spec_name, dict(runner.CACHE_EVENTS), run.steps))
+
+
+def test_concurrent_cold_start_two_specs_computes_once_each(tmp_path):
+    """N processes race TWO specs on one cold cache: exactly one
+    interpretation per spec, one labelled disk entry per spec, and no
+    contender is ever served the other spec's entry."""
+    context = multiprocessing.get_context("fork")
+    spec_names = ["faithful", "indexed"] * 2
+    barrier = context.Barrier(len(spec_names))
+    results = context.Queue()
+    procs = [context.Process(target=_run_spec_contender,
+                             args=(str(tmp_path), name, barrier, results))
+             for name in spec_names]
+    for proc in procs:
+        proc.start()
+    outcomes = [results.get(timeout=120) for _ in range(len(spec_names))]
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    for spec_name in ("faithful", "indexed"):
+        events = [e for name, e, _ in outcomes if name == spec_name]
+        assert len(events) == 2
+        assert sum(e.get(f"disk_compute:{spec_name}", 0)
+                   for e in events) == 1
+        assert all(e.get(f"disk_compute:{spec_name}", 0)
+                   + e.get(f"disk_wait_hit:{spec_name}", 0)
+                   + e.get(f"disk_hit:{spec_name}", 0) == 1 for e in events)
+        # No cross-spec pollution: a contender never touches the other
+        # spec's cache key.
+        other = "indexed" if spec_name == "faithful" else "faithful"
+        assert all(not any(key.endswith(f":{other}") for key in e)
+                   for e in events)
+
+    # Two disk entries — one per spec fingerprint — each labelled with
+    # its spec name, no temp-file debris.
+    cache = RunCache(tmp_path)
+    runs = sorted(tmp_path.glob("*.run"))
+    assert len(runs) == 2
+    assert sorted(cache.entry_label(path) for path in runs) \
+        == ["faithful", "indexed"]
+    assert list(tmp_path.glob("*.tmp*")) == []
+
+    # Indexing narrows the clause scan, so the two specs' modelled
+    # step counts differ — a cross-spec mixup would equalise them.
+    steps = {name: n for name, _, n in outcomes}
+    assert steps["faithful"] != steps["indexed"]
+
+
 def test_run_psi_concurrent_cold_start_computes_once(tmp_path):
     """The full stack: N ``run_psi`` processes race one cold cache key;
     one interprets, the rest block on the lock and load its entry."""

@@ -1,0 +1,222 @@
+"""The run-spec registry and the spec-parameterized runner path.
+
+Covers the registry contracts (fingerprint identity, aliases,
+registration guards, the process default), the deprecated wrapper
+functions' object-identity with the spec path, and the acceptance
+property of the refactor: a non-faithful spec's runs are disk-cached
+under their own fingerprint, so a second invocation performs zero
+engine executions.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.eval import runner, specs
+from repro.eval.specs import RunSpec, get_spec, register_spec, unregister_spec
+
+
+@pytest.fixture(autouse=True)
+def _pristine_registry():
+    """Every test starts and ends on the built-in registry + default."""
+    yield
+    for name in list(specs.all_specs()):
+        if name not in ("faithful", "indexed", "unfused", "baseline"):
+            unregister_spec(name)
+    specs.set_default_spec("faithful")
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert set(specs.spec_names()) >= {"faithful", "indexed",
+                                           "unfused", "baseline"}
+        assert get_spec("faithful").engine == "psi"
+        assert get_spec("indexed").machine_config.indexed is True
+        assert get_spec("unfused").machine_config.fused is False
+        assert get_spec("baseline").engine == "baseline"
+
+    def test_legacy_engine_aliases_resolve(self):
+        assert get_spec("psi") is get_spec("faithful")
+        assert get_spec("psi-indexed") is get_spec("indexed")
+        assert get_spec("dec") is get_spec("baseline")
+        assert get_spec("wam") is get_spec("baseline")
+
+    def test_get_spec_passthrough_and_default(self):
+        spec = get_spec("indexed")
+        assert get_spec(spec) is spec
+        assert get_spec(None) is specs.default_spec()
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown run spec"):
+            get_spec("no-such-spec")
+
+    def test_register_guards(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_spec(RunSpec(name="faithful"))
+        with pytest.raises(ValueError, match="reserved spec alias"):
+            register_spec(RunSpec(name="psi"))
+        with pytest.raises(ValueError, match="unknown engine"):
+            register_spec(RunSpec(name="turbo", engine="quantum"))
+
+    def test_register_and_unregister(self):
+        spec = register_spec(RunSpec(
+            name="indexed-unfused",
+            machine_config=MachineConfig(indexed=True, fused=False)))
+        assert get_spec("indexed-unfused") is spec
+        unregister_spec("indexed-unfused")
+        with pytest.raises(ValueError):
+            get_spec("indexed-unfused")
+        # Built-ins survive an (attempted) unregister.
+        unregister_spec("faithful")
+        assert get_spec("faithful").name == "faithful"
+
+    def test_default_spec_switch(self):
+        assert specs.default_spec().name == "faithful"
+        specs.set_default_spec("indexed")
+        assert specs.default_spec().name == "indexed"
+
+    def test_assert_faithful_gate(self):
+        specs.assert_faithful("unit test")          # faithful: no raise
+        specs.set_default_spec("indexed")
+        with pytest.raises(RuntimeError, match="faithful"):
+            specs.assert_faithful("unit test")
+
+
+class TestFingerprint:
+    def test_name_excluded_from_fingerprint(self):
+        a = RunSpec(name="a")
+        b = RunSpec(name="b")
+        assert a.fingerprint == b.fingerprint
+        assert a != b                       # identity is (name, fingerprint)
+
+    def test_configuration_changes_fingerprint(self):
+        base = RunSpec(name="x")
+        for variant in (
+            RunSpec(name="x", machine_config=MachineConfig(indexed=True)),
+            RunSpec(name="x", machine_config=MachineConfig(fused=False)),
+            RunSpec(name="x", engine="baseline"),
+            RunSpec(name="x", with_cache=False),
+            RunSpec(name="x", all_solutions=True),
+            RunSpec(name="x", record_trace=False),
+        ):
+            assert variant.fingerprint != base.fingerprint
+
+    def test_description_does_not_change_fingerprint(self):
+        assert (RunSpec(name="x", description="why").fingerprint
+                == RunSpec(name="x").fingerprint)
+
+    def test_specs_are_hashable_dict_keys(self):
+        tiers = {get_spec("faithful"): 1, get_spec("indexed"): 2}
+        assert tiers[get_spec("psi")] == 1
+
+
+class TestDeprecatedWrappers:
+    def test_run_psi_is_object_identical_to_spec_path(self):
+        runner.clear_cache()
+        with pytest.warns(DeprecationWarning, match="run_psi"):
+            legacy = runner.run_psi("nreverse", record_trace=False)
+        assert legacy is runner.run_spec("nreverse", "faithful",
+                                         record_trace=False)
+
+    def test_run_psi_indexed_is_object_identical_to_spec_path(self):
+        runner.clear_cache()
+        with pytest.warns(DeprecationWarning, match="run_psi_indexed"):
+            legacy = runner.run_psi_indexed("nreverse")
+        assert legacy is runner.run_spec("nreverse", "indexed",
+                                         record_trace=False)
+
+    def test_run_baseline_is_object_identical_to_spec_path(self):
+        runner.clear_cache()
+        with pytest.warns(DeprecationWarning, match="run_baseline"):
+            legacy = runner.run_baseline("nreverse")
+        assert legacy is runner.run_spec("nreverse", "baseline")
+
+    def test_run_engine_resolves_spec_names(self):
+        runner.clear_cache()
+        via_engine = runner.run_engine("nreverse", engine="psi",
+                                       record_trace=False)
+        assert via_engine is runner.run_spec("nreverse", "faithful",
+                                             record_trace=False)
+        via_spec_name = runner.run_engine("nreverse", engine="indexed",
+                                          record_trace=False)
+        assert via_spec_name is runner.run_spec("nreverse", "indexed",
+                                                record_trace=False)
+
+
+class TestSpecCaching:
+    def test_indexed_second_invocation_zero_engine_executions(self):
+        """The acceptance property: after one cold pass, re-deriving the
+        indexed comparison performs zero interpretations — both specs
+        are served from their fingerprint-keyed disk entries."""
+        from repro.eval import indexed
+
+        runner.clear_cache(disk=True)
+        runner.set_disk_cache(True)
+        indexed.compare_workload("nreverse")
+        first = dict(runner.CACHE_EVENTS)
+        assert first.get("disk_compute:indexed", 0) == 1
+
+        runner.clear_cache()            # memory tier only; disk persists
+        indexed.compare_workload("nreverse")
+        second = dict(runner.CACHE_EVENTS)
+        assert second.get("disk_compute", 0) == 0
+        assert second.get("disk_hit:indexed", 0) == 1
+        assert second.get("disk_hit:faithful", 0) == 1
+
+    def test_specs_do_not_share_memo_entries(self):
+        runner.clear_cache()
+        faithful = runner.run_spec("nreverse", "faithful",
+                                   record_trace=False)
+        indexed = runner.run_spec("nreverse", "indexed", record_trace=False)
+        assert faithful is not indexed
+        # Indexing narrows the clause scan, so the modelled step
+        # counts must differ — a shared cache slot would equalise them.
+        assert faithful.steps != indexed.steps
+        assert faithful is runner.run_spec("nreverse", "faithful",
+                                           record_trace=False)
+
+    def test_registered_spec_runs_and_caches(self):
+        spec = register_spec(RunSpec(
+            name="indexed-unfused",
+            machine_config=MachineConfig(indexed=True, fused=False)))
+        runner.clear_cache()
+        run = runner.run_spec("nreverse", "indexed-unfused",
+                              record_trace=False)
+        assert run.succeeded
+        # Same modelled steps as `indexed` (fusion never changes the
+        # step count), distinct cache identity.
+        assert run.steps == runner.run_spec("nreverse", "indexed",
+                                            record_trace=False).steps
+        assert spec.fingerprint != get_spec("indexed").fingerprint
+
+    def test_run_spec_configs_are_not_aliased_to_registry(self):
+        """A live machine must never mutate the registry's config."""
+        runner.clear_cache()
+        before = dataclasses.replace(get_spec("faithful").machine_config)
+        runner.run_spec("nreverse", "faithful", record_trace=False)
+        assert get_spec("faithful").machine_config == before
+
+
+class TestCreateEngine:
+    def test_spec_names_are_engine_names(self):
+        from repro.engine.api import create_engine
+
+        engine = create_engine("unfused")
+        engine.load("append([], L, L). "
+                    "append([H|T], L, [H|R]) :- append(T, L, R).")
+        assert engine.solve("append([1,2], [3], X)")
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_engine("no-such-spec")
+
+    def test_registered_spec_becomes_engine_name(self):
+        from repro.engine.api import create_engine
+
+        register_spec(RunSpec(
+            name="indexed-unfused",
+            machine_config=MachineConfig(indexed=True, fused=False)))
+        engine = create_engine("indexed-unfused")
+        assert engine.name == "indexed-unfused"
+        engine.load("append([], L, L). "
+                    "append([H|T], L, [H|R]) :- append(T, L, R).")
+        assert engine.solve("append([1], [2], X)")

@@ -19,13 +19,14 @@ class FakePool:
         self.calls = []
         self.fail = fail
 
-    async def run(self, fn, workload, configs):
-        self.calls.append((workload, configs))
+    async def run(self, fn, workload, spec, configs):
+        self.calls.append((workload, spec, configs))
         await asyncio.sleep(0)       # yield, like a real executor hop
         if self.fail:
             raise RuntimeError("worker exploded")
         return {
             "workload": workload,
+            "spec": spec,
             "trace_entries": 42,
             "stats": [dict(config, echoed=True) for config in configs],
             "worker_pid": 999,
@@ -46,7 +47,8 @@ def test_concurrent_requests_coalesce_to_one_pool_call():
 
     r1, r2, r3 = asyncio.run(scenario())
     assert len(pool.calls) == 1
-    _, union = pool.calls[0]
+    _, spec, union = pool.calls[0]
+    assert spec == "faithful"
     # 1024 is requested twice, and {} canonicalises to the default
     # geometry (capacity 8192) so it merges with the explicit 8192:
     # four requested configs, two simulated.
@@ -76,6 +78,22 @@ def test_different_workloads_do_not_batch():
     assert len(pool.calls) == 2
     assert ra["workload"] == "a" and rb["workload"] == "b"
     assert ra["batch_size"] == rb["batch_size"] == 1
+
+
+def test_different_specs_do_not_batch():
+    pool = FakePool()
+
+    async def scenario():
+        batcher = ReplayBatcher(pool, window_s=0.02)
+        return await asyncio.gather(
+            batcher.submit("w", [{}]),
+            batcher.submit("w", [{}], spec="indexed"))
+
+    rf, ri = asyncio.run(scenario())
+    assert len(pool.calls) == 2
+    assert {call[1] for call in pool.calls} == {"faithful", "indexed"}
+    assert rf["spec"] == "faithful" and ri["spec"] == "indexed"
+    assert rf["batch_size"] == ri["batch_size"] == 1
 
 
 def test_max_configs_flushes_before_window():

@@ -105,7 +105,7 @@ def test_psi_solve_reports_run_shape(server):
 def test_concurrent_replays_batch_and_match_serial(server):
     """Batched replay statistics are byte-identical to local serial
     ``simulate`` — the equivalence contract, end to end."""
-    from repro.eval.runner import run_psi
+    from repro.eval.runner import run_spec
     from repro.tools.pmms import simulate
 
     host, port = server
@@ -119,7 +119,7 @@ def test_concurrent_replays_batch_and_match_serial(server):
     with ThreadPoolExecutor(max_workers=len(configs)) as executor:
         results = list(executor.map(replay, configs))
 
-    trace = run_psi("qsort", record_trace=True).trace
+    trace = run_spec("qsort", "faithful", record_trace=True).trace
     for config, served in zip(configs, results):
         local_stats = cache_stats_to_json(
             simulate(trace, cache_config_from_json(config)))
@@ -131,6 +131,57 @@ def test_concurrent_replays_batch_and_match_serial(server):
     # The 100 ms window plus simultaneous submission must coalesce at
     # least some of the four single-config requests into one batch.
     assert any(r["batch_size"] > 1 for r in results)
+
+
+def test_indexed_spec_solve_matches_local_indexed_engine(server):
+    """A ``spec: indexed`` request equals a local indexed-spec run —
+    same answers, same counters (including the indexing counters that
+    distinguish it from the faithful spec)."""
+    from repro.engine.answers import answer_multiset
+    from repro.eval.runner import run_spec
+
+    host, port = server
+    with ServeClient(host, port) as client:
+        served = client.solve("qsort", spec="indexed")
+    assert served["succeeded"]
+    assert served["spec"] == "indexed"
+    assert served["engine"] == "psi"
+    local = run_spec("qsort", "indexed", record_trace=False)
+    served_answers = [tuple(tuple(pair) for pair in answer)
+                      for answer in served["answers"]]
+    assert (answer_multiset(served_answers)
+            == answer_multiset(local.answers))
+    assert served["counters"] == dict(local.counters)
+    assert served["steps"] == local.steps
+
+
+def test_indexed_spec_replay_is_partitioned_from_faithful(server):
+    """Replays under different specs never share a batch, and each
+    reports its own spec's trace length."""
+    from repro.eval.runner import run_spec
+
+    host, port = server
+
+    def replay(spec):
+        with ServeClient(host, port) as client:
+            return client.replay("qsort", [{}], spec=spec)
+
+    with ThreadPoolExecutor(max_workers=2) as executor:
+        faithful, indexed = list(executor.map(replay,
+                                              ("faithful", "indexed")))
+    assert faithful["spec"] == "faithful"
+    assert indexed["spec"] == "indexed"
+    local_indexed = run_spec("qsort", "indexed", record_trace=True)
+    assert indexed["trace_entries"] == len(local_indexed.trace)
+
+
+def test_baseline_spec_replay_is_rejected(server):
+    host, port = server
+    with ServeClient(host, port) as client:
+        with pytest.raises(ServeError, match="records no PMMS trace"):
+            client.replay("qsort", [{}], spec="baseline")
+        with pytest.raises(ServeError, match="unknown run spec"):
+            client.solve("qsort", spec="no-such-spec")
 
 
 def test_application_errors_leave_connection_usable(server):
